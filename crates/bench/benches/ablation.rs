@@ -1,0 +1,100 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! locking policy (multi-version vs conservative 2PL), sequencer buffer
+//! share (the §5.3 mitigation), announcement batching, and uniform
+//! delivery. Each runs a small end-to-end experiment; Criterion reports the
+//! wall-clock cost of simulating it, and the printed side-channel reports
+//! the system-level metric of interest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbsm_core::{run_experiment, ExperimentConfig};
+use dbsm_db::CcPolicy;
+use dbsm_fault::FaultPlan;
+use dbsm_gcs::GcsConfig;
+use std::hint::black_box;
+
+fn small(sites: usize, clients: usize) -> ExperimentConfig {
+    ExperimentConfig::replicated(sites, clients).with_target(300)
+}
+
+fn bench_locking_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_locking");
+    g.sample_size(10);
+    for (name, policy) in
+        [("multiversion", CcPolicy::MultiVersion), ("conservative_2pl", CcPolicy::Conservative2pl)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::centralized(1, 60).with_target(300);
+                cfg.policy = policy;
+                let m = run_experiment(cfg);
+                black_box((m.committed(), m.abort_rate()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequencer_share(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sequencer_share");
+    g.sample_size(10);
+    for (name, boost) in [("fair_share", 1.0), ("boosted_sequencer", 4.0)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = small(3, 60).with_faults(FaultPlan::random_loss(0.05));
+                let mut gcs = GcsConfig::lan(3);
+                gcs.sequencer_share_boost = boost;
+                cfg.gcs = Some(gcs);
+                let m = run_experiment(cfg);
+                black_box(m.cert_latencies_ms.clone().percentile(99.0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ann_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ann_batching");
+    g.sample_size(10);
+    for (name, batch) in
+        [("immediate", None), ("batched_2ms", Some(std::time::Duration::from_millis(2)))]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = small(3, 60);
+                let mut gcs = GcsConfig::lan(3);
+                gcs.ann_batch = batch;
+                cfg.gcs = Some(gcs);
+                let m = run_experiment(cfg);
+                black_box(m.mean_latency_ms())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_uniform_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_uniform_delivery");
+    g.sample_size(10);
+    for (name, uniform) in [("optimistic", false), ("uniform", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = small(3, 60);
+                let mut gcs = GcsConfig::lan(3);
+                gcs.uniform_delivery = uniform;
+                cfg.gcs = Some(gcs);
+                let m = run_experiment(cfg);
+                black_box(m.mean_latency_ms())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_locking_policy,
+    bench_sequencer_share,
+    bench_ann_batching,
+    bench_uniform_delivery,
+);
+criterion_main!(benches);

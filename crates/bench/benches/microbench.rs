@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks of the real-code hot paths the paper's
+//! prototype optimizes (§3.3–3.4): certification, marshalling, read/write
+//! set intersection, stability detection, the lock manager, the event
+//! queue, TPC-C generation and the network pump.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dbsm_cert::{marshal, unmarshal, CertRequest, Certifier, RwSet, SiteId, TableId, TupleId};
+use dbsm_db::{Acquire, CcPolicy, LockTable, OwnerKind, TxnId};
+use dbsm_gcs::{NodeId, NodeSet, Stability};
+use dbsm_sim::Sim;
+use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rwset(table: u16, base: u64, n: u64) -> RwSet {
+    (0..n).map(|i| TupleId::new(TableId(table), base + i * 2 + 1)).collect()
+}
+
+fn req(site: u16, txn: u64, start: u64, reads: RwSet, writes: RwSet) -> CertRequest {
+    CertRequest { site: SiteId(site), txn, start_seq: start, read_set: reads, write_set: writes, write_bytes: 256 }
+}
+
+fn bench_certification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("certification");
+    for history in [16usize, 128, 1024] {
+        g.bench_function(format!("certify_history_{history}"), |b| {
+            let mut certifier = Certifier::new();
+            for i in 0..history as u64 {
+                let r = req(0, i, i, RwSet::new(), rwset(1, i * 64, 8));
+                certifier.certify(&r).expect("fill");
+            }
+            let mut txn = history as u64;
+            b.iter(|| {
+                let r = req(1, txn, 0, rwset(2, 0, 16), rwset(2, 1000, 4));
+                txn += 1;
+                black_box(certifier.certify(&r).expect("certify"))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rwset_intersection");
+    for n in [16usize, 256, 4096] {
+        let a = rwset(1, 0, n as u64);
+        let b_set = rwset(1, 2 * n as u64, n as u64);
+        g.bench_function(format!("disjoint_{n}"), |bencher| {
+            bencher.iter(|| black_box(a.intersects(&b_set)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_marshal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marshal");
+    for n in [8usize, 64, 256] {
+        let r = req(3, 42, 1000, rwset(1, 0, n as u64), rwset(2, 0, (n / 2) as u64));
+        g.bench_function(format!("roundtrip_{n}_ids"), |b| {
+            b.iter(|| {
+                let wire = marshal(&r);
+                black_box(unmarshal(wire).expect("roundtrip"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stability(c: &mut Criterion) {
+    c.bench_function("stability_gossip_round_6_nodes", |b| {
+        let n = 6;
+        let members = NodeSet::first_n(n);
+        let received: Vec<Vec<u64>> = (0..n).map(|_| vec![1000; n]).collect();
+        b.iter_batched(
+            || (0..n).map(|i| Stability::new(NodeId(i as u16), n, members)).collect::<Vec<_>>(),
+            |mut nodes| {
+                let gossips: Vec<_> = nodes
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, s)| s.make_gossip(&received[i]))
+                    .collect();
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    for (j, g) in gossips.iter().enumerate() {
+                        if i != j {
+                            node.on_gossip(g, &received[i]);
+                        }
+                    }
+                }
+                black_box(nodes[0].stable()[0])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release_disjoint", |b| {
+        let mut lt = LockTable::new(CcPolicy::MultiVersion);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let set: Vec<TupleId> =
+                (0..8).map(|i| TupleId::new(TableId(1), k * 16 + i + 1)).collect();
+            let t = TxnId(k);
+            assert_eq!(lt.acquire(t, set, OwnerKind::LocalAbortable), Acquire::Granted);
+            black_box(lt.release(t, true))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim_schedule_run_1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..1000u64 {
+                sim.schedule_at(dbsm_sim::SimTime::from_nanos(i * 7 % 997), || {});
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+}
+
+fn bench_tpcc_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpcc");
+    g.bench_function("next_request", |b| {
+        let mut gen = TpccGen::new(TpccConfig::new(200));
+        let mut client = 0usize;
+        b.iter(|| {
+            client = (client + 1) % 200;
+            black_box(gen.next_request(client).spec.read_set.len())
+        })
+    });
+    g.bench_function("neworder_only", |b| {
+        let mut gen = TpccGen::new(TpccConfig::new(200));
+        b.iter(|| black_box(gen.request_for(0, TxnClass::NewOrder).spec.write_set.len()))
+    });
+    g.finish();
+}
+
+fn bench_network_pump(c: &mut Criterion) {
+    use bytes::Bytes;
+    use dbsm_net::{Addr, Dest, NetworkBuilder, Port, SegmentConfig};
+    c.bench_function("net_unicast_1000_packets", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let mut nb = NetworkBuilder::new(&sim);
+            let lan = nb.lan(SegmentConfig::fast_ethernet());
+            let h0 = nb.host(lan);
+            let h1 = nb.host(lan);
+            let net = nb.build();
+            net.bind(Addr::new(h1, Port(9)), |_| {}).expect("bind");
+            let payload = Bytes::from(vec![0u8; 512]);
+            for _ in 0..1000 {
+                net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), payload.clone());
+            }
+            sim.run();
+            black_box(net.stats().host(1).rx_packets)
+        })
+    });
+}
+
+fn bench_gcs_stack(c: &mut Criterion) {
+    use bytes::Bytes;
+    use dbsm_gcs::{testkit::TestNet, GcsConfig};
+    c.bench_function("gcs_order_100_messages_3_nodes", |b| {
+        b.iter(|| {
+            let mut net = TestNet::new(GcsConfig::lan(3));
+            for i in 0..100u64 {
+                net.broadcast(NodeId((i % 3) as u16), Bytes::from(i.to_le_bytes().to_vec()));
+            }
+            net.run_for(Duration::from_secs(2));
+            black_box(net.deliveries(NodeId(0)).len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_certification,
+    bench_intersection,
+    bench_marshal,
+    bench_stability,
+    bench_lock_table,
+    bench_event_queue,
+    bench_tpcc_gen,
+    bench_network_pump,
+    bench_gcs_stack,
+);
+criterion_main!(benches);

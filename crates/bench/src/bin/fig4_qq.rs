@@ -1,0 +1,35 @@
+//! Fig. 4 — Q-Q validation of transaction latency: the simulated
+//! centralized server against the RealRig, a genuinely concurrent
+//! multi-threaded executor of the same workload. Points near the diagonal
+//! mean the model reproduces the real system's queueing behaviour.
+
+use dbsm_core::validate::{real_rig_run, sim_rig_run, RigConfig};
+
+fn main() {
+    let mut cfg = RigConfig::default();
+    if std::env::args().any(|a| a == "--full") {
+        cfg.txns = 5000;
+    }
+    eprintln!("running RealRig ({} txns, {} clients, wall-clock)...", cfg.txns, cfg.clients);
+    let mut real = real_rig_run(cfg);
+    eprintln!("running simulation with identical parameters...");
+    let mut sim = sim_rig_run(cfg);
+
+    println!("# Fig 4a: read-only transactions, Q-Q (ms)");
+    println!("{:>12} {:>12}", "sim", "real");
+    for (s, r) in sim.read_only_ms.qq(&mut real.read_only_ms, 21) {
+        println!("{s:>12.2} {r:>12.2}");
+    }
+    println!("\n# Fig 4b: update transactions, Q-Q (ms)");
+    println!("{:>12} {:>12}", "sim", "real");
+    for (s, r) in sim.update_ms.qq(&mut real.update_ms, 21) {
+        println!("{s:>12.2} {r:>12.2}");
+    }
+    println!(
+        "\nsamples: sim ro={} up={}, real ro={} up={}",
+        sim.read_only_ms.len(),
+        sim.update_ms.len(),
+        real.read_only_ms.len(),
+        real.update_ms.len()
+    );
+}

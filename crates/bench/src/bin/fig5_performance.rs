@@ -1,0 +1,40 @@
+//! Fig. 5 — performance of the replicated database vs centralized baselines:
+//! (a) committed transactions per minute, (b) mean latency, (c) abort rate,
+//! as the client population grows. Pass `--full` for the paper's scale.
+
+use dbsm_bench::{fig5_configs, run_logged, Scale};
+use dbsm_core::report;
+
+fn main() {
+    let scale = Scale::from_args();
+    let grid = scale.client_grid();
+    let names: Vec<&str> = fig5_configs(1, 1).iter().map(|(n, _)| *n).collect();
+
+    let mut rows = Vec::new();
+    for &clients in &grid {
+        let metrics: Vec<_> = fig5_configs(clients, scale.target())
+            .into_iter()
+            .map(|(name, cfg)| run_logged(name, clients, cfg))
+            .collect();
+        rows.push((clients, metrics));
+    }
+
+    println!("# Fig 5a: throughput (tpm)");
+    println!("{}", report::series_header(&names));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = ms.iter().map(|m| m.tpm()).collect();
+        println!("{}", report::series_row(*clients, &v));
+    }
+    println!("\n# Fig 5b: mean latency (ms)");
+    println!("{}", report::series_header(&names));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = ms.iter().map(|m| m.mean_latency_ms()).collect();
+        println!("{}", report::series_row(*clients, &v));
+    }
+    println!("\n# Fig 5c: abort rate (%)");
+    println!("{}", report::series_header(&names));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = ms.iter().map(|m| m.abort_rate()).collect();
+        println!("{}", report::series_row(*clients, &v));
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 6 — resource usage: (a) CPU utilisation, (b) disk bandwidth
+//! utilisation, (c) network traffic, across the same configurations and
+//! client grid as Fig. 5. Pass `--full` for the paper's scale.
+
+use dbsm_bench::{fig5_configs, run_logged, Scale};
+use dbsm_core::report;
+
+fn main() {
+    let scale = Scale::from_args();
+    let grid = scale.client_grid();
+    let names: Vec<&str> = fig5_configs(1, 1).iter().map(|(n, _)| *n).collect();
+
+    let mut rows = Vec::new();
+    for &clients in &grid {
+        let metrics: Vec<_> = fig5_configs(clients, scale.target())
+            .into_iter()
+            .map(|(name, cfg)| run_logged(name, clients, cfg))
+            .collect();
+        rows.push((clients, metrics));
+    }
+
+    println!("# Fig 6a: CPU usage (%)");
+    println!("{}", report::series_header(&names));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = ms.iter().map(|m| m.mean_cpu_usage().0 * 100.0).collect();
+        println!("{}", report::series_row(*clients, &v));
+    }
+    println!("\n# Fig 6b: disk bandwidth usage (%)");
+    println!("{}", report::series_header(&names));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = ms.iter().map(|m| m.mean_disk_usage() * 100.0).collect();
+        println!("{}", report::series_row(*clients, &v));
+    }
+    println!("\n# Fig 6c: network traffic (KB/s) — replicated configs only");
+    println!("{}", report::series_header(&["3 Sites", "6 Sites"]));
+    for (clients, ms) in &rows {
+        let v: Vec<f64> = vec![ms[3].network_kbps(), ms[4].network_kbps()];
+        println!("{}", report::series_row(*clients, &v));
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 1 — abort rates (%) per transaction class: centralized servers
+//! with 1/3/6 CPUs vs 3/6-site replicated databases at the paper's paired
+//! client counts. Pass `--full` for the paper's scale.
+
+use dbsm_bench::{run_logged, Scale};
+use dbsm_core::{report, ExperimentConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = scale.target();
+    let cols = [
+        ("500c/1x1CPU", ExperimentConfig::centralized(1, scale.clients(500))),
+        ("1000c/1x3CPU", ExperimentConfig::centralized(3, scale.clients(1000))),
+        ("1000c/3x1CPU", ExperimentConfig::replicated(3, scale.clients(1000))),
+        ("1500c/1x6CPU", ExperimentConfig::centralized(6, scale.clients(1500))),
+        ("1500c/6x1CPU", ExperimentConfig::replicated(6, scale.clients(1500))),
+    ];
+    let metrics: Vec<_> = cols
+        .iter()
+        .map(|(name, cfg)| run_logged(name, cfg.clients, cfg.clone().with_target(t)))
+        .collect();
+    let columns: Vec<(&str, &dbsm_core::RunMetrics)> =
+        cols.iter().map(|(n, _)| *n).zip(metrics.iter()).collect();
+    println!("# Table 1: abort rates (%)");
+    print!("{}", report::abort_table(&columns));
+}

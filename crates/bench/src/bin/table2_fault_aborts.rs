@@ -1,0 +1,30 @@
+//! Table 2 — abort rates (%) with 3 sites under message loss: no losses vs
+//! 5% random loss vs 5% bursty loss (mean burst 5). Pass `--full` for the
+//! paper's 1000 clients.
+
+use dbsm_bench::{run_logged, Scale};
+use dbsm_core::{report, ExperimentConfig};
+use dbsm_fault::FaultPlan;
+
+fn main() {
+    let scale = Scale::from_args();
+    let clients = scale.clients(1000);
+    let t = scale.target();
+    let runs = [
+        ("No Losses", FaultPlan::none()),
+        ("Random - 5%", FaultPlan::random_loss(0.05)),
+        ("Bursty - 5%", FaultPlan::bursty_loss(0.05, 5)),
+    ];
+    let metrics: Vec<_> = runs
+        .iter()
+        .map(|(name, plan)| {
+            let cfg =
+                ExperimentConfig::replicated(3, clients).with_target(t).with_faults(plan.clone());
+            run_logged(name, clients, cfg)
+        })
+        .collect();
+    let columns: Vec<(&str, &dbsm_core::RunMetrics)> =
+        runs.iter().map(|(n, _)| *n).zip(metrics.iter()).collect();
+    println!("# Table 2: abort rates with 3 sites, {clients} clients (%)");
+    print!("{}", report::abort_table(&columns));
+}

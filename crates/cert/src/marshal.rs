@@ -1,0 +1,208 @@
+//! Wire format for certification requests.
+//!
+//! "All this information, along with the identifiers of the last transaction
+//! that has been committed locally, are marshaled into a message buffer"
+//! (§3.3). Written tuple *values* are represented by padding of the real
+//! cumulative size, "so its size resembles the one obtained in a real
+//! system". Unmarshalling is zero-copy for the padding (a [`Bytes`] slice),
+//! mirroring the prototype's copy-avoidance.
+
+use crate::request::CertRequest;
+use crate::rwset::RwSet;
+use crate::tuple::TupleId;
+use crate::SiteId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic tag so stray packets are rejected fast.
+const MAGIC: u16 = 0xD85E;
+
+/// Error unmarshalling a certification request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnmarshalError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Bad magic tag.
+    BadMagic(u16),
+    /// Declared lengths exceed the buffer.
+    LengthMismatch {
+        /// Bytes the header claims the body needs.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Identifier lists not sorted/unique (corrupt or adversarial input).
+    UnsortedIds,
+}
+
+impl fmt::Display for UnmarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnmarshalError::Truncated => write!(f, "buffer truncated"),
+            UnmarshalError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            UnmarshalError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} bytes, had {actual}")
+            }
+            UnmarshalError::UnsortedIds => write!(f, "identifier list not sorted and unique"),
+        }
+    }
+}
+
+impl std::error::Error for UnmarshalError {}
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 2 + 2 + 8 + 8 + 4 + 4 + 4;
+
+/// Serialized size of a request, without allocating.
+pub fn marshalled_len(req: &CertRequest) -> usize {
+    HEADER_LEN + 8 * (req.read_set.len() + req.write_set.len()) + req.write_bytes as usize
+}
+
+/// Marshals a certification request into a fresh buffer.
+///
+/// Layout (all little-endian):
+/// `magic:u16 site:u16 txn:u64 start_seq:u64 n_read:u32 n_write:u32
+/// write_bytes:u32 read_ids[n_read]:u64 write_ids[n_write]:u64
+/// padding[write_bytes]`.
+pub fn marshal(req: &CertRequest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(marshalled_len(req));
+    buf.put_u16_le(MAGIC);
+    buf.put_u16_le(req.site.0);
+    buf.put_u64_le(req.txn);
+    buf.put_u64_le(req.start_seq);
+    buf.put_u32_le(req.read_set.len() as u32);
+    buf.put_u32_le(req.write_set.len() as u32);
+    buf.put_u32_le(req.write_bytes);
+    for id in req.read_set.ids() {
+        buf.put_u64_le(id.as_raw());
+    }
+    for id in req.write_set.ids() {
+        buf.put_u64_le(id.as_raw());
+    }
+    // Written values: padding of the real cumulative size. A cheap fill is
+    // deliberate — the simulation needs the *size*, not the content.
+    buf.put_bytes(0xAB, req.write_bytes as usize);
+    buf.freeze()
+}
+
+/// Unmarshals a certification request.
+///
+/// # Errors
+///
+/// Returns an [`UnmarshalError`] on truncated, mis-tagged, mis-sized or
+/// unsorted input; the certifier never sees malformed requests.
+pub fn unmarshal(mut buf: Bytes) -> Result<CertRequest, UnmarshalError> {
+    if buf.len() < HEADER_LEN {
+        return Err(UnmarshalError::Truncated);
+    }
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(UnmarshalError::BadMagic(magic));
+    }
+    let site = SiteId(buf.get_u16_le());
+    let txn = buf.get_u64_le();
+    let start_seq = buf.get_u64_le();
+    let n_read = buf.get_u32_le() as usize;
+    let n_write = buf.get_u32_le() as usize;
+    let write_bytes = buf.get_u32_le();
+    let body = 8 * (n_read + n_write) + write_bytes as usize;
+    if buf.len() != body {
+        return Err(UnmarshalError::LengthMismatch { expected: body, actual: buf.len() });
+    }
+    let mut read_ids = Vec::with_capacity(n_read);
+    for _ in 0..n_read {
+        read_ids.push(TupleId::from_raw(buf.get_u64_le()));
+    }
+    let mut write_ids = Vec::with_capacity(n_write);
+    for _ in 0..n_write {
+        write_ids.push(TupleId::from_raw(buf.get_u64_le()));
+    }
+    if !read_ids.windows(2).all(|w| w[0] < w[1]) || !write_ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(UnmarshalError::UnsortedIds);
+    }
+    Ok(CertRequest {
+        site,
+        txn,
+        start_seq,
+        read_set: RwSet::from_sorted(read_ids),
+        write_set: RwSet::from_sorted(write_ids),
+        write_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TableId;
+
+    fn sample() -> CertRequest {
+        CertRequest {
+            site: SiteId(3),
+            txn: 42,
+            start_seq: 1000,
+            read_set: RwSet::from_iter([
+                TupleId::new(TableId(1), 5),
+                TupleId::new(TableId(2), 9),
+            ]),
+            write_set: RwSet::from_iter([TupleId::new(TableId(2), 9)]),
+            write_bytes: 137,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let req = sample();
+        let wire = marshal(&req);
+        assert_eq!(wire.len(), marshalled_len(&req));
+        let back = unmarshal(wire).expect("roundtrip");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn empty_sets_roundtrip() {
+        let req = CertRequest {
+            site: SiteId(0),
+            txn: 0,
+            start_seq: 0,
+            read_set: RwSet::new(),
+            write_set: RwSet::new(),
+            write_bytes: 0,
+        };
+        let back = unmarshal(marshal(&req)).expect("roundtrip");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let wire = marshal(&sample());
+        assert_eq!(unmarshal(wire.slice(0..5)), Err(UnmarshalError::Truncated));
+        let short = wire.slice(0..wire.len() - 1);
+        assert!(matches!(unmarshal(short), Err(UnmarshalError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = BytesMut::from(&marshal(&sample())[..]);
+        raw[0] ^= 0xFF;
+        assert!(matches!(unmarshal(raw.freeze()), Err(UnmarshalError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_unsorted_ids() {
+        let req = sample();
+        let mut raw = BytesMut::from(&marshal(&req)[..]);
+        // Swap the two read ids in place.
+        let a = HEADER_LEN;
+        for i in 0..8 {
+            raw.as_mut().swap(a + i, a + 8 + i);
+        }
+        assert_eq!(unmarshal(raw.freeze()), Err(UnmarshalError::UnsortedIds));
+    }
+
+    #[test]
+    fn padding_matches_declared_write_bytes() {
+        let req = sample();
+        let wire = marshal(&req);
+        assert_eq!(wire.len() - HEADER_LEN - 8 * 3, 137);
+    }
+}

@@ -1,0 +1,156 @@
+//! Tuple identifiers.
+//!
+//! The prototype "assumes that each of these tuples is a 64-bit integer" and
+//! "the table identifier [is included] as the highest order bits of each
+//! tuple identifier" (§3.3), so row-level and table-level entries compare in
+//! a single ordered traversal.
+
+use std::fmt;
+
+/// Identifier of a table, occupying the 16 highest-order bits of a tuple id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u16);
+
+/// A 64-bit tuple identifier: table id in the high 16 bits, row number in
+/// the low 48 bits. Row number `0` is reserved: it denotes a *table-level*
+/// entry (the whole-table lock produced when a read-set exceeds the upgrade
+/// threshold, §3.3).
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_cert::{TableId, TupleId};
+///
+/// let t = TupleId::new(TableId(3), 42);
+/// assert_eq!(t.table(), TableId(3));
+/// assert_eq!(t.row(), 42);
+/// assert!(!t.is_table_level());
+/// assert!(TupleId::table_level(TableId(3)).is_table_level());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(u64);
+
+/// Number of bits holding the row number.
+pub const ROW_BITS: u32 = 48;
+/// Mask selecting the row number.
+pub const ROW_MASK: u64 = (1 << ROW_BITS) - 1;
+
+impl TupleId {
+    /// Creates a row-level identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is zero (reserved for table-level entries) or does
+    /// not fit in 48 bits.
+    pub fn new(table: TableId, row: u64) -> Self {
+        assert!(row != 0, "row 0 is reserved for table-level entries");
+        assert!(row <= ROW_MASK, "row number exceeds 48 bits: {row}");
+        TupleId((u64::from(table.0) << ROW_BITS) | row)
+    }
+
+    /// Creates the table-level (whole-table) identifier for `table`.
+    pub const fn table_level(table: TableId) -> Self {
+        TupleId((table.0 as u64) << ROW_BITS)
+    }
+
+    /// Reconstructs an identifier from its raw wire representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        TupleId(raw)
+    }
+
+    /// Raw 64-bit representation (what goes on the wire).
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// The table this identifier belongs to.
+    pub const fn table(self) -> TableId {
+        TableId((self.0 >> ROW_BITS) as u16)
+    }
+
+    /// The row number (0 for table-level entries).
+    pub const fn row(self) -> u64 {
+        self.0 & ROW_MASK
+    }
+
+    /// True for whole-table entries.
+    pub const fn is_table_level(self) -> bool {
+        self.0 & ROW_MASK == 0
+    }
+
+    /// True if `self` covers `other`: identical ids, or a table-level entry
+    /// of the same table.
+    pub fn covers(self, other: TupleId) -> bool {
+        self == other || (self.is_table_level() && self.table() == other.table())
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_table_level() {
+            write!(f, "t{}:*", self.table().0)
+        } else {
+            write!(f, "t{}:{}", self.table().0, self.row())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_table_in_high_bits() {
+        let t = TupleId::new(TableId(0xABCD), 7);
+        assert_eq!(t.as_raw() >> 48, 0xABCD);
+        assert_eq!(t.table(), TableId(0xABCD));
+        assert_eq!(t.row(), 7);
+    }
+
+    #[test]
+    fn ordering_groups_by_table() {
+        // All ids of table 1 sort below all ids of table 2; the table-level
+        // id sorts first within its table. This is what lets certification
+        // handle wildcards in a single ordered traversal.
+        let wild = TupleId::table_level(TableId(1));
+        let row = TupleId::new(TableId(1), ROW_MASK);
+        let next_table = TupleId::table_level(TableId(2));
+        assert!(wild < row);
+        assert!(row < next_table);
+    }
+
+    #[test]
+    fn covers_semantics() {
+        let wild = TupleId::table_level(TableId(1));
+        let a = TupleId::new(TableId(1), 5);
+        let b = TupleId::new(TableId(2), 5);
+        assert!(wild.covers(a));
+        assert!(!wild.covers(b));
+        assert!(a.covers(a));
+        assert!(!a.covers(wild));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn row_zero_is_rejected() {
+        let _ = TupleId::new(TableId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn row_too_large_is_rejected() {
+        let _ = TupleId::new(TableId(0), 1 << 48);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TupleId::new(TableId(2), 9).to_string(), "t2:9");
+        assert_eq!(TupleId::table_level(TableId(2)).to_string(), "t2:*");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let t = TupleId::new(TableId(77), 123_456);
+        assert_eq!(TupleId::from_raw(t.as_raw()), t);
+    }
+}

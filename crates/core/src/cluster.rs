@@ -1,0 +1,503 @@
+//! The replicated database model (§3, Fig. 2): sites assembled from the
+//! simulated database engine, the *real* certification and group
+//! communication prototypes, TPC-C clients, and the simulated network —
+//! all under the centralized simulation runtime.
+
+use crate::experiment::{CertCostModel, ExperimentConfig};
+use crate::metrics::{RunMetrics, SiteUsage};
+use dbsm_cert::{marshal, unmarshal, CertRequest, Certifier, Outcome as CertOutcome, SiteId};
+use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
+use dbsm_fault::FaultSpec;
+use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall};
+use dbsm_net::{
+    Addr, BurstyLoss, GroupId, HostId, Network, NetworkBuilder, Port, RandomLoss, SegmentConfig,
+};
+use dbsm_sim::{derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, Sim, SimTime};
+use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+struct PendingCert {
+    db_txn: TxnId,
+    sent_at: SimTime,
+}
+
+struct SiteState {
+    certifier: Certifier,
+    txn_seq: u64,
+    pending: HashMap<u64, PendingCert>,
+    crashed: bool,
+    commits_since_gc: u64,
+}
+
+struct Shared {
+    metrics: RunMetrics,
+    completed: u64,
+    target: u64,
+    stopped: bool,
+    stop_at: Option<SimTime>,
+    sites: Vec<SiteState>,
+}
+
+struct SiteHandles {
+    cpu: CpuBank,
+    engine: DbEngine,
+    bridge: Option<SimBridge>,
+    host: HostId,
+}
+
+/// The assembled system under test: `sites` replicas on a simulated LAN,
+/// TPC-C clients attached round-robin, and the experiment's fault plan.
+///
+/// Construct with [`Cluster::build`], run with [`Cluster::run`].
+pub struct Cluster {
+    sim: Sim,
+    net: Network,
+    gen: Rc<RefCell<TpccGen>>,
+    sites: Rc<Vec<SiteHandles>>,
+    shared: Rc<RefCell<Shared>>,
+    cfg: Rc<ExperimentConfig>,
+    costs: CertCostModel,
+}
+
+impl Clone for Cluster {
+    fn clone(&self) -> Self {
+        Cluster {
+            sim: self.sim.clone(),
+            net: self.net.clone(),
+            gen: self.gen.clone(),
+            sites: self.sites.clone(),
+            shared: self.shared.clone(),
+            cfg: self.cfg.clone(),
+            costs: self.costs,
+        }
+    }
+}
+
+impl Cluster {
+    /// Builds the full model for `cfg`: network, sites, protocol stacks and
+    /// fault injection hooks. Clients start after [`Cluster::run`].
+    pub fn build(cfg: ExperimentConfig) -> Self {
+        assert!(cfg.sites >= 1, "at least one site");
+        assert!(cfg.clients >= 1, "at least one client");
+        let sim = Sim::new();
+        let mut nb = NetworkBuilder::new(&sim);
+        let mut seg = SegmentConfig::fast_ethernet();
+        if let Some(lat) = cfg.wan_latency {
+            seg.latency = lat;
+            seg.tx_buffer = seg.tx_buffer.max(lat * 4);
+        }
+        let lan = nb.lan(seg);
+        let hosts: Vec<HostId> = (0..cfg.sites).map(|_| nb.host(lan)).collect();
+        let net = nb.build();
+
+        let gcs_cfg: GcsConfig = cfg.gcs_config();
+        let port = Port(7000);
+        let group = GroupId(1);
+        let peers: Vec<Addr> = hosts.iter().map(|h| Addr::new(*h, port)).collect();
+
+        let mut site_handles = Vec::new();
+        let mut site_states = Vec::new();
+        for (i, host) in hosts.iter().enumerate() {
+            let cpu = CpuBank::new(
+                &sim,
+                cfg.cpus_per_site,
+                ProfilerMode::Synthetic { speed: cfg.cpu_speed },
+            );
+            let engine = DbEngine::new(
+                &sim,
+                &cpu,
+                cfg.storage,
+                cfg.policy,
+                derive_seed_indexed(cfg.seed, "storage", i as u64),
+            );
+            let bridge = if cfg.sites > 1 {
+                Some(SimBridge::new(
+                    NodeId(i as u16),
+                    gcs_cfg.clone(),
+                    &net,
+                    &cpu,
+                    peers[i],
+                    peers.clone(),
+                    group,
+                ))
+            } else {
+                None
+            };
+            site_handles.push(SiteHandles { cpu, engine, bridge, host: *host });
+            site_states.push(SiteState {
+                certifier: Certifier::new(),
+                txn_seq: 0,
+                pending: HashMap::new(),
+                crashed: false,
+                commits_since_gc: 0,
+            });
+        }
+
+        let mut tpcc_cfg = TpccConfig::new(cfg.clients);
+        tpcc_cfg.think_mean = cfg.think_mean;
+        tpcc_cfg.seed = derive_seed(cfg.seed, "tpcc");
+        let gen = Rc::new(RefCell::new(TpccGen::new(tpcc_cfg)));
+
+        let shared = Rc::new(RefCell::new(Shared {
+            metrics: RunMetrics::new(cfg.sites),
+            completed: 0,
+            target: cfg.target_txns,
+            stopped: false,
+            stop_at: None,
+            sites: site_states,
+        }));
+
+        let cluster = Cluster {
+            sim,
+            net,
+            gen,
+            sites: Rc::new(site_handles),
+            shared,
+            cfg: Rc::new(cfg),
+            costs: CertCostModel::default(),
+        };
+        cluster.wire_bridges();
+        cluster.apply_faults();
+        cluster
+    }
+
+    /// The underlying simulation (e.g. for scheduling extra probes).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Protocol metrics of one site's group-communication stack.
+    pub fn gcs_metrics(&self, site: usize) -> Option<dbsm_gcs::GcsMetrics> {
+        self.sites[site].bridge.as_ref().map(|b| b.metrics())
+    }
+
+    fn wire_bridges(&self) {
+        for (i, s) in self.sites.iter().enumerate() {
+            let Some(bridge) = &s.bridge else { continue };
+            let this = self.clone();
+            bridge.set_handler(Box::new(move |ctx, upcall| match upcall {
+                Upcall::Deliver { payload, .. } => {
+                    // Real code: unmarshal + certify, charging its CPU cost.
+                    let Ok(req) = unmarshal(payload) else { return };
+                    let (outcome, work) = {
+                        let mut sh = this.shared.borrow_mut();
+                        let st = &mut sh.sites[i];
+                        st.certifier.certify(&req).expect("history window exceeded")
+                    };
+                    ctx.charge(this.costs.certify(work.comparisons));
+                    let this2 = this.clone();
+                    // Re-enter the simulated domain at start + Δ (Fig. 1b).
+                    ctx.schedule(Duration::ZERO, move || {
+                        this2.deliver_decision(i, req, outcome);
+                    });
+                }
+                Upcall::ViewChange(_) => {}
+                Upcall::Excluded => {
+                    let this2 = this.clone();
+                    ctx.schedule(Duration::ZERO, move || this2.crash_site(i));
+                }
+            }));
+            bridge.start();
+        }
+    }
+
+    fn apply_faults(&self) {
+        for (spec_idx, spec) in self.cfg.faults.specs.iter().enumerate() {
+            match spec {
+                FaultSpec::RandomLoss { target, p } => {
+                    for (i, s) in self.sites.iter().enumerate() {
+                        if target.includes(i as u16) {
+                            let seed =
+                                derive_seed_indexed(self.cfg.seed, "loss", i as u64 + 17 * spec_idx as u64);
+                            self.net.set_loss(s.host, Box::new(RandomLoss::new(*p, seed)));
+                        }
+                    }
+                }
+                FaultSpec::BurstyLoss { target, fraction, mean_burst } => {
+                    for (i, s) in self.sites.iter().enumerate() {
+                        if target.includes(i as u16) {
+                            let seed =
+                                derive_seed_indexed(self.cfg.seed, "burst", i as u64 + 17 * spec_idx as u64);
+                            self.net.set_loss(
+                                s.host,
+                                Box::new(BurstyLoss::new(*fraction, *mean_burst, seed)),
+                            );
+                        }
+                    }
+                }
+                FaultSpec::ClockDrift { target, rate } => {
+                    for (i, s) in self.sites.iter().enumerate() {
+                        if target.includes(i as u16) {
+                            if let Some(b) = &s.bridge {
+                                b.set_clock_drift(*rate);
+                            }
+                        }
+                    }
+                }
+                FaultSpec::SchedLatency { target, max } => {
+                    for (i, s) in self.sites.iter().enumerate() {
+                        if target.includes(i as u16) {
+                            if let Some(b) = &s.bridge {
+                                b.set_sched_latency(
+                                    *max,
+                                    derive_seed_indexed(self.cfg.seed, "sched", i as u64),
+                                );
+                            }
+                        }
+                    }
+                }
+                FaultSpec::Crash { site, at } => {
+                    let this = self.clone();
+                    let site = *site as usize;
+                    self.sim.schedule_at(*at, move || this.crash_site(site));
+                }
+            }
+        }
+    }
+
+    fn crash_site(&self, site: usize) {
+        {
+            let mut sh = self.shared.borrow_mut();
+            if sh.sites[site].crashed {
+                return;
+            }
+            sh.sites[site].crashed = true;
+            if !sh.metrics.crashed_sites.contains(&(site as u16)) {
+                sh.metrics.crashed_sites.push(site as u16);
+            }
+        }
+        if let Some(b) = &self.sites[site].bridge {
+            b.kill();
+        } else {
+            self.net.set_host_down(self.sites[site].host, true);
+        }
+    }
+
+    /// Runs the experiment: starts the clients, advances the simulation
+    /// until the transaction target or the time cap is reached, and collects
+    /// the metrics.
+    pub fn run(self) -> RunMetrics {
+        let n_clients = self.cfg.clients;
+        for client in 0..n_clients {
+            self.schedule_client(client);
+        }
+        self.sim.run_until(SimTime::ZERO + self.cfg.max_sim);
+        self.collect()
+    }
+
+    fn collect(self) -> RunMetrics {
+        let elapsed = {
+            let sh = self.shared.borrow();
+            sh.stop_at.unwrap_or_else(|| self.sim.now())
+        };
+        let mut metrics = {
+            let mut sh = self.shared.borrow_mut();
+            std::mem::replace(&mut sh.metrics, RunMetrics::new(0))
+        };
+        metrics.elapsed = elapsed;
+        let el = elapsed.as_secs_f64();
+        for (i, s) in self.sites.iter().enumerate() {
+            let usage = s.cpu.usage();
+            let denom = el * self.cfg.cpus_per_site as f64;
+            metrics.site_usage[i] = SiteUsage {
+                cpu_total: if denom > 0.0 {
+                    usage.busy_total().as_secs_f64() / denom
+                } else {
+                    0.0
+                },
+                cpu_real: if denom > 0.0 { usage.busy_real.as_secs_f64() / denom } else { 0.0 },
+                disk: s.engine.storage().utilization(elapsed),
+            };
+        }
+        metrics.network_tx_bytes = self.net.stats().total_tx_bytes();
+        metrics
+    }
+
+    // ----- client loop ---------------------------------------------------
+
+    fn site_of(&self, client: usize) -> usize {
+        client % self.cfg.sites
+    }
+
+    fn schedule_client(&self, client: usize) {
+        let think = self.gen.borrow_mut().think_time();
+        let this = self.clone();
+        self.sim.schedule_in(think, move || this.client_fire(client));
+    }
+
+    fn client_fire(&self, client: usize) {
+        let site = self.site_of(client);
+        {
+            let sh = self.shared.borrow();
+            if sh.stopped || sh.sites[site].crashed {
+                return;
+            }
+        }
+        let req = self.gen.borrow_mut().next_request(client);
+        let class = req.class;
+        self.shared.borrow_mut().metrics.class_mut(class).submitted += 1;
+        let start_seq = self.shared.borrow().sites[site].certifier.last_committed();
+        let submit_at = self.sim.now();
+        let this_cr = self.clone();
+        let this_done = self.clone();
+        self.sites[site].engine.begin_local(
+            req.spec,
+            move |db_txn, spec| {
+                this_cr.commit_request(site, db_txn, spec.clone(), start_seq);
+            },
+            move |_db_txn, outcome| {
+                this_done.client_done(client, class, submit_at, outcome);
+            },
+        );
+    }
+
+    fn client_done(&self, client: usize, class: TxnClass, submit_at: SimTime, outcome: Outcome) {
+        let now = self.sim.now();
+        {
+            let mut sh = self.shared.borrow_mut();
+            let stats = sh.metrics.class_mut(class);
+            match outcome {
+                Outcome::Committed => {
+                    stats.committed += 1;
+                    stats
+                        .latencies_ms
+                        .record(now.saturating_duration_since(submit_at).as_secs_f64() * 1e3);
+                }
+                Outcome::Aborted(reason) => stats.record_abort(reason),
+            }
+            sh.completed += 1;
+            if sh.completed >= sh.target && !sh.stopped {
+                sh.stopped = true;
+                sh.stop_at = Some(now);
+            }
+            if sh.stopped {
+                return;
+            }
+        }
+        self.schedule_client(client);
+    }
+
+    // ----- the distributed termination protocol (§3.3) -------------------
+
+    fn commit_request(&self, site: usize, db_txn: TxnId, spec: TransactionSpec, start_seq: u64) {
+        let engine = self.sites[site].engine.clone();
+        if spec.relaxed || (spec.read_only && !self.cfg.certify_read_only) {
+            engine.resolve(db_txn, true);
+            return;
+        }
+        if spec.read_only {
+            // Local validation of the read-set against concurrent commits,
+            // as real code on the site's CPU.
+            let this = self.clone();
+            self.sites[site].cpu.submit_real(Box::new(move |ctx| {
+                let (ok, work) = {
+                    let sh = this.shared.borrow();
+                    sh.sites[site].certifier.certify_read_only(&spec.read_set, start_seq)
+                };
+                ctx.charge(this.costs.certify(work.comparisons));
+                let engine = engine.clone();
+                ctx.schedule(Duration::ZERO, move || engine.resolve(db_txn, ok));
+            }));
+            return;
+        }
+        // Update transaction: gather, marshal and atomically multicast.
+        let (seq, mut read_set) = {
+            let mut sh = self.shared.borrow_mut();
+            let st = &mut sh.sites[site];
+            st.txn_seq += 1;
+            st.pending.insert(st.txn_seq, PendingCert { db_txn, sent_at: self.sim.now() });
+            (st.txn_seq, spec.read_set.clone())
+        };
+        read_set.upgrade_large_tables(self.cfg.table_lock_threshold);
+        let req = CertRequest {
+            site: SiteId(site as u16),
+            txn: seq,
+            start_seq,
+            read_set,
+            write_set: spec.write_set.clone(),
+            write_bytes: spec.write_bytes,
+        };
+        let this = self.clone();
+        self.sites[site].cpu.submit_real(Box::new(move |ctx| {
+            let wire = marshal(&req);
+            ctx.charge(this.costs.marshal(wire.len()));
+            if this.cfg.sites == 1 {
+                // Centralized termination: the same real code path, with
+                // trivially local total order.
+                let req = unmarshal(wire).expect("own marshalling is sound");
+                let (outcome, work) = {
+                    let mut sh = this.shared.borrow_mut();
+                    sh.sites[site].certifier.certify(&req).expect("history window exceeded")
+                };
+                ctx.charge(this.costs.certify(work.comparisons));
+                let this2 = this.clone();
+                ctx.schedule(Duration::ZERO, move || this2.deliver_decision(site, req, outcome));
+            } else {
+                let bridge = this.sites[site].bridge.as_ref().expect("replicated site");
+                bridge.broadcast_in(ctx, wire);
+            }
+        }));
+    }
+
+    /// Applies a certification decision at `site` (already totally ordered).
+    fn deliver_decision(&self, site: usize, req: CertRequest, outcome: CertOutcome) {
+        let origin = req.site.0 as usize == site;
+        let pending = {
+            let mut sh = self.shared.borrow_mut();
+            let st = &mut sh.sites[site];
+            if outcome.is_commit() {
+                st.commits_since_gc += 1;
+                if st.commits_since_gc >= 512 {
+                    st.commits_since_gc = 0;
+                    let last = st.certifier.last_committed();
+                    st.certifier.gc(last.saturating_sub(self.cfg.history_window));
+                }
+            }
+            let pending = if origin { st.pending.remove(&req.txn) } else { None };
+            if outcome.is_commit() {
+                sh.metrics.commit_logs[site].push((req.site.0, req.txn));
+            }
+            pending
+        };
+        let engine = &self.sites[site].engine;
+        match (origin, outcome.is_commit()) {
+            (true, commit) => {
+                if let Some(p) = pending {
+                    let lat = self.sim.now().saturating_duration_since(p.sent_at);
+                    self.shared
+                        .borrow_mut()
+                        .metrics
+                        .cert_latencies_ms
+                        .record(lat.as_secs_f64() * 1e3);
+                    engine.resolve(p.db_txn, commit);
+                }
+            }
+            (false, true) => {
+                engine.apply_remote(req.write_set.clone(), req.write_bytes, || {});
+            }
+            (false, false) => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("sites", &self.sites.len())
+            .field("clients", &self.cfg.clients)
+            .finish()
+    }
+}
+
+/// Builds and runs one experiment, returning its metrics.
+pub fn run_experiment(cfg: ExperimentConfig) -> RunMetrics {
+    Cluster::build(cfg).run()
+}

@@ -1,0 +1,229 @@
+//! Run metrics: everything the paper's §5 plots and tables need.
+
+use dbsm_db::AbortReason;
+use dbsm_sim::stats::Samples;
+use dbsm_sim::SimTime;
+use dbsm_tpcc::TxnClass;
+
+/// Per-class counters and latency samples.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Commits.
+    pub committed: u64,
+    /// Aborts by deliberate rollback.
+    pub aborted_user: u64,
+    /// Aborts by write-write conflict (waiter on a committed lock).
+    pub aborted_ww: u64,
+    /// Aborts by remote preemption.
+    pub aborted_remote: u64,
+    /// Aborts by certification.
+    pub aborted_cert: u64,
+    /// End-to-end latency of committed transactions, in milliseconds.
+    pub latencies_ms: Samples,
+}
+
+impl ClassStats {
+    /// Total aborts, any reason.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_user + self.aborted_ww + self.aborted_remote + self.aborted_cert
+    }
+
+    /// Abort rate in percent (aborts / completed).
+    pub fn abort_rate(&self) -> f64 {
+        let done = self.committed + self.aborted();
+        if done == 0 {
+            0.0
+        } else {
+            self.aborted() as f64 * 100.0 / done as f64
+        }
+    }
+
+    pub(crate) fn record_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::User => self.aborted_user += 1,
+            AbortReason::WwConflict => self.aborted_ww += 1,
+            AbortReason::RemotePreempt => self.aborted_remote += 1,
+            AbortReason::Certification => self.aborted_cert += 1,
+        }
+    }
+}
+
+/// Per-site resource usage over the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteUsage {
+    /// Fraction of CPU time busy (all jobs).
+    pub cpu_total: f64,
+    /// Fraction of CPU time busy with protocol (real) jobs.
+    pub cpu_real: f64,
+    /// Storage utilisation fraction.
+    pub disk: f64,
+}
+
+/// Everything measured in one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Per-class statistics, indexed by [`TxnClass::index`].
+    pub per_class: Vec<ClassStats>,
+    /// Certification latency samples (commit-request to outcome at the
+    /// origin site), in milliseconds — Fig. 7(b).
+    pub cert_latencies_ms: Samples,
+    /// Committed transactions per site, in commit order (safety check).
+    pub commit_logs: Vec<Vec<(u16, u64)>>,
+    /// Per-site resource usage (Fig. 6a/6b, Fig. 7c).
+    pub site_usage: Vec<SiteUsage>,
+    /// Total bytes put on the wire by all hosts.
+    pub network_tx_bytes: u64,
+    /// Simulated duration of the measured portion.
+    pub elapsed: SimTime,
+    /// Sites crashed by fault injection.
+    pub crashed_sites: Vec<u16>,
+}
+
+impl RunMetrics {
+    /// Creates metrics for `sites` sites.
+    pub fn new(sites: usize) -> Self {
+        RunMetrics {
+            per_class: (0..TxnClass::ALL.len()).map(|_| ClassStats::default()).collect(),
+            commit_logs: vec![Vec::new(); sites],
+            site_usage: vec![SiteUsage::default(); sites],
+            ..RunMetrics::default()
+        }
+    }
+
+    /// Stats of one class.
+    pub fn class(&self, c: TxnClass) -> &ClassStats {
+        &self.per_class[c.index() as usize]
+    }
+
+    /// Mutable stats of one class.
+    pub fn class_mut(&mut self, c: TxnClass) -> &mut ClassStats {
+        &mut self.per_class[c.index() as usize]
+    }
+
+    /// Total committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.per_class.iter().map(|c| c.committed).sum()
+    }
+
+    /// Total aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.per_class.iter().map(|c| c.aborted()).sum()
+    }
+
+    /// Committed transactions per minute of simulated time (Fig. 5a).
+    pub fn tpm(&self) -> f64 {
+        let mins = self.elapsed.as_secs_f64() / 60.0;
+        if mins == 0.0 {
+            0.0
+        } else {
+            self.committed() as f64 / mins
+        }
+    }
+
+    /// Overall abort rate in percent (the "All" row of Tables 1 and 2).
+    pub fn abort_rate(&self) -> f64 {
+        let done = self.committed() + self.aborted();
+        if done == 0 {
+            0.0
+        } else {
+            self.aborted() as f64 * 100.0 / done as f64
+        }
+    }
+
+    /// Mean latency over all committed transactions, in milliseconds
+    /// (Fig. 5b).
+    pub fn mean_latency_ms(&self) -> f64 {
+        let mut all = Samples::new();
+        for c in &self.per_class {
+            all.merge(&c.latencies_ms);
+        }
+        all.mean()
+    }
+
+    /// All committed-transaction latencies pooled (Fig. 7a ECDFs).
+    pub fn pooled_latencies_ms(&self) -> Samples {
+        let mut all = Samples::new();
+        for c in &self.per_class {
+            all.merge(&c.latencies_ms);
+        }
+        all
+    }
+
+    /// Network throughput in KB/s of simulated time (Fig. 6c).
+    pub fn network_kbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.network_tx_bytes as f64 / 1024.0 / secs
+        }
+    }
+
+    /// Mean CPU usage across sites (total / real jobs), as fractions.
+    pub fn mean_cpu_usage(&self) -> (f64, f64) {
+        if self.site_usage.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.site_usage.len() as f64;
+        (
+            self.site_usage.iter().map(|u| u.cpu_total).sum::<f64>() / n,
+            self.site_usage.iter().map(|u| u.cpu_real).sum::<f64>() / n,
+        )
+    }
+
+    /// Mean disk utilisation across sites.
+    pub fn mean_disk_usage(&self) -> f64 {
+        if self.site_usage.is_empty() {
+            return 0.0;
+        }
+        self.site_usage.iter().map(|u| u.disk).sum::<f64>() / self.site_usage.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_math() {
+        let mut m = RunMetrics::new(1);
+        let c = m.class_mut(TxnClass::NewOrder);
+        c.committed = 90;
+        c.record_abort(AbortReason::WwConflict);
+        for _ in 0..9 {
+            c.record_abort(AbortReason::Certification);
+        }
+        assert_eq!(c.aborted(), 10);
+        assert!((c.abort_rate() - 10.0).abs() < 1e-9);
+        assert!((m.abort_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpm_uses_elapsed_time() {
+        let mut m = RunMetrics::new(1);
+        m.class_mut(TxnClass::PaymentShort).committed = 300;
+        m.elapsed = SimTime::from_secs(120);
+        assert!((m.tpm() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_latencies_merge_classes() {
+        let mut m = RunMetrics::new(1);
+        m.class_mut(TxnClass::NewOrder).latencies_ms.record(5.0);
+        m.class_mut(TxnClass::PaymentLong).latencies_ms.record(15.0);
+        let pooled = m.pooled_latencies_ms();
+        assert_eq!(pooled.len(), 2);
+        assert!((m.mean_latency_ms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::new(2);
+        assert_eq!(m.tpm(), 0.0);
+        assert_eq!(m.abort_rate(), 0.0);
+        assert_eq!(m.network_kbps(), 0.0);
+        assert_eq!(m.mean_cpu_usage(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Report formatting: renders run metrics as the rows the paper's tables
+//! and figure series print.
+
+use crate::metrics::RunMetrics;
+use dbsm_tpcc::TxnClass;
+
+/// Formats Table 1/2-style abort-rate rows: one line per class plus "All".
+pub fn abort_table(columns: &[(&str, &RunMetrics)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "Transaction"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>16}"));
+    }
+    out.push('\n');
+    for class in TxnClass::ALL {
+        out.push_str(&format!("{:<22}", class.name()));
+        for (_, m) in columns {
+            out.push_str(&format!("{:>16.2}", m.class(class).abort_rate()));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<22}", "All"));
+    for (_, m) in columns {
+        out.push_str(&format!("{:>16.2}", m.abort_rate()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats one Fig. 5/6-style series row: clients plus a value per
+/// configuration.
+pub fn series_row(clients: usize, values: &[f64]) -> String {
+    let mut out = format!("{clients:>8}");
+    for v in values {
+        out.push_str(&format!("{v:>12.1}"));
+    }
+    out
+}
+
+/// Header for a series: clients plus configuration names.
+pub fn series_header(configs: &[&str]) -> String {
+    let mut out = format!("{:>8}", "clients");
+    for c in configs {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out
+}
+
+/// Formats an ECDF as `value cumulative` pairs (gnuplot-ready).
+pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    for (v, f) in points {
+        out.push_str(&format!("{v:>12.3} {f:>8.4}\n"));
+    }
+    out
+}
+
+/// One-line run summary.
+pub fn summary_line(label: &str, m: &RunMetrics) -> String {
+    format!(
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s",
+        m.tpm(),
+        m.mean_latency_ms(),
+        m.abort_rate(),
+        m.mean_cpu_usage().0 * 100.0,
+        m.mean_cpu_usage().1 * 100.0,
+        m.mean_disk_usage() * 100.0,
+        m.network_kbps(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_table_has_all_classes_and_total() {
+        let m = RunMetrics::new(1);
+        let t = abort_table(&[("1site", &m)]);
+        for class in TxnClass::ALL {
+            assert!(t.contains(class.name()), "missing {class}");
+        }
+        assert!(t.contains("All"));
+    }
+
+    #[test]
+    fn series_rows_align() {
+        let h = series_header(&["1 CPU", "3 CPU"]);
+        let r = series_row(500, &[2800.0, 5600.0]);
+        assert_eq!(h.len(), r.len());
+    }
+
+    #[test]
+    fn ecdf_lines_format() {
+        let s = ecdf_lines(&[(1.0, 0.5), (2.0, 1.0)]);
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn summary_line_is_single_line() {
+        let m = RunMetrics::new(1);
+        assert_eq!(summary_line("x", &m).lines().count(), 1);
+    }
+}

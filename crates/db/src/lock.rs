@@ -1,0 +1,391 @@
+//! The lock table implementing the paper's PostgreSQL-style multi-version
+//! policy (§3.1): fetched items are ignored; updated items are locked
+//! exclusively; all of a transaction's locks are acquired atomically and
+//! released atomically at commit/abort, which makes deadlock impossible
+//! (access sets are known upfront, and no transaction waits while holding).
+//!
+//! Outcome rules on release:
+//!
+//! * **commit** — waiters on the released locks *abort* (write-write
+//!   conflict against the newly committed version);
+//! * **abort** — waiters may acquire.
+//!
+//! Remotely-certified transactions preempt local lock holders ("local
+//! transactions holding the same locks are preempted and aborted right
+//! away"), except holders already past certification, which cannot abort.
+//! A [`Conservative2pl`](CcPolicy::Conservative2pl) variant (waiters survive
+//! commits) is provided for the locking-policy ablation the paper mentions.
+
+use dbsm_cert::TupleId;
+use std::collections::{HashMap, VecDeque};
+
+/// Engine-local transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// Who a lock owner is, for conflict arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnerKind {
+    /// Local transaction still abortable (executing / waiting).
+    LocalAbortable,
+    /// Local transaction past the point of no return (certifying or
+    /// writing back a certified commit).
+    LocalPinned,
+    /// Remote (already certified) transaction; never aborted.
+    Remote,
+}
+
+/// Concurrency-control policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcPolicy {
+    /// The paper's multi-version emulation: waiters abort when the holder
+    /// commits.
+    #[default]
+    MultiVersion,
+    /// Conservative two-phase locking: waiters acquire after the holder
+    /// commits (no waiter aborts).
+    Conservative2pl,
+}
+
+#[derive(Debug)]
+struct Holder {
+    set: Vec<TupleId>,
+    kind: OwnerKind,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    set: Vec<TupleId>,
+    kind: OwnerKind,
+}
+
+/// What happened to the waiters after a release or preemption.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ReleaseEffects {
+    /// Waiters granted all their locks (in FIFO order).
+    pub granted: Vec<TxnId>,
+    /// Waiters aborted by the policy (write-write conflict with a commit).
+    pub aborted: Vec<TxnId>,
+}
+
+/// Result of an acquisition attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// All locks granted.
+    Granted,
+    /// Conflicts exist; the transaction queued FIFO.
+    Queued,
+    /// (Remote only) conflicts are local abortable holders that must be
+    /// aborted by the engine; the remote acquisition retries afterwards.
+    Preempt(Vec<TxnId>),
+}
+
+/// The site-wide lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    policy: CcPolicy,
+    held: HashMap<TupleId, TxnId>,
+    holders: HashMap<TxnId, Holder>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl LockTable {
+    /// Creates an empty table under `policy`.
+    pub fn new(policy: CcPolicy) -> Self {
+        LockTable { policy, ..LockTable::default() }
+    }
+
+    /// Number of transactions currently holding locks.
+    pub fn holder_count(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Number of transactions waiting.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if `txn` currently holds its locks.
+    pub fn is_holder(&self, txn: TxnId) -> bool {
+        self.holders.contains_key(&txn)
+    }
+
+    /// Attempts to atomically acquire write locks on `set` for `txn`.
+    ///
+    /// An empty set is granted trivially. Remote transactions report
+    /// [`Acquire::Preempt`] when blocked (only) by abortable local holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` already holds or waits (each transaction acquires
+    /// exactly once), or if `set` contains table-level entries (writes are
+    /// always row-level in the supported workloads).
+    pub fn acquire(&mut self, txn: TxnId, set: Vec<TupleId>, kind: OwnerKind) -> Acquire {
+        assert!(!self.holders.contains_key(&txn), "{txn:?} already holds locks");
+        debug_assert!(set.iter().all(|t| !t.is_table_level()), "row-level writes only");
+        let conflicts: Vec<TxnId> = self.conflicting_holders(&set);
+        let blocked_by_queue = self.waiters.iter().any(|w| {
+            // FIFO fairness: a new request also waits behind queued waiters
+            // that want any of the same locks.
+            w.set.iter().any(|t| set.contains(t))
+        });
+        if conflicts.is_empty() && !blocked_by_queue {
+            for t in &set {
+                self.held.insert(*t, txn);
+            }
+            self.holders.insert(txn, Holder { set, kind });
+            return Acquire::Granted;
+        }
+        if kind == OwnerKind::Remote {
+            let abortable: Vec<TxnId> = conflicts
+                .iter()
+                .copied()
+                .filter(|c| {
+                    self.holders.get(c).map(|h| h.kind == OwnerKind::LocalAbortable)
+                        == Some(true)
+                })
+                .collect();
+            if !abortable.is_empty() {
+                return Acquire::Preempt(abortable);
+            }
+        }
+        self.waiters.push_back(Waiter { txn, set, kind });
+        Acquire::Queued
+    }
+
+    fn conflicting_holders(&self, set: &[TupleId]) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        for t in set {
+            if let Some(h) = self.held.get(t) {
+                if !out.contains(h) {
+                    out.push(*h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks a holder as past the point of no return (entering
+    /// certification / write-back): remote preemption will wait instead of
+    /// aborting it.
+    pub fn pin(&mut self, txn: TxnId) {
+        if let Some(h) = self.holders.get_mut(&txn) {
+            if h.kind == OwnerKind::LocalAbortable {
+                h.kind = OwnerKind::LocalPinned;
+            }
+        }
+    }
+
+    /// Releases all locks of `txn`. `committed` selects the policy outcome
+    /// for waiters. Also used to abort a *waiting* transaction (its queue
+    /// entry is removed).
+    pub fn release(&mut self, txn: TxnId, committed: bool) -> ReleaseEffects {
+        let mut effects = ReleaseEffects::default();
+        let released_set = match self.holders.remove(&txn) {
+            Some(h) => {
+                for t in &h.set {
+                    self.held.remove(t);
+                }
+                h.set
+            }
+            None => {
+                // A waiter withdrawing (e.g. aborted while queued).
+                self.waiters.retain(|w| w.txn != txn);
+                Vec::new()
+            }
+        };
+        // Multi-version rule: waiters wanting the committed locks abort —
+        // but never remote waiters (they are certified and must apply).
+        if committed && self.policy == CcPolicy::MultiVersion && !released_set.is_empty() {
+            let mut keep = VecDeque::with_capacity(self.waiters.len());
+            for w in self.waiters.drain(..) {
+                let hit = w.set.iter().any(|t| released_set.contains(t));
+                if hit && w.kind != OwnerKind::Remote {
+                    effects.aborted.push(w.txn);
+                } else {
+                    keep.push_back(w);
+                }
+            }
+            self.waiters = keep;
+        }
+        // Grant whichever waiters can now proceed, in FIFO order.
+        self.regrant(&mut effects);
+        effects
+    }
+
+    fn regrant(&mut self, effects: &mut ReleaseEffects) {
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut idx = 0;
+            let mut reserved: Vec<TupleId> = Vec::new();
+            while idx < self.waiters.len() {
+                let w = &self.waiters[idx];
+                let free = w.set.iter().all(|t| !self.held.contains_key(t))
+                    && w.set.iter().all(|t| !reserved.contains(t));
+                if free {
+                    let w = self.waiters.remove(idx).expect("index in range");
+                    for t in &w.set {
+                        self.held.insert(*t, w.txn);
+                    }
+                    effects.granted.push(w.txn);
+                    self.holders.insert(w.txn, Holder { set: w.set, kind: w.kind });
+                    progressed = true;
+                } else {
+                    // FIFO: earlier waiters reserve their lock set so later
+                    // ones cannot jump the queue.
+                    reserved.extend(w.set.iter().copied());
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsm_cert::TableId;
+
+    fn id(r: u64) -> TupleId {
+        TupleId::new(TableId(1), r)
+    }
+
+    fn table() -> LockTable {
+        LockTable::new(CcPolicy::MultiVersion)
+    }
+
+    #[test]
+    fn disjoint_sets_acquire_concurrently() {
+        let mut lt = table();
+        assert_eq!(lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable), Acquire::Granted);
+        assert_eq!(lt.acquire(TxnId(2), vec![id(2)], OwnerKind::LocalAbortable), Acquire::Granted);
+        assert_eq!(lt.holder_count(), 2);
+    }
+
+    #[test]
+    fn empty_set_is_trivially_granted() {
+        let mut lt = table();
+        assert_eq!(lt.acquire(TxnId(1), vec![], OwnerKind::LocalAbortable), Acquire::Granted);
+    }
+
+    #[test]
+    fn conflicting_acquire_queues_fifo() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        assert_eq!(lt.acquire(TxnId(2), vec![id(1)], OwnerKind::LocalAbortable), Acquire::Queued);
+        assert_eq!(lt.waiter_count(), 1);
+    }
+
+    #[test]
+    fn commit_aborts_waiters_multiversion() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1), id(2)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(2), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(3), vec![id(9)], OwnerKind::LocalAbortable);
+        let fx = lt.release(TxnId(1), true);
+        assert_eq!(fx.aborted, vec![TxnId(2)], "waiter on committed lock aborts");
+        assert!(fx.granted.is_empty());
+        assert_eq!(lt.holder_count(), 1, "txn3 unaffected");
+    }
+
+    #[test]
+    fn abort_lets_waiters_acquire() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(2), vec![id(1)], OwnerKind::LocalAbortable);
+        let fx = lt.release(TxnId(1), false);
+        assert_eq!(fx.granted, vec![TxnId(2)]);
+        assert!(fx.aborted.is_empty());
+        assert!(lt.is_holder(TxnId(2)));
+    }
+
+    #[test]
+    fn conservative_2pl_grants_after_commit() {
+        let mut lt = LockTable::new(CcPolicy::Conservative2pl);
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(2), vec![id(1)], OwnerKind::LocalAbortable);
+        let fx = lt.release(TxnId(1), true);
+        assert_eq!(fx.granted, vec![TxnId(2)]);
+        assert!(fx.aborted.is_empty());
+    }
+
+    #[test]
+    fn remote_preempts_abortable_local() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        match lt.acquire(TxnId(100), vec![id(1)], OwnerKind::Remote) {
+            Acquire::Preempt(victims) => assert_eq!(victims, vec![TxnId(1)]),
+            other => panic!("expected preempt, got {other:?}"),
+        }
+        // Engine aborts the victim, then retries.
+        let fx = lt.release(TxnId(1), false);
+        assert!(fx.granted.is_empty());
+        assert_eq!(lt.acquire(TxnId(100), vec![id(1)], OwnerKind::Remote), Acquire::Granted);
+    }
+
+    #[test]
+    fn remote_waits_for_pinned_local() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.pin(TxnId(1));
+        assert_eq!(lt.acquire(TxnId(100), vec![id(1)], OwnerKind::Remote), Acquire::Queued);
+        // Pinned local commits; the remote waiter survives (it must apply)
+        // and acquires.
+        let fx = lt.release(TxnId(1), true);
+        assert_eq!(fx.granted, vec![TxnId(100)]);
+        assert!(fx.aborted.is_empty());
+    }
+
+    #[test]
+    fn remote_queues_behind_remote() {
+        let mut lt = table();
+        lt.acquire(TxnId(100), vec![id(1)], OwnerKind::Remote);
+        assert_eq!(lt.acquire(TxnId(101), vec![id(1)], OwnerKind::Remote), Acquire::Queued);
+        let fx = lt.release(TxnId(100), true);
+        assert_eq!(fx.granted, vec![TxnId(101)]);
+    }
+
+    #[test]
+    fn fifo_no_queue_jumping() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(2), vec![id(1), id(2)], OwnerKind::LocalAbortable);
+        // Txn 3 wants id(2), free right now — but txn 2 queued first for it.
+        assert_eq!(lt.acquire(TxnId(3), vec![id(2)], OwnerKind::LocalAbortable), Acquire::Queued);
+        let fx = lt.release(TxnId(1), false);
+        assert_eq!(fx.granted, vec![TxnId(2)], "FIFO order respected");
+        let fx = lt.release(TxnId(2), false);
+        assert_eq!(fx.granted, vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn waiting_txn_can_withdraw() {
+        let mut lt = table();
+        lt.acquire(TxnId(1), vec![id(1)], OwnerKind::LocalAbortable);
+        lt.acquire(TxnId(2), vec![id(1)], OwnerKind::LocalAbortable);
+        let fx = lt.release(TxnId(2), false);
+        assert_eq!(fx, ReleaseEffects::default());
+        assert_eq!(lt.waiter_count(), 0);
+        let fx = lt.release(TxnId(1), true);
+        assert!(fx.aborted.is_empty(), "withdrawn waiter not aborted again");
+    }
+
+    #[test]
+    fn atomic_acquisition_prevents_deadlock() {
+        // Classic deadlock shape: T1 wants {1,2}, T2 wants {2,1}. With
+        // atomic acquisition one of them gets both, the other waits.
+        let mut lt = table();
+        assert_eq!(
+            lt.acquire(TxnId(1), vec![id(1), id(2)], OwnerKind::LocalAbortable),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lt.acquire(TxnId(2), vec![id(2), id(1)], OwnerKind::LocalAbortable),
+            Acquire::Queued
+        );
+        let fx = lt.release(TxnId(1), false);
+        assert_eq!(fx.granted, vec![TxnId(2)]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fault plans: declarative descriptions of the fault loads of §5.3.
+
+use dbsm_sim::SimTime;
+use std::time::Duration;
+
+/// Which sites a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Every site.
+    All,
+    /// One site by index.
+    Site(u16),
+}
+
+impl Target {
+    /// True if the target includes `site`.
+    pub fn includes(&self, site: u16) -> bool {
+        match self {
+            Target::All => true,
+            Target::Site(s) => *s == site,
+        }
+    }
+}
+
+/// One fault, as catalogued by the paper (§5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Clock drift: scheduled events are postponed (scaled up) and measured
+    /// durations scaled down by `rate`.
+    ClockDrift {
+        /// Affected sites.
+        target: Target,
+        /// Drift rate (> 1.0 = slow clock).
+        rate: f64,
+    },
+    /// Scheduling latency: a random delay in `[0, max)` added to events
+    /// scheduled in the future.
+    SchedLatency {
+        /// Affected sites.
+        target: Target,
+        /// Maximum injected delay.
+        max: Duration,
+    },
+    /// Random loss: each message is discarded on reception with probability
+    /// `p` (models transmission errors).
+    RandomLoss {
+        /// Affected sites.
+        target: Target,
+        /// Per-message drop probability.
+        p: f64,
+    },
+    /// Bursty loss: alternating receive/discard periods (models congestion).
+    BurstyLoss {
+        /// Affected sites.
+        target: Target,
+        /// Long-run fraction of messages dropped.
+        fraction: f64,
+        /// Mean burst length in messages.
+        mean_burst: u32,
+    },
+    /// Crash: the site stops completely at the given instant.
+    Crash {
+        /// The crashing site.
+        site: u16,
+        /// Crash instant.
+        at: SimTime,
+    },
+}
+
+/// A set of faults to inject into one experiment run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The paper's "Random loss" scenario: `p` loss at every site.
+    pub fn random_loss(p: f64) -> Self {
+        FaultPlan::none().with(FaultSpec::RandomLoss { target: Target::All, p })
+    }
+
+    /// The paper's "Bursty loss" scenario: `fraction` loss in bursts of
+    /// average `mean_burst` messages at every site.
+    pub fn bursty_loss(fraction: f64, mean_burst: u32) -> Self {
+        FaultPlan::none().with(FaultSpec::BurstyLoss { target: Target::All, fraction, mean_burst })
+    }
+
+    /// A crash of `site` at `at`.
+    pub fn crash(site: u16, at: SimTime) -> Self {
+        FaultPlan::none().with(FaultSpec::Crash { site, at })
+    }
+
+    /// Clock drift on one site.
+    pub fn clock_drift(site: u16, rate: f64) -> Self {
+        FaultPlan::none().with(FaultSpec::ClockDrift { target: Target::Site(site), rate })
+    }
+
+    /// Scheduling latency on every site.
+    pub fn sched_latency(max: Duration) -> Self {
+        FaultPlan::none().with(FaultSpec::SchedLatency { target: Target::All, max })
+    }
+
+    /// Sites crashed by this plan at or before `t`.
+    pub fn crashed_by(&self, t: SimTime) -> Vec<u16> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Crash { site, at } if *at <= t => Some(*site),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::random_loss(0.05)
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(10) });
+        assert_eq!(plan.specs.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn target_matching() {
+        assert!(Target::All.includes(3));
+        assert!(Target::Site(3).includes(3));
+        assert!(!Target::Site(3).includes(4));
+    }
+
+    #[test]
+    fn crashed_by_filters_on_time() {
+        let plan = FaultPlan::crash(1, SimTime::from_secs(5))
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(50) });
+        assert_eq!(plan.crashed_by(SimTime::from_secs(10)), vec![1]);
+        assert_eq!(plan.crashed_by(SimTime::from_secs(60)), vec![1, 2]);
+        assert!(plan.crashed_by(SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The off-line safety check of §5.3: "we ensure that all operational sites
+//! must commit exactly the same sequence of transactions by comparing logs
+//! off-line after the simulation has finished."
+
+use std::fmt;
+
+/// One site's committed-transaction log: globally-identified transactions
+/// `(origin site, per-site transaction number)` in commit order.
+pub type CommitLog = Vec<(u16, u64)>;
+
+/// A detected safety violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Two operational sites committed different transactions at the same
+    /// position.
+    Mismatch {
+        /// First site.
+        a: u16,
+        /// Second site.
+        b: u16,
+        /// First differing position.
+        position: usize,
+        /// What `a` committed there (`None` = log ended).
+        at_a: Option<(u16, u64)>,
+        /// What `b` committed there.
+        at_b: Option<(u16, u64)>,
+    },
+    /// A crashed site's log is not a prefix of the survivors' log (it
+    /// committed something the group did not).
+    CrashedNotPrefix {
+        /// The crashed site.
+        site: u16,
+        /// First offending position.
+        position: usize,
+    },
+    /// A site committed the same transaction twice.
+    Duplicate {
+        /// The site.
+        site: u16,
+        /// The duplicated transaction.
+        txn: (u16, u64),
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Mismatch { a, b, position, at_a, at_b } => write!(
+                f,
+                "sites {a} and {b} diverge at position {position}: {at_a:?} vs {at_b:?}"
+            ),
+            Divergence::CrashedNotPrefix { site, position } => {
+                write!(f, "crashed site {site} committed beyond the group at position {position}")
+            }
+            Divergence::Duplicate { site, txn } => {
+                write!(f, "site {site} committed {txn:?} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Checks the DBSM safety condition over per-site commit logs.
+///
+/// Operational sites must have *identical* logs; crashed sites must hold a
+/// *prefix* of the common log (they stopped, but never diverged); no site
+/// may commit a transaction twice.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence> {
+    assert_eq!(logs.len(), crashed.len(), "one crash flag per site");
+    // Duplicates first.
+    for (site, log) in logs.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for txn in log {
+            if !seen.insert(*txn) {
+                return Err(Divergence::Duplicate { site: site as u16, txn: *txn });
+            }
+        }
+    }
+    let operational: Vec<usize> =
+        (0..logs.len()).filter(|i| !crashed[*i]).collect();
+    // Pairwise equality over operational sites (transitively sufficient
+    // against the first one).
+    if let Some(&first) = operational.first() {
+        for &other in &operational[1..] {
+            let (a, b) = (&logs[first], &logs[other]);
+            let n = a.len().max(b.len());
+            for pos in 0..n {
+                if a.get(pos) != b.get(pos) {
+                    return Err(Divergence::Mismatch {
+                        a: first as u16,
+                        b: other as u16,
+                        position: pos,
+                        at_a: a.get(pos).copied(),
+                        at_b: b.get(pos).copied(),
+                    });
+                }
+            }
+        }
+        // Crashed sites: prefix of the survivors' log.
+        let reference = &logs[first];
+        for (site, log) in logs.iter().enumerate() {
+            if !crashed[site] {
+                continue;
+            }
+            for (pos, txn) in log.iter().enumerate() {
+                if reference.get(pos) != Some(txn) {
+                    return Err(Divergence::CrashedNotPrefix { site: site as u16, position: pos });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(v: &[(u16, u64)]) -> CommitLog {
+        v.to_vec()
+    }
+
+    #[test]
+    fn identical_logs_pass() {
+        let l = log(&[(0, 1), (1, 1), (0, 2)]);
+        assert_eq!(check_logs(&[l.clone(), l.clone(), l], &[false; 3]), Ok(()));
+    }
+
+    #[test]
+    fn mismatch_is_detected() {
+        let a = log(&[(0, 1), (1, 1)]);
+        let b = log(&[(0, 1), (2, 1)]);
+        let err = check_logs(&[a, b], &[false, false]).expect_err("diverged");
+        assert!(matches!(err, Divergence::Mismatch { position: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn length_mismatch_between_operational_sites_is_detected() {
+        let a = log(&[(0, 1), (1, 1)]);
+        let b = log(&[(0, 1)]);
+        let err = check_logs(&[a, b], &[false, false]).expect_err("diverged");
+        assert!(matches!(err, Divergence::Mismatch { position: 1, at_b: None, .. }), "{err}");
+    }
+
+    #[test]
+    fn crashed_prefix_passes() {
+        let full = log(&[(0, 1), (1, 1), (0, 2)]);
+        let prefix = log(&[(0, 1), (1, 1)]);
+        assert_eq!(
+            check_logs(&[full.clone(), full, prefix], &[false, false, true]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn crashed_divergence_is_detected() {
+        let full = log(&[(0, 1), (1, 1)]);
+        let rogue = log(&[(0, 1), (9, 9)]);
+        let err =
+            check_logs(&[full.clone(), full, rogue], &[false, false, true]).expect_err("rogue");
+        assert_eq!(err, Divergence::CrashedNotPrefix { site: 2, position: 1 });
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let dup = log(&[(0, 1), (0, 1)]);
+        let err = check_logs(&[dup], &[false]).expect_err("dup");
+        assert_eq!(err, Divergence::Duplicate { site: 0, txn: (0, 1) });
+    }
+
+    #[test]
+    fn empty_logs_pass() {
+        assert_eq!(check_logs(&[vec![], vec![]], &[false, false]), Ok(()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Scalable stability detection (§3.4, after Guo's gossip protocol).
+//!
+//! "Stability detection works in asynchronous rounds by gossiping (i) a
+//! vector S of sequence numbers of known stable messages; (ii) a set W of
+//! processes that have voted in the current round; and (iii) a vector M of
+//! sequence numbers of messages already received by processes that have
+//! voted in the current round. Each process updates this information by
+//! adding its vote to W and ensuring that M includes only messages that have
+//! already been received. When W includes all operational processes, S can
+//! be updated with M."
+//!
+//! Rounds are tagged with an explicit round number so concurrent round
+//! completions merge deterministically. The critical property the paper's
+//! fault experiments exercise: **only contiguous prefixes become stable**,
+//! so independent random loss at each receiver drags the common prefix — and
+//! therefore garbage collection — down dramatically (§5.3).
+
+use crate::types::{NodeId, NodeSet};
+
+/// Per-node stability state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stability {
+    me: NodeId,
+    /// Operational processes expected to vote.
+    members: NodeSet,
+    /// Current round number.
+    round: u64,
+    /// Processes that have voted in the current round.
+    w: NodeSet,
+    /// Element-wise minimum of voters' contiguous-received vectors.
+    m: Vec<u64>,
+    /// Highest sequence number per sender known received by everyone.
+    s: Vec<u64>,
+}
+
+/// A gossip message exchanged by the stability protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gossip {
+    /// Round this vote belongs to.
+    pub round: u64,
+    /// Voters so far.
+    pub w: NodeSet,
+    /// Minimum received vector over the voters.
+    pub m: Vec<u64>,
+    /// Stable vector as known by the sender.
+    pub s: Vec<u64>,
+}
+
+impl Stability {
+    /// Creates stability state for `me` within a universe of `n` senders and
+    /// the given operational membership.
+    pub fn new(me: NodeId, n: usize, members: NodeSet) -> Self {
+        Stability { me, members, round: 0, w: NodeSet::EMPTY, m: vec![u64::MAX; n], s: vec![0; n] }
+    }
+
+    /// The stable vector: `stable()[i]` is the highest sequence number of
+    /// sender `i` known to be received by all operational processes
+    /// (prefix-contiguous).
+    pub fn stable(&self) -> &[u64] {
+        &self.s
+    }
+
+    /// Current round number (diagnostic).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Produces this node's gossip for the current round, merging in its own
+    /// vote: `received[i]` must be the node's *contiguous* received prefix
+    /// for sender `i` (own messages count as received at send).
+    pub fn make_gossip(&mut self, received: &[u64]) -> Gossip {
+        self.vote(received);
+        Gossip { round: self.round, w: self.w, m: self.m.clone(), s: self.s.clone() }
+    }
+
+    fn vote(&mut self, received: &[u64]) {
+        self.w.insert(self.me);
+        for (m, r) in self.m.iter_mut().zip(received) {
+            *m = (*m).min(*r);
+        }
+        self.try_complete();
+    }
+
+    /// Merges a peer's gossip; returns `true` if the stable vector advanced
+    /// (callers then garbage-collect buffers).
+    pub fn on_gossip(&mut self, g: &Gossip, received: &[u64]) -> bool {
+        let before = self.s.clone();
+        // Adopt any newer stable knowledge unconditionally.
+        for (s, gs) in self.s.iter_mut().zip(&g.s) {
+            *s = (*s).max(*gs);
+        }
+        use std::cmp::Ordering;
+        match g.round.cmp(&self.round) {
+            Ordering::Greater => {
+                // We are behind: adopt the newer round and add our vote.
+                self.round = g.round;
+                self.w = g.w;
+                self.m = g.m.clone();
+                self.vote(received);
+            }
+            Ordering::Equal => {
+                self.w = self.w.union(g.w);
+                for (m, gm) in self.m.iter_mut().zip(&g.m) {
+                    *m = (*m).min(*gm);
+                }
+                self.vote(received);
+            }
+            Ordering::Less => {
+                // Stale round: stable knowledge already merged above.
+            }
+        }
+        self.s != before
+    }
+
+    /// Membership change: restrict the expected voter set (crashed members
+    /// no longer gate stability) and restart the current round.
+    pub fn set_members(&mut self, members: NodeSet) {
+        self.members = members;
+        self.round += 1;
+        self.w = NodeSet::EMPTY;
+        for m in &mut self.m {
+            *m = u64::MAX;
+        }
+    }
+
+    fn try_complete(&mut self) {
+        if self.members.is_subset(self.w) && !self.members.is_empty() {
+            for (s, m) in self.s.iter_mut().zip(&self.m) {
+                if *m != u64::MAX {
+                    *s = (*s).max(*m);
+                }
+            }
+            self.round += 1;
+            self.w = NodeSet::EMPTY;
+            for m in &mut self.m {
+                *m = u64::MAX;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Vec<Stability> {
+        let members = NodeSet::first_n(n);
+        (0..n).map(|i| Stability::new(NodeId(i as u16), n, members)).collect()
+    }
+
+    /// Drives one gossip exchange: every node gossips to every other.
+    fn exchange(nodes: &mut [Stability], received: &[Vec<u64>]) {
+        let gossips: Vec<Gossip> =
+            nodes.iter_mut().enumerate().map(|(i, n)| n.make_gossip(&received[i])).collect();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for (j, g) in gossips.iter().enumerate() {
+                if i != j {
+                    node.on_gossip(g, &received[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_reception_becomes_stable_within_two_rounds() {
+        let mut nodes = net(3);
+        let received = vec![vec![10, 20, 30]; 3];
+        exchange(&mut nodes, &received);
+        exchange(&mut nodes, &received);
+        for n in &nodes {
+            assert_eq!(n.stable(), &[10, 20, 30], "node {:?}", n.me);
+        }
+    }
+
+    #[test]
+    fn stability_is_min_across_receivers() {
+        let mut nodes = net(3);
+        // Node 2 missed some of sender 0's messages: only 5 contiguous.
+        let received = vec![vec![10, 20, 30], vec![10, 20, 30], vec![5, 20, 30]];
+        exchange(&mut nodes, &received);
+        exchange(&mut nodes, &received);
+        for n in &nodes {
+            assert_eq!(n.stable(), &[5, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn stable_never_regresses() {
+        let mut nodes = net(2);
+        let high = vec![vec![10, 10]; 2];
+        exchange(&mut nodes, &high);
+        exchange(&mut nodes, &high);
+        assert_eq!(nodes[0].stable(), &[10, 10]);
+        // A later, lower received vector (cannot happen for contiguous
+        // counters, but guard anyway) must not pull S down.
+        let low = vec![vec![3, 3]; 2];
+        exchange(&mut nodes, &low);
+        exchange(&mut nodes, &low);
+        assert_eq!(nodes[0].stable(), &[10, 10]);
+    }
+
+    #[test]
+    fn missing_voter_blocks_stability() {
+        let mut nodes = net(3);
+        let received = vec![vec![10, 10, 10]; 3];
+        // Only nodes 0 and 1 gossip; node 2 is silent (e.g. lossy link).
+        for _ in 0..5 {
+            let g0 = nodes[0].make_gossip(&received[0]);
+            let g1 = nodes[1].make_gossip(&received[1]);
+            nodes[0].on_gossip(&g1, &received[0]);
+            nodes[1].on_gossip(&g0, &received[1]);
+        }
+        assert_eq!(nodes[0].stable(), &[0, 0, 0], "W never completes without node 2");
+    }
+
+    #[test]
+    fn membership_change_unblocks_stability() {
+        let mut nodes = net(3);
+        let received = vec![vec![10, 10, 10]; 3];
+        let survivors: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
+        nodes[0].set_members(survivors);
+        nodes[1].set_members(survivors);
+        for _ in 0..3 {
+            let g0 = nodes[0].make_gossip(&received[0]);
+            let g1 = nodes[1].make_gossip(&received[1]);
+            nodes[0].on_gossip(&g1, &received[0]);
+            nodes[1].on_gossip(&g0, &received[1]);
+        }
+        assert_eq!(nodes[0].stable(), &[10, 10, 10]);
+        assert_eq!(nodes[1].stable(), &[10, 10, 10]);
+    }
+
+    #[test]
+    fn rounds_advance_monotonically() {
+        let mut nodes = net(2);
+        let received = vec![vec![1, 1]; 2];
+        let r0 = nodes[0].round();
+        exchange(&mut nodes, &received);
+        exchange(&mut nodes, &received);
+        assert!(nodes[0].round() > r0);
+        assert!(nodes[1].round() >= nodes[0].round().saturating_sub(1));
+    }
+
+    #[test]
+    fn on_gossip_reports_advancement() {
+        let mut nodes = net(2);
+        let received = vec![vec![7, 7]; 2];
+        let g0 = nodes[0].make_gossip(&received[0]);
+        // Node 1 merging node 0's vote completes the round: S advances.
+        let advanced = nodes[1].on_gossip(&g0, &received[1]);
+        assert!(advanced);
+        assert_eq!(nodes[1].stable(), &[7, 7]);
+        // Re-merging the same stale gossip does not advance again.
+        let advanced_again = nodes[1].on_gossip(&g0, &received[1]);
+        assert!(!advanced_again);
+    }
+}

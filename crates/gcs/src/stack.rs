@@ -1,0 +1,1185 @@
+//! The group-communication stack (§3.4): view-synchronous reliable multicast
+//! with window-based receiver-initiated recovery, scalable stability
+//! detection, rate+window flow control, membership with flush/consensus view
+//! changes, and fixed-sequencer total order.
+//!
+//! [`Gcs`] is a single-threaded state machine driven through
+//! [`ProtocolRuntime`]; it is the *real code* the testbed exists to test.
+//! Design choices called out by the paper are implemented faithfully, in
+//! particular the ones behind its §5.3 findings:
+//!
+//! * each process owns only a *share* of the total buffer space;
+//! * sequencer announcements travel through the same reliable layer and
+//!   therefore consume the sequencer's share;
+//! * stability (and hence garbage collection) advances only over the
+//!   *contiguous* prefix received by *all* operational processes.
+
+use crate::config::GcsConfig;
+use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
+use crate::stability::Stability;
+use crate::types::{NodeId, NodeSet, View};
+use crate::wire::{
+    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign,
+};
+use bytes::{Bytes, BytesMut};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Events the stack hands to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Upcall {
+    /// A message delivered in total order.
+    Deliver {
+        /// Originating node.
+        origin: NodeId,
+        /// Global (total-order) sequence number. Consecutive at every node,
+        /// except for deterministically skipped orphans after a crash.
+        global_seq: u64,
+        /// The application payload.
+        payload: Bytes,
+    },
+    /// A new view was installed.
+    ViewChange(View),
+    /// This node was excluded from the view (e.g. falsely suspected under
+    /// clock drift); it must halt. Survivors stay consistent.
+    Excluded,
+}
+
+/// Protocol counters (diagnostics for the fault-injection analysis, §5.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcsMetrics {
+    /// Application messages submitted.
+    pub app_sent: u64,
+    /// Messages delivered in total order.
+    pub delivered: u64,
+    /// Data fragments transmitted (first time).
+    pub frags_sent: u64,
+    /// Data fragments received (non-duplicate).
+    pub frags_received: u64,
+    /// Duplicate fragments discarded.
+    pub duplicates: u64,
+    /// Retransmitted fragments sent.
+    pub retrans_sent: u64,
+    /// NAKs sent.
+    pub naks_sent: u64,
+    /// NAKs received.
+    pub naks_received: u64,
+    /// Gossip messages sent.
+    pub gossip_sent: u64,
+    /// Completed view changes.
+    pub view_changes: u64,
+    /// Cumulative nanoseconds the sender spent blocked by flow control with
+    /// traffic pending — the paper's "whole system blocked temporarily
+    /// waiting for garbage collection".
+    pub blocked_ns: u64,
+    /// Peak pending (flow-control-blocked) queue length.
+    pub pending_peak: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FragRecord {
+    total: u16,
+    idx: u16,
+    kind: PayloadKind,
+    payload: Bytes,
+}
+
+#[derive(Debug, Default)]
+struct Assembler {
+    first_seq: u64,
+    total: u16,
+    kind: PayloadKind,
+    frags: Vec<Bytes>,
+}
+
+impl Default for PayloadKind {
+    fn default() -> Self {
+        PayloadKind::App
+    }
+}
+
+impl Assembler {
+    /// Feeds the next in-order fragment; returns a complete message as
+    /// `(first_seq, kind, payload)` when assembly finishes.
+    fn feed(&mut self, seq: u64, rec: &FragRecord) -> Option<(u64, PayloadKind, Bytes)> {
+        if rec.idx == 0 {
+            self.first_seq = seq;
+            self.total = rec.total;
+            self.kind = rec.kind;
+            self.frags.clear();
+        } else if self.frags.len() != rec.idx as usize || self.total != rec.total {
+            // Stream corruption would indicate a protocol bug: fragments
+            // arrive in contiguous order by construction.
+            debug_assert!(false, "fragment sequence corrupted");
+            self.frags.clear();
+            return None;
+        }
+        self.frags.push(rec.payload.clone());
+        if self.frags.len() == self.total as usize {
+            let payload = if self.frags.len() == 1 {
+                self.frags.pop().expect("one fragment")
+            } else {
+                let mut b = BytesMut::with_capacity(self.frags.iter().map(Bytes::len).sum());
+                for f in self.frags.drain(..) {
+                    b.extend_from_slice(&f);
+                }
+                b.freeze()
+            };
+            Some((self.first_seq, self.kind, payload))
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RecvStream {
+    /// All fragments `1..=contiguous` received and processed.
+    contiguous: u64,
+    /// Out-of-order fragments beyond the contiguous prefix.
+    ooo: BTreeMap<u64, FragRecord>,
+    /// Contiguously received but not-yet-stable fragments, kept so peers can
+    /// be served retransmissions when the original sender is gone.
+    retained: BTreeMap<u64, FragRecord>,
+    /// Highest fragment known to exist in this stream (from data/heartbeats).
+    highest_known: u64,
+    /// When the current head gap was first noticed (ns); None = no gap.
+    gap_since: Option<u64>,
+    /// Last NAK emission for this stream (ns).
+    last_nak: u64,
+    /// Hard upper bound on delivery: set while flushing for streams of
+    /// excluded members (ack snapshot, then the agreed cut).
+    freeze_at: Option<u64>,
+    asm: Assembler,
+}
+
+impl RecvStream {
+    fn new() -> Self {
+        RecvStream {
+            contiguous: 0,
+            ooo: BTreeMap::new(),
+            retained: BTreeMap::new(),
+            highest_known: 0,
+            gap_since: None,
+            last_nak: 0,
+            freeze_at: None,
+            asm: Assembler::default(),
+        }
+    }
+
+    fn delivery_limit(&self) -> u64 {
+        self.freeze_at.unwrap_or(u64::MAX)
+    }
+}
+
+#[derive(Debug)]
+struct SendState {
+    /// Next fragment sequence number to assign (1-based).
+    next_frag: u64,
+    /// Own unstable fragments (for retransmission).
+    buffer: BTreeMap<u64, FragRecord>,
+    /// Messages admitted by the application but not yet transmitted
+    /// (window/rate/flush blocked).
+    pending: VecDeque<(PayloadKind, Bytes)>,
+    /// Token bucket for rate-based flow control.
+    tokens: f64,
+    last_refill: u64,
+    rate_timer: Option<TimerId>,
+    /// Start of the current blocked period, if any.
+    blocked_since: Option<u64>,
+}
+
+impl SendState {
+    fn sent(&self) -> u64 {
+        self.next_frag - 1
+    }
+}
+
+#[derive(Debug)]
+struct TotalOrder {
+    /// Applied assignments for not-yet-delivered messages.
+    by_gseq: BTreeMap<u64, (NodeId, u64)>,
+    /// Reverse index of `by_gseq`.
+    assigned: HashSet<(u16, u64)>,
+    /// Reliably delivered application messages awaiting total-order delivery.
+    store: HashMap<(u16, u64), StoredMsg>,
+    /// Next global sequence number to deliver.
+    next_deliver: u64,
+    /// Highest global sequence number applied anywhere (from SeqAnn).
+    max_applied: u64,
+    /// Sequencer-local assignment counter.
+    assign_counter: u64,
+    /// Assignments made but not yet announced (batching mode).
+    pending_ann: Vec<SeqAssign>,
+    ann_timer: Option<TimerId>,
+    /// Global sequence numbers that can never be delivered (their message
+    /// died with its sender) — skipped deterministically by every survivor.
+    skipped: HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct StoredMsg {
+    payload: Bytes,
+    /// Sequence number of the message's last fragment (for uniform mode).
+    last_frag: u64,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Stable,
+    Flushing {
+        new_view: u64,
+        proposed: NodeSet,
+        /// Coordinator only: received vectors collected so far.
+        acks: HashMap<u16, Vec<u64>>,
+        /// An install we received but whose cut we have not reached.
+        pending_install: Option<(u64, NodeSet, Vec<u64>)>,
+        /// Cut already sent (coordinator resends it instead of FlushReq).
+        sent_install: Option<(NodeSet, Vec<u64>)>,
+    },
+}
+
+/// The group-communication protocol instance of one node.
+///
+/// Drive it with [`Gcs::on_start`], [`Gcs::on_packet`], [`Gcs::on_timer`]
+/// and [`Gcs::broadcast`]; collect [`Upcall`]s with [`Gcs::drain_upcalls`]
+/// after every call. See the crate docs for a complete example.
+#[derive(Debug)]
+pub struct Gcs {
+    me: NodeId,
+    cfg: GcsConfig,
+    view: View,
+    phase: Phase,
+    send: SendState,
+    recv: Vec<RecvStream>,
+    stab: Stability,
+    to: TotalOrder,
+    last_heard: Vec<u64>,
+    suspected: NodeSet,
+    upcalls: VecDeque<Upcall>,
+    metrics: GcsMetrics,
+    halted: bool,
+}
+
+impl Gcs {
+    /// Creates a node `me` of an `cfg.n_nodes`-member group. All nodes start
+    /// in view 0 containing everyone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the universe or the universe exceeds 64.
+    pub fn new(me: NodeId, cfg: GcsConfig) -> Self {
+        assert!((me.0 as usize) < cfg.n_nodes, "node id outside universe");
+        let view = View::initial(cfg.n_nodes);
+        let n = cfg.n_nodes;
+        Gcs {
+            me,
+            view,
+            phase: Phase::Stable,
+            send: SendState {
+                next_frag: 1,
+                buffer: BTreeMap::new(),
+                pending: VecDeque::new(),
+                tokens: cfg.rate_burst_bytes as f64,
+                last_refill: 0,
+                rate_timer: None,
+                blocked_since: None,
+            },
+            recv: (0..n).map(|_| RecvStream::new()).collect(),
+            stab: Stability::new(me, n, view.members),
+            to: TotalOrder {
+                by_gseq: BTreeMap::new(),
+                assigned: HashSet::new(),
+                store: HashMap::new(),
+                next_deliver: 1,
+                max_applied: 0,
+                assign_counter: 1,
+                pending_ann: Vec::new(),
+                ann_timer: None,
+                skipped: HashSet::new(),
+            },
+            last_heard: vec![0; n],
+            suspected: NodeSet::EMPTY,
+            upcalls: VecDeque::new(),
+            metrics: GcsMetrics::default(),
+            cfg,
+            halted: false,
+        }
+    }
+
+    /// The node this instance runs on.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Protocol counters.
+    pub fn metrics(&self) -> GcsMetrics {
+        let mut m = self.metrics;
+        m.pending_peak = m.pending_peak.max(self.send.pending.len());
+        m
+    }
+
+    /// Number of fragments held in the send buffer (unstable).
+    pub fn unstable_frags(&self) -> usize {
+        self.send.buffer.len()
+    }
+
+    /// True once this node has been excluded from the group.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The node currently acting as sequencer.
+    pub fn sequencer(&self) -> Option<NodeId> {
+        match self.cfg.dedicated_sequencer {
+            Some(n) if self.view.members.contains(n) => Some(n),
+            _ => self.view.sequencer(),
+        }
+    }
+
+    fn i_am_sequencer(&self) -> bool {
+        self.sequencer() == Some(self.me)
+    }
+
+    /// Removes and returns all queued upcalls. Call after every entry point.
+    pub fn drain_upcalls(&mut self) -> Vec<Upcall> {
+        self.upcalls.drain(..).collect()
+    }
+
+    /// Starts the protocol: arms the periodic timers and reports the
+    /// initial view.
+    pub fn on_start(&mut self, rt: &mut dyn ProtocolRuntime) {
+        rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
+        rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
+        rt.set_timer(self.cfg.failure_timeout, TimerKind::FailureCheck);
+        rt.set_timer(self.cfg.nak_delay, TimerKind::NakCheck);
+        let now = rt.now_nanos();
+        self.last_heard = vec![now; self.cfg.n_nodes];
+        self.send.last_refill = now;
+        self.upcalls.push_back(Upcall::ViewChange(self.view));
+    }
+
+    /// Atomically multicasts `payload` to the group. Delivery (including
+    /// back to the caller) happens through [`Upcall::Deliver`] in total
+    /// order. Never blocks: under flow-control pressure the message queues
+    /// and [`GcsMetrics::blocked_ns`] accumulates.
+    pub fn broadcast(&mut self, rt: &mut dyn ProtocolRuntime, payload: Bytes) {
+        if self.halted {
+            return;
+        }
+        self.metrics.app_sent += 1;
+        self.enqueue_send(PayloadKind::App, payload);
+        self.drain_sends(rt);
+    }
+
+    fn enqueue_send(&mut self, kind: PayloadKind, payload: Bytes) {
+        self.send.pending.push_back((kind, payload));
+        self.metrics.pending_peak = self.metrics.pending_peak.max(self.send.pending.len());
+    }
+
+    // ----- sending & flow control -------------------------------------
+
+    fn frags_needed(&self, len: usize) -> u64 {
+        let fp = self.cfg.frag_payload();
+        (len.div_ceil(fp).max(1)) as u64
+    }
+
+    fn drain_sends(&mut self, rt: &mut dyn ProtocolRuntime) {
+        if self.halted {
+            return;
+        }
+        let now = rt.now_nanos();
+        // Refill the rate bucket.
+        let elapsed = now.saturating_sub(self.send.last_refill);
+        self.send.last_refill = now;
+        self.send.tokens = (self.send.tokens
+            + self.cfg.send_rate_bytes_per_sec * elapsed as f64 / 1e9)
+            .min(self.cfg.rate_burst_bytes as f64);
+
+        while let Some((_kind, payload)) = self.send.pending.front() {
+            if !matches!(self.phase, Phase::Stable) {
+                self.note_blocked(now);
+                return;
+            }
+            let k = self.frags_needed(payload.len());
+            let share = self.cfg.buffer_share(self.i_am_sequencer()) as u64;
+            let stable_self = self.stab.stable()[self.me.0 as usize];
+            let in_flight = self.send.sent().saturating_sub(stable_self);
+            if in_flight + k > share {
+                // Window full: wait for stability to advance (§5.3 blocking).
+                self.note_blocked(now);
+                return;
+            }
+            if self.send.tokens < payload.len() as f64 {
+                // Rate limited: wake up when enough tokens have accrued.
+                let deficit = payload.len() as f64 - self.send.tokens;
+                let wait = (deficit / self.cfg.send_rate_bytes_per_sec * 1e9).ceil() as u64;
+                if self.send.rate_timer.is_none() {
+                    let id = rt.set_timer(
+                        std::time::Duration::from_nanos(wait.max(1)),
+                        TimerKind::RateRefill,
+                    );
+                    self.send.rate_timer = Some(id);
+                }
+                self.note_blocked(now);
+                return;
+            }
+            self.send.tokens -= payload.len() as f64;
+            let (kind, payload) = self.send.pending.pop_front().expect("checked front");
+            self.note_unblocked(now);
+            self.transmit_message(rt, kind, payload);
+        }
+        self.note_unblocked(now);
+    }
+
+    fn note_blocked(&mut self, now: u64) {
+        if self.send.pending.is_empty() {
+            return;
+        }
+        // Accumulate incrementally so a long-lived block (the §5.3
+        // pathology) is visible while it is still ongoing.
+        if let Some(since) = self.send.blocked_since {
+            self.metrics.blocked_ns += now.saturating_sub(since);
+        }
+        self.send.blocked_since = Some(now);
+    }
+
+    fn note_unblocked(&mut self, now: u64) {
+        if let Some(since) = self.send.blocked_since.take() {
+            self.metrics.blocked_ns += now.saturating_sub(since);
+        }
+    }
+
+    fn transmit_message(&mut self, rt: &mut dyn ProtocolRuntime, kind: PayloadKind, payload: Bytes) {
+        let fp = self.cfg.frag_payload();
+        let total = self.frags_needed(payload.len()) as u16;
+        for idx in 0..total {
+            let lo = idx as usize * fp;
+            let hi = (lo + fp).min(payload.len());
+            let chunk = payload.slice(lo..hi);
+            let seq = self.send.next_frag;
+            self.send.next_frag += 1;
+            let rec = FragRecord { total, idx, kind, payload: chunk };
+            self.send.buffer.insert(seq, rec.clone());
+            let env = Envelope {
+                sender: self.me,
+                view: self.view.id,
+                msg: Message::Data {
+                    seq,
+                    total_frags: total,
+                    frag_idx: idx,
+                    kind,
+                    payload: rec.payload.clone(),
+                    retrans: false,
+                },
+            };
+            rt.multicast(env.encode());
+            self.metrics.frags_sent += 1;
+            // Loopback: count own fragment as received by self.
+            self.on_fragment(rt, self.me, seq, rec);
+        }
+    }
+
+    // ----- receive path ------------------------------------------------
+
+    /// Entry point for a raw packet from the network.
+    pub fn on_packet(&mut self, rt: &mut dyn ProtocolRuntime, raw: Bytes) {
+        if self.halted {
+            return;
+        }
+        rt.charge(self.cfg.proc_cost);
+        let env = match Envelope::decode(raw) {
+            Ok(e) => e,
+            Err(_) => return, // stray or corrupt packet: drop silently
+        };
+        if env.sender == self.me {
+            return; // our own multicast looped back
+        }
+        let now = rt.now_nanos();
+        if (env.sender.0 as usize) < self.last_heard.len() {
+            self.last_heard[env.sender.0 as usize] = now;
+        } else {
+            return; // outside the universe
+        }
+        match env.msg {
+            Message::Data { seq, total_frags, frag_idx, kind, payload, retrans } => {
+                if retrans {
+                    self.metrics.duplicates += 0; // counted below if truly dup
+                }
+                let rec = FragRecord { total: total_frags, idx: frag_idx, kind, payload };
+                self.on_fragment(rt, env.sender, seq, rec);
+                self.try_complete_install(rt);
+            }
+            Message::Nak { target, ranges } => {
+                self.metrics.naks_received += 1;
+                self.answer_nak(rt, env.sender, target, &ranges);
+            }
+            Message::Gossip(g) => {
+                let received = self.received_vec();
+                if self.stab.on_gossip(&g, &received) {
+                    self.on_stability_advance(rt);
+                }
+            }
+            Message::Heartbeat { sent } => {
+                let s = &mut self.recv[env.sender.0 as usize];
+                s.highest_known = s.highest_known.max(sent);
+            }
+            Message::FlushReq { new_view, members } => {
+                self.on_flush_req(rt, env.sender, new_view, members);
+            }
+            Message::FlushAck { new_view, received } => {
+                self.on_flush_ack(rt, env.sender, new_view, received);
+            }
+            Message::ViewInstall { new_view, members, cut } => {
+                self.on_view_install(rt, new_view, members, cut);
+            }
+        }
+    }
+
+    fn received_vec(&self) -> Vec<u64> {
+        (0..self.cfg.n_nodes)
+            .map(|j| {
+                if j == self.me.0 as usize {
+                    self.send.sent()
+                } else {
+                    self.recv[j].contiguous
+                }
+            })
+            .collect()
+    }
+
+    fn on_fragment(&mut self, rt: &mut dyn ProtocolRuntime, from: NodeId, seq: u64, rec: FragRecord) {
+        let j = from.0 as usize;
+        let is_self = from == self.me;
+        let stream = &mut self.recv[j];
+        stream.highest_known = stream.highest_known.max(seq);
+        if seq <= stream.contiguous || stream.ooo.contains_key(&seq) {
+            self.metrics.duplicates += 1;
+            return;
+        }
+        if !is_self {
+            self.metrics.frags_received += 1;
+        }
+        stream.ooo.insert(seq, rec);
+        self.advance_stream(rt, from);
+    }
+
+    /// Advances the contiguous prefix of `from`'s stream as far as buffered
+    /// fragments and the flush freeze limit allow, delivering completed
+    /// messages upward and maintaining gap bookkeeping.
+    fn advance_stream(&mut self, rt: &mut dyn ProtocolRuntime, from: NodeId) {
+        let j = from.0 as usize;
+        let is_self = from == self.me;
+        let mut completed: Vec<(u64, PayloadKind, Bytes)> = Vec::new();
+        {
+            let stream = &mut self.recv[j];
+            loop {
+                let limit = stream.delivery_limit();
+                if stream.contiguous >= limit {
+                    break;
+                }
+                let next = stream.contiguous + 1;
+                let Some(rec) = stream.ooo.remove(&next) else { break };
+                stream.contiguous = next;
+                if !is_self {
+                    stream.retained.insert(next, rec.clone());
+                }
+                if let Some(msg) = stream.asm.feed(next, &rec) {
+                    completed.push(msg);
+                }
+            }
+            // Gap bookkeeping for the NAK machinery.
+            let target = stream.highest_known.min(stream.delivery_limit());
+            if stream.contiguous < target {
+                if stream.gap_since.is_none() {
+                    stream.gap_since = Some(rt.now_nanos());
+                }
+            } else {
+                stream.gap_since = None;
+            }
+        }
+        for (msg_seq, kind, payload) in completed {
+            self.on_reliable_msg(rt, from, msg_seq, kind, payload);
+        }
+    }
+
+    fn on_reliable_msg(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        origin: NodeId,
+        msg_seq: u64,
+        kind: PayloadKind,
+        payload: Bytes,
+    ) {
+        match kind {
+            PayloadKind::App => {
+                let last_frag = msg_seq + self.frags_needed(payload.len()) - 1;
+                self.to.store.insert((origin.0, msg_seq), StoredMsg { payload, last_frag });
+                if self.i_am_sequencer()
+                    && matches!(self.phase, Phase::Stable)
+                    && !self.to.assigned.contains(&(origin.0, msg_seq))
+                {
+                    self.assign(rt, origin, msg_seq);
+                }
+                self.try_deliver(rt);
+            }
+            PayloadKind::SeqAnn => {
+                if let Ok(assigns) = decode_seq_ann(payload) {
+                    for a in assigns {
+                        self.apply_assignment(a);
+                    }
+                    self.try_deliver(rt);
+                }
+            }
+        }
+    }
+
+    fn apply_assignment(&mut self, a: SeqAssign) {
+        if self.to.assigned.contains(&(a.sender.0, a.msg_seq))
+            || a.global_seq < self.to.next_deliver
+        {
+            return;
+        }
+        self.to.assigned.insert((a.sender.0, a.msg_seq));
+        self.to.by_gseq.insert(a.global_seq, (a.sender, a.msg_seq));
+        self.to.max_applied = self.to.max_applied.max(a.global_seq);
+        self.to.assign_counter = self.to.assign_counter.max(a.global_seq + 1);
+    }
+
+    fn assign(&mut self, rt: &mut dyn ProtocolRuntime, origin: NodeId, msg_seq: u64) {
+        let a = SeqAssign { sender: origin, msg_seq, global_seq: self.to.assign_counter };
+        self.to.assign_counter += 1;
+        self.to.pending_ann.push(a);
+        match self.cfg.ann_batch {
+            None => self.flush_ann(rt),
+            Some(d) => {
+                if self.to.ann_timer.is_none() {
+                    self.to.ann_timer = Some(rt.set_timer(d, TimerKind::AnnFlush));
+                }
+            }
+        }
+    }
+
+    fn flush_ann(&mut self, rt: &mut dyn ProtocolRuntime) {
+        self.to.ann_timer = None;
+        if self.to.pending_ann.is_empty() || !matches!(self.phase, Phase::Stable) {
+            return;
+        }
+        let payload = encode_seq_ann(&self.to.pending_ann);
+        self.to.pending_ann.clear();
+        self.enqueue_send(PayloadKind::SeqAnn, payload);
+        self.drain_sends(rt);
+    }
+
+    fn try_deliver(&mut self, rt: &mut dyn ProtocolRuntime) {
+        loop {
+            let g = self.to.next_deliver;
+            if self.to.skipped.remove(&g) {
+                self.to.next_deliver += 1;
+                continue;
+            }
+            let Some(&(origin, msg_seq)) = self.to.by_gseq.get(&g) else { break };
+            let Some(stored) = self.to.store.get(&(origin.0, msg_seq)) else { break };
+            if self.cfg.uniform_delivery {
+                // Uniform mode: deliver only once the message is stable
+                // (received by all operational members).
+                let stable = self.stab.stable()[origin.0 as usize];
+                if stable < stored.last_frag {
+                    break;
+                }
+            }
+            let stored = self.to.store.remove(&(origin.0, msg_seq)).expect("checked above");
+            self.to.by_gseq.remove(&g);
+            self.to.assigned.remove(&(origin.0, msg_seq));
+            self.to.next_deliver += 1;
+            self.metrics.delivered += 1;
+            self.upcalls.push_back(Upcall::Deliver {
+                origin,
+                global_seq: g,
+                payload: stored.payload,
+            });
+        }
+        let _ = rt;
+    }
+
+    // ----- NAK / retransmission ----------------------------------------
+
+    fn answer_nak(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        requester: NodeId,
+        target: NodeId,
+        ranges: &[(u64, u64)],
+    ) {
+        const MAX_ANSWER: usize = 64;
+        let mut sent = 0usize;
+        for &(from, to) in ranges {
+            for seq in from..=to {
+                if sent >= MAX_ANSWER {
+                    return;
+                }
+                let rec = if target == self.me {
+                    self.send.buffer.get(&seq).cloned()
+                } else {
+                    let s = &self.recv[target.0 as usize];
+                    s.retained.get(&seq).cloned().or_else(|| s.ooo.get(&seq).cloned())
+                };
+                if let Some(rec) = rec {
+                    let env = Envelope {
+                        sender: target,
+                        view: self.view.id,
+                        msg: Message::Data {
+                            seq,
+                            total_frags: rec.total,
+                            frag_idx: rec.idx,
+                            kind: rec.kind,
+                            payload: rec.payload,
+                            retrans: true,
+                        },
+                    };
+                    rt.unicast(requester, env.encode());
+                    self.metrics.retrans_sent += 1;
+                    sent += 1;
+                }
+            }
+        }
+    }
+
+    fn nak_scan(&mut self, rt: &mut dyn ProtocolRuntime) {
+        const MAX_RANGES: usize = 32;
+        let now = rt.now_nanos();
+        let nak_delay = self.cfg.nak_delay.as_nanos() as u64;
+        let nak_retry = self.cfg.nak_retry.as_nanos() as u64;
+        for j in 0..self.cfg.n_nodes {
+            if j == self.me.0 as usize {
+                continue;
+            }
+            let (ranges, target_alive) = {
+                let stream = &self.recv[j];
+                let limit = stream.highest_known.min(stream.delivery_limit());
+                if stream.contiguous >= limit {
+                    continue;
+                }
+                let Some(gap_since) = stream.gap_since else {
+                    // Tail loss: no later fragment arrived; rely on the
+                    // heartbeat-advertised length to open the gap clock.
+                    self.recv[j].gap_since = Some(now);
+                    continue;
+                };
+                if now.saturating_sub(gap_since) < nak_delay
+                    || now.saturating_sub(stream.last_nak) < nak_retry
+                {
+                    continue;
+                }
+                let mut ranges: Vec<(u64, u64)> = Vec::new();
+                let mut next = stream.contiguous + 1;
+                for (&have, _) in stream.ooo.range(next..=limit) {
+                    if have > next {
+                        ranges.push((next, have - 1));
+                        if ranges.len() >= MAX_RANGES {
+                            break;
+                        }
+                    }
+                    next = have + 1;
+                }
+                if ranges.len() < MAX_RANGES && next <= limit {
+                    ranges.push((next, limit));
+                }
+                let alive = self.view.members.contains(NodeId(j as u16))
+                    && !self.suspected.contains(NodeId(j as u16));
+                (ranges, alive)
+            };
+            if ranges.is_empty() {
+                continue;
+            }
+            self.recv[j].last_nak = now;
+            self.metrics.naks_sent += 1;
+            let msg = Message::Nak { target: NodeId(j as u16), ranges };
+            let env = Envelope { sender: self.me, view: self.view.id, msg };
+            if target_alive {
+                rt.unicast(NodeId(j as u16), env.encode());
+            } else {
+                // Original sender is gone: ask the survivors.
+                let encoded = env.encode();
+                for m in self.view.members.iter() {
+                    if m != self.me && m != NodeId(j as u16) {
+                        rt.unicast(m, encoded.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- stability ----------------------------------------------------
+
+    fn on_stability_advance(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let stable = self.stab.stable().to_vec();
+        // GC own send buffer and peers' retained caches.
+        let own = stable[self.me.0 as usize];
+        self.send.buffer = self.send.buffer.split_off(&(own + 1));
+        for (j, s) in self.recv.iter_mut().enumerate() {
+            let keep = stable[j] + 1;
+            s.retained = s.retained.split_off(&keep);
+        }
+        if self.cfg.uniform_delivery {
+            self.try_deliver(rt);
+        }
+        // Freed buffer share may unblock the sender.
+        self.drain_sends(rt);
+    }
+
+    // ----- failure detection & view changes ------------------------------
+
+    fn failure_scan(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let now = rt.now_nanos();
+        let timeout = self.cfg.failure_timeout.as_nanos() as u64;
+        let mut newly = false;
+        for j in self.view.members.iter() {
+            if j == self.me || self.suspected.contains(j) {
+                continue;
+            }
+            if now.saturating_sub(self.last_heard[j.0 as usize]) > timeout {
+                self.suspected.insert(j);
+                newly = true;
+            }
+        }
+        if newly {
+            self.maybe_coordinate_flush(rt);
+        }
+    }
+
+    fn maybe_coordinate_flush(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let survivors = self.view.members.difference(self.suspected);
+        if survivors.min() != Some(self.me) {
+            return; // not the coordinator
+        }
+        let next_view = match &self.phase {
+            Phase::Stable => self.view.id + 1,
+            Phase::Flushing { new_view, proposed, .. } => {
+                if *proposed == survivors {
+                    return; // already flushing this proposal
+                }
+                new_view + 1
+            }
+        };
+        self.start_flush(rt, next_view, survivors);
+    }
+
+    fn start_flush(&mut self, rt: &mut dyn ProtocolRuntime, new_view: u64, proposed: NodeSet) {
+        self.freeze_excluded(proposed);
+        let mut acks = HashMap::new();
+        acks.insert(self.me.0, self.received_vec());
+        self.phase = Phase::Flushing { new_view, proposed, acks, pending_install: None, sent_install: None };
+        let env = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::FlushReq { new_view, members: proposed },
+        };
+        rt.multicast(env.encode());
+        rt.set_timer(self.cfg.heartbeat_period, TimerKind::FlushResend);
+        self.check_flush_complete(rt);
+    }
+
+    /// Freezes delivery from members excluded by `proposed` at the current
+    /// snapshot, so no survivor delivers messages beyond what will be in the
+    /// agreed cut.
+    fn freeze_excluded(&mut self, proposed: NodeSet) {
+        for j in 0..self.cfg.n_nodes {
+            let node = NodeId(j as u16);
+            if node != self.me && self.view.members.contains(node) && !proposed.contains(node) {
+                let s = &mut self.recv[j];
+                if s.freeze_at.is_none() {
+                    s.freeze_at = Some(s.contiguous);
+                }
+            }
+        }
+    }
+
+    fn on_flush_req(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        coordinator: NodeId,
+        new_view: u64,
+        members: NodeSet,
+    ) {
+        if new_view <= self.view.id {
+            return;
+        }
+        if let Phase::Flushing { new_view: cur, .. } = &self.phase {
+            if new_view < *cur {
+                return;
+            }
+        }
+        if !members.contains(self.me) {
+            self.halted = true;
+            self.upcalls.push_back(Upcall::Excluded);
+            return;
+        }
+        self.freeze_excluded(members);
+        match &mut self.phase {
+            Phase::Flushing { new_view: cur, proposed, .. } if *cur == new_view => {
+                *proposed = members;
+            }
+            _ => {
+                self.phase = Phase::Flushing {
+                    new_view,
+                    proposed: members,
+                    acks: HashMap::new(),
+                    pending_install: None,
+                    sent_install: None,
+                };
+            }
+        }
+        let env = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::FlushAck { new_view, received: self.received_vec() },
+        };
+        rt.unicast(coordinator, env.encode());
+    }
+
+    fn on_flush_ack(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        sender: NodeId,
+        new_view: u64,
+        received: Vec<u64>,
+    ) {
+        let Phase::Flushing { new_view: cur, acks, .. } = &mut self.phase else { return };
+        if *cur != new_view || received.len() != self.cfg.n_nodes {
+            return;
+        }
+        acks.insert(sender.0, received);
+        self.check_flush_complete(rt);
+    }
+
+    fn check_flush_complete(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let Phase::Flushing { new_view, proposed, acks, sent_install, .. } = &mut self.phase
+        else {
+            return;
+        };
+        if sent_install.is_some() {
+            return;
+        }
+        let all_acked = proposed.iter().all(|m| acks.contains_key(&m.0));
+        if !all_acked {
+            return;
+        }
+        // Cut: for every stream, the maximum any survivor has received —
+        // every survivor can reach it via retransmission from its peers.
+        let n = self.cfg.n_nodes;
+        let mut cut = vec![0u64; n];
+        for v in acks.values() {
+            for (c, r) in cut.iter_mut().zip(v) {
+                *c = (*c).max(*r);
+            }
+        }
+        let new_view = *new_view;
+        let members = *proposed;
+        *sent_install = Some((members, cut.clone()));
+        let env = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::ViewInstall { new_view, members, cut: cut.clone() },
+        };
+        rt.multicast(env.encode());
+        self.on_view_install(rt, new_view, members, cut);
+    }
+
+    fn on_view_install(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        new_view: u64,
+        members: NodeSet,
+        cut: Vec<u64>,
+    ) {
+        if new_view <= self.view.id || cut.len() != self.cfg.n_nodes {
+            return;
+        }
+        if !members.contains(self.me) {
+            self.halted = true;
+            self.upcalls.push_back(Upcall::Excluded);
+            return;
+        }
+        // Adopt the install (possibly without having seen the FlushReq).
+        let acks = match std::mem::replace(&mut self.phase, Phase::Stable) {
+            Phase::Flushing { acks, .. } => acks,
+            Phase::Stable => HashMap::new(),
+        };
+        self.phase = Phase::Flushing {
+            new_view,
+            proposed: members,
+            acks,
+            pending_install: Some((new_view, members, cut)),
+            sent_install: None,
+        };
+        self.try_complete_install(rt);
+    }
+
+    fn try_complete_install(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let Phase::Flushing { pending_install: Some((new_view, members, cut)), .. } = &self.phase
+        else {
+            return;
+        };
+        let (new_view, members, cut) = (*new_view, *members, cut.clone());
+        // Raise the freeze limit of excluded streams to the agreed cut and
+        // replay buffered fragments now allowed through; fragments still
+        // missing will be NAKed from the survivors by nak_scan.
+        let mut reached = true;
+        for j in 0..self.cfg.n_nodes {
+            let node = NodeId(j as u16);
+            if node == self.me || members.contains(node) || !self.view.members.contains(node) {
+                continue;
+            }
+            {
+                let s = &mut self.recv[j];
+                s.freeze_at = Some(cut[j]);
+                s.highest_known = s.highest_known.max(cut[j]);
+            }
+            self.advance_stream(rt, node);
+            if self.recv[j].contiguous < cut[j] {
+                reached = false;
+            }
+        }
+        // advance_stream may have delivered messages but cannot change the
+        // phase; the pending install is still ours to complete.
+        if reached {
+            self.install(rt, new_view, members, cut);
+        }
+    }
+
+    fn install(&mut self, rt: &mut dyn ProtocolRuntime, new_view: u64, members: NodeSet, cut: Vec<u64>) {
+        // Drop undeliverable fragments beyond the cut for dead streams.
+        for j in 0..self.cfg.n_nodes {
+            let node = NodeId(j as u16);
+            if node == self.me || members.contains(node) {
+                continue;
+            }
+            let s = &mut self.recv[j];
+            s.ooo.clear();
+            s.gap_since = None;
+            s.freeze_at = Some(cut[j]);
+        }
+        // Orphaned assignments: messages sequenced by the old view but whose
+        // content died with its sender can never be delivered — skip their
+        // global sequence numbers (identically at every survivor).
+        let mut orphans: Vec<u64> = Vec::new();
+        for (&g, &(origin, msg_seq)) in &self.to.by_gseq {
+            if !members.contains(origin) && origin != self.me && msg_seq > cut[origin.0 as usize] {
+                orphans.push(g);
+            }
+        }
+        for g in orphans {
+            let (origin, msg_seq) = self.to.by_gseq.remove(&g).expect("listed above");
+            self.to.assigned.remove(&(origin.0, msg_seq));
+            self.to.skipped.insert(g);
+        }
+        // Announcements never sent can be re-assigned from scratch.
+        self.to.pending_ann.clear();
+        self.to.assign_counter = self.to.max_applied + 1;
+
+        self.view = View { id: new_view, members };
+        self.phase = Phase::Stable;
+        self.suspected = self.suspected.difference(members);
+        self.stab.set_members(members);
+        self.metrics.view_changes += 1;
+        self.upcalls.push_back(Upcall::ViewChange(self.view));
+
+        // New sequencer sequences everything left unassigned,
+        // deterministically ordered.
+        if self.i_am_sequencer() {
+            let mut unassigned: Vec<(u16, u64)> = self
+                .to
+                .store
+                .keys()
+                .filter(|k| !self.to.assigned.contains(k))
+                .copied()
+                .collect();
+            unassigned.sort_unstable();
+            for (origin, msg_seq) in unassigned {
+                self.assign(rt, NodeId(origin), msg_seq);
+            }
+        }
+        self.try_deliver(rt);
+        self.drain_sends(rt);
+    }
+
+    // ----- timers --------------------------------------------------------
+
+    /// Entry point for a fired timer.
+    pub fn on_timer(&mut self, rt: &mut dyn ProtocolRuntime, kind: TimerKind) {
+        if self.halted {
+            return;
+        }
+        rt.charge(self.cfg.proc_cost);
+        match kind {
+            TimerKind::Gossip => {
+                let received = self.received_vec();
+                let g = self.stab.make_gossip(&received);
+                let env =
+                    Envelope { sender: self.me, view: self.view.id, msg: Message::Gossip(g) };
+                rt.multicast(env.encode());
+                self.metrics.gossip_sent += 1;
+                // Completing our own vote may already advance stability.
+                self.on_stability_advance(rt);
+                rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
+            }
+            TimerKind::Heartbeat => {
+                let env = Envelope {
+                    sender: self.me,
+                    view: self.view.id,
+                    msg: Message::Heartbeat { sent: self.send.sent() },
+                };
+                rt.multicast(env.encode());
+                rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
+            }
+            TimerKind::FailureCheck => {
+                self.failure_scan(rt);
+                rt.set_timer(self.cfg.failure_timeout, TimerKind::FailureCheck);
+            }
+            TimerKind::NakCheck => {
+                self.nak_scan(rt);
+                self.try_complete_install(rt);
+                rt.set_timer(self.cfg.nak_delay, TimerKind::NakCheck);
+            }
+            TimerKind::RateRefill => {
+                self.send.rate_timer = None;
+                self.drain_sends(rt);
+            }
+            TimerKind::AnnFlush => {
+                self.flush_ann(rt);
+            }
+            TimerKind::FlushResend => {
+                if let Phase::Flushing { new_view, proposed, sent_install, .. } = &self.phase {
+                    let (new_view, proposed) = (*new_view, *proposed);
+                    match sent_install.clone() {
+                        Some((members, cut)) => {
+                            let env = Envelope {
+                                sender: self.me,
+                                view: self.view.id,
+                                msg: Message::ViewInstall { new_view, members, cut },
+                            };
+                            rt.multicast(env.encode());
+                        }
+                        None if self.view.members.difference(self.suspected).min()
+                            == Some(self.me) =>
+                        {
+                            let env = Envelope {
+                                sender: self.me,
+                                view: self.view.id,
+                                msg: Message::FlushReq { new_view, members: proposed },
+                            };
+                            rt.multicast(env.encode());
+                        }
+                        None => {}
+                    }
+                    rt.set_timer(self.cfg.heartbeat_period, TimerKind::FlushResend);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A miniature deterministic harness for driving [`crate::Gcs`]
+//! instances in unit and property tests, independent of the full simulation
+//! stack. Packets and timers are processed in `(time, insertion)` order;
+//! per-link drop functions inject loss; nodes can be crashed.
+//!
+//! This is *not* the paper's testbed (that is `dbsm-core` + `dbsm-sim`); it
+//! exists so the protocol logic can be exercised in isolation.
+
+use crate::config::GcsConfig;
+use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
+use crate::stack::{Gcs, Upcall};
+use crate::types::NodeId;
+use bytes::Bytes;
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::rc::Rc;
+use std::time::Duration;
+
+enum Event {
+    Packet { to: NodeId, raw: Bytes },
+    Timer { node: NodeId, kind: TimerKind, id: TimerId },
+}
+
+struct Shared {
+    now: u64,
+    next_ord: u64,
+    next_timer: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Option<Event>>,
+    cancelled: HashSet<u64>,
+    /// drop_fn(from, to, bytes) -> drop?
+    drop_fn: Box<dyn FnMut(NodeId, NodeId, &Bytes) -> bool>,
+    latency_ns: u64,
+    crashed: HashSet<u16>,
+}
+
+impl Shared {
+    fn push(&mut self, at: u64, ev: Event) {
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        let idx = self.events.len();
+        self.events.push(Some(ev));
+        self.queue.push(Reverse((at, ord, idx)));
+    }
+}
+
+/// Deterministic in-memory test network for `n` [`Gcs`] nodes.
+pub struct TestNet {
+    shared: Rc<RefCell<Shared>>,
+    /// The protocol instances under test.
+    pub nodes: Vec<Rc<RefCell<Gcs>>>,
+    /// Upcalls collected per node, in order.
+    pub upcalls: Vec<Vec<Upcall>>,
+}
+
+struct TestRuntime {
+    node: NodeId,
+    n: usize,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl ProtocolRuntime for TestRuntime {
+    fn now_nanos(&mut self) -> u64 {
+        self.shared.borrow().now
+    }
+
+    fn set_timer(&mut self, delay: Duration, kind: TimerKind) -> TimerId {
+        let mut sh = self.shared.borrow_mut();
+        let id = TimerId(sh.next_timer);
+        sh.next_timer += 1;
+        let at = sh.now + delay.as_nanos() as u64;
+        sh.push(at, Event::Timer { node: self.node, kind, id });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.shared.borrow_mut().cancelled.insert(id.0);
+    }
+
+    fn unicast(&mut self, to: NodeId, payload: Bytes) {
+        let mut sh = self.shared.borrow_mut();
+        if sh.crashed.contains(&self.node.0) {
+            return;
+        }
+        let drop = (sh.drop_fn)(self.node, to, &payload);
+        if drop || sh.crashed.contains(&to.0) {
+            return;
+        }
+        let at = sh.now + sh.latency_ns;
+        sh.push(at, Event::Packet { to, raw: payload });
+    }
+
+    fn multicast(&mut self, payload: Bytes) {
+        for j in 0..self.n {
+            let to = NodeId(j as u16);
+            if to != self.node {
+                self.unicast(to, payload.clone());
+            }
+        }
+    }
+
+    fn charge(&mut self, _cost: Duration) {}
+}
+
+impl TestNet {
+    /// Creates `n` nodes with the given config and starts them.
+    pub fn new(cfg: GcsConfig) -> Self {
+        let n = cfg.n_nodes;
+        let shared = Rc::new(RefCell::new(Shared {
+            now: 0,
+            next_ord: 0,
+            next_timer: 0,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            cancelled: HashSet::new(),
+            drop_fn: Box::new(|_, _, _| false),
+            latency_ns: 100_000, // 100us
+            crashed: HashSet::new(),
+        }));
+        let nodes: Vec<Rc<RefCell<Gcs>>> = (0..n)
+            .map(|i| Rc::new(RefCell::new(Gcs::new(NodeId(i as u16), cfg.clone()))))
+            .collect();
+        let mut net = TestNet { shared, nodes, upcalls: vec![Vec::new(); n] };
+        for i in 0..n {
+            net.with_node(NodeId(i as u16), |g, rt| g.on_start(rt));
+        }
+        net
+    }
+
+    /// Installs a deterministic drop function `(from, to, bytes) -> drop?`.
+    pub fn set_drop_fn(&mut self, f: impl FnMut(NodeId, NodeId, &Bytes) -> bool + 'static) {
+        self.shared.borrow_mut().drop_fn = Box::new(f);
+    }
+
+    /// Crashes a node: it stops sending, receiving and processing timers.
+    pub fn crash(&mut self, node: NodeId) {
+        self.shared.borrow_mut().crashed.insert(node.0);
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.shared.borrow().now
+    }
+
+    fn with_node(&mut self, node: NodeId, f: impl FnOnce(&mut Gcs, &mut TestRuntime)) {
+        let n = self.nodes.len();
+        let g = self.nodes[node.0 as usize].clone();
+        let mut rt = TestRuntime { node, n, shared: self.shared.clone() };
+        let mut g = g.borrow_mut();
+        f(&mut g, &mut rt);
+        self.upcalls[node.0 as usize].extend(g.drain_upcalls());
+    }
+
+    /// Broadcasts an application payload from `node`.
+    pub fn broadcast(&mut self, node: NodeId, payload: Bytes) {
+        if self.shared.borrow().crashed.contains(&node.0) {
+            return;
+        }
+        self.with_node(node, |g, rt| g.broadcast(rt, payload));
+    }
+
+    /// Runs until the event queue is empty or `until_ns` is reached.
+    pub fn run_until(&mut self, until_ns: u64) {
+        loop {
+            let next = {
+                let mut sh = self.shared.borrow_mut();
+                match sh.queue.pop() {
+                    None => return,
+                    Some(Reverse((at, _ord, idx))) => {
+                        if at > until_ns {
+                            sh.now = until_ns;
+                            // Keep the event for later windows.
+                            sh.queue.push(Reverse((at, _ord, idx)));
+                            return;
+                        }
+                        sh.now = at;
+                        sh.events[idx].take()
+                    }
+                }
+            };
+            match next {
+                None => continue,
+                Some(Event::Packet { to, raw }) => {
+                    if self.shared.borrow().crashed.contains(&to.0) {
+                        continue;
+                    }
+                    self.with_node(to, |g, rt| g.on_packet(rt, raw));
+                }
+                Some(Event::Timer { node, kind, id }) => {
+                    {
+                        let mut sh = self.shared.borrow_mut();
+                        if sh.cancelled.remove(&id.0) || sh.crashed.contains(&node.0) {
+                            continue;
+                        }
+                    }
+                    self.with_node(node, |g, rt| g.on_timer(rt, kind));
+                }
+            }
+        }
+    }
+
+    /// Runs for `d` more of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let until = self.now() + d.as_nanos() as u64;
+        self.run_until(until);
+    }
+
+    /// The totally ordered `(origin, payload)` deliveries observed at `node`.
+    pub fn deliveries(&self, node: NodeId) -> Vec<(NodeId, Bytes)> {
+        self.upcalls[node.0 as usize]
+            .iter()
+            .filter_map(|u| match u {
+                Upcall::Deliver { origin, payload, .. } => Some((*origin, payload.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TestNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestNet").field("nodes", &self.nodes.len()).finish()
+    }
+}

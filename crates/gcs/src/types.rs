@@ -1,0 +1,225 @@
+//! Basic group-communication types.
+
+use std::fmt;
+
+/// Identifier of a group member (dense, assigned by configuration).
+///
+/// The stack supports up to 64 members (membership sets travel as `u64`
+/// bitmasks); the paper's experiments use at most 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Maximum number of group members.
+pub const MAX_NODES: usize = 64;
+
+/// A set of nodes, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Creates a set from a raw bitmask.
+    pub const fn from_bits(bits: u64) -> Self {
+        NodeSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Set containing nodes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_NODES, "at most {MAX_NODES} nodes");
+        if n == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Inserts a node.
+    pub fn insert(&mut self, node: NodeId) {
+        self.0 |= 1 << node.0;
+    }
+
+    /// Removes a node.
+    pub fn remove(&mut self, node: NodeId) {
+        self.0 &= !(1 << node.0);
+    }
+
+    /// Membership test.
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & (1 << node.0) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The lowest-numbered member, if any.
+    pub fn min(self) -> Option<NodeId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(NodeId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(NodeId(i as u16))
+            }
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A view: epoch number plus membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct View {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    /// Current members.
+    pub members: NodeSet,
+}
+
+impl View {
+    /// The initial view over `n` nodes.
+    pub fn initial(n: usize) -> Self {
+        View { id: 0, members: NodeSet::first_n(n) }
+    }
+
+    /// The fixed sequencer of this view: its lowest-numbered member
+    /// (§3.4: "view synchrony ensures that a single sequencer site is
+    /// easily chosen and replaced when it fails").
+    pub fn sequencer(&self) -> Option<NodeId> {
+        self.members.min()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view{}{}", self.id, self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_basics() {
+        let mut s = NodeSet::first_n(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId(0)));
+        assert!(!s.contains(NodeId(3)));
+        s.insert(NodeId(5));
+        s.remove(NodeId(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2), NodeId(5)]);
+        assert_eq!(s.min(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn nodeset_algebra() {
+        let a: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
+        let b: NodeSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        assert_eq!(a.union(b), NodeSet::first_n(3));
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert!(a.is_subset(NodeSet::first_n(2)));
+        assert!(!NodeSet::first_n(3).is_subset(a));
+    }
+
+    #[test]
+    fn full_set_of_64() {
+        let s = NodeSet::first_n(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(NodeId(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_nodes_rejected() {
+        let _ = NodeSet::first_n(65);
+    }
+
+    #[test]
+    fn view_sequencer_is_min_member() {
+        let v = View::initial(3);
+        assert_eq!(v.sequencer(), Some(NodeId(0)));
+        let mut m = v.members;
+        m.remove(NodeId(0));
+        let v2 = View { id: 1, members: m };
+        assert_eq!(v2.sequencer(), Some(NodeId(1)));
+        assert_eq!(View { id: 2, members: NodeSet::EMPTY }.sequencer(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = View::initial(2);
+        assert_eq!(v.to_string(), "view0{n0,n1}");
+        assert_eq!(NodeSet::EMPTY.to_string(), "{}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Wire format of the group-communication stack.
+//!
+//! Hand-rolled little-endian encoding over [`bytes`]; data payloads are
+//! carried as zero-copy slices (§3.3's "avoids copying the contents of
+//! buffers that are already marshaled").
+
+use crate::stability::Gossip;
+use crate::types::{NodeId, NodeSet};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Protocol magic byte.
+const MAGIC: u8 = 0x5D;
+
+/// What a reassembled reliable message contains, so the stack can route it
+/// to the application or to the total-order module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Application data (a marshalled certification request for the DBSM).
+    App,
+    /// Sequencer announcements (total-order metadata) — deliberately shipped
+    /// through the *reliable* layer so they consume the sequencer's buffer
+    /// share, reproducing the bottleneck analysed in §5.3.
+    SeqAnn,
+}
+
+impl PayloadKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PayloadKind::App => 0,
+            PayloadKind::SeqAnn => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PayloadKind::App),
+            1 => Some(PayloadKind::SeqAnn),
+            _ => None,
+        }
+    }
+}
+
+/// One sequencer assignment: `(sender, sender_seq) -> global_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqAssign {
+    /// Originator of the message being ordered.
+    pub sender: NodeId,
+    /// The originator's message sequence number (first fragment).
+    pub msg_seq: u64,
+    /// Assigned global (total-order) sequence number.
+    pub global_seq: u64,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A data fragment of the reliable multicast layer.
+    Data {
+        /// Fragment sequence number in the sender's stream.
+        seq: u64,
+        /// Number of fragments in the whole message.
+        total_frags: u16,
+        /// Index of this fragment within the message.
+        frag_idx: u16,
+        /// Payload routing tag.
+        kind: PayloadKind,
+        /// Fragment bytes.
+        payload: Bytes,
+        /// True when this is a retransmission (metrics only).
+        retrans: bool,
+    },
+    /// Receiver-initiated retransmission request: "I am missing fragments
+    /// `ranges` of `target`'s stream" — unicast to whoever should resend.
+    Nak {
+        /// Whose stream has the gaps.
+        target: NodeId,
+        /// Inclusive `(from, to)` fragment ranges.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Stability-detection gossip.
+    Gossip(Gossip),
+    /// Failure-detector heartbeat, carrying the sender's stream length so
+    /// receivers can detect tail loss (gaps with no later fragment).
+    Heartbeat {
+        /// Fragments the sender has sent so far.
+        sent: u64,
+    },
+    /// View change: coordinator asks members to stop sending and report
+    /// their received vectors.
+    FlushReq {
+        /// Proposed new view number.
+        new_view: u64,
+        /// Proposed membership.
+        members: NodeSet,
+    },
+    /// View change: member's answer with its contiguous received vector.
+    FlushAck {
+        /// Echoes the proposed view number.
+        new_view: u64,
+        /// Contiguous received fragment count per sender.
+        received: Vec<u64>,
+    },
+    /// View change: coordinator installs the new view once every survivor
+    /// can reach the cut.
+    ViewInstall {
+        /// New view number.
+        new_view: u64,
+        /// New membership.
+        members: NodeSet,
+        /// Message cut: fragment count per sender every survivor must reach
+        /// before installing.
+        cut: Vec<u64>,
+    },
+}
+
+/// Decode error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the declared structure.
+    Truncated,
+    /// Unknown magic/kind/payload tag.
+    BadTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated group-communication packet"),
+            WireError::BadTag(t) => write!(f, "unrecognized tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An envelope: sender, view and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub sender: NodeId,
+    /// Sender's view number when transmitting.
+    pub view: u64,
+    /// The message.
+    pub msg: Message,
+}
+
+/// Fixed envelope overhead in bytes (magic, kind, sender, view).
+pub const ENVELOPE_OVERHEAD: usize = 1 + 1 + 2 + 8;
+/// Per-fragment data header beyond the envelope.
+pub const DATA_OVERHEAD: usize = 8 + 2 + 2 + 1 + 1;
+
+impl Envelope {
+    /// Encodes to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(ENVELOPE_OVERHEAD + 64);
+        b.put_u8(MAGIC);
+        b.put_u8(self.kind_byte());
+        b.put_u16_le(self.sender.0);
+        b.put_u64_le(self.view);
+        match &self.msg {
+            Message::Data { seq, total_frags, frag_idx, kind, payload, retrans } => {
+                b.put_u64_le(*seq);
+                b.put_u16_le(*total_frags);
+                b.put_u16_le(*frag_idx);
+                b.put_u8(kind.to_byte());
+                b.put_u8(u8::from(*retrans));
+                b.put_slice(payload);
+            }
+            Message::Nak { target, ranges } => {
+                b.put_u16_le(target.0);
+                b.put_u16_le(ranges.len() as u16);
+                for (from, to) in ranges {
+                    b.put_u64_le(*from);
+                    b.put_u64_le(*to);
+                }
+            }
+            Message::Gossip(g) => {
+                b.put_u64_le(g.round);
+                b.put_u64_le(g.w.bits());
+                b.put_u16_le(g.m.len() as u16);
+                for v in &g.m {
+                    b.put_u64_le(*v);
+                }
+                for v in &g.s {
+                    b.put_u64_le(*v);
+                }
+            }
+            Message::Heartbeat { sent } => {
+                b.put_u64_le(*sent);
+            }
+            Message::FlushReq { new_view, members } => {
+                b.put_u64_le(*new_view);
+                b.put_u64_le(members.bits());
+            }
+            Message::FlushAck { new_view, received } => {
+                b.put_u64_le(*new_view);
+                b.put_u16_le(received.len() as u16);
+                for v in received {
+                    b.put_u64_le(*v);
+                }
+            }
+            Message::ViewInstall { new_view, members, cut } => {
+                b.put_u64_le(*new_view);
+                b.put_u64_le(members.bits());
+                b.put_u16_le(cut.len() as u16);
+                for v in cut {
+                    b.put_u64_le(*v);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match &self.msg {
+            Message::Data { .. } => 0,
+            Message::Nak { .. } => 1,
+            Message::Gossip(_) => 2,
+            Message::Heartbeat { .. } => 3,
+            Message::FlushReq { .. } => 4,
+            Message::FlushAck { .. } => 5,
+            Message::ViewInstall { .. } => 6,
+        }
+    }
+
+    /// Decodes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on short or mis-tagged input.
+    pub fn decode(mut buf: Bytes) -> Result<Envelope, WireError> {
+        if buf.len() < ENVELOPE_OVERHEAD {
+            return Err(WireError::Truncated);
+        }
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(WireError::BadTag(magic));
+        }
+        let kind = buf.get_u8();
+        let sender = NodeId(buf.get_u16_le());
+        let view = buf.get_u64_le();
+        let msg = match kind {
+            0 => {
+                if buf.len() < DATA_OVERHEAD {
+                    return Err(WireError::Truncated);
+                }
+                let seq = buf.get_u64_le();
+                let total_frags = buf.get_u16_le();
+                let frag_idx = buf.get_u16_le();
+                let k = buf.get_u8();
+                let retrans = buf.get_u8() != 0;
+                let kind = PayloadKind::from_byte(k).ok_or(WireError::BadTag(k))?;
+                Message::Data { seq, total_frags, frag_idx, kind, payload: buf, retrans }
+            }
+            1 => {
+                if buf.len() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let target = NodeId(buf.get_u16_le());
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * 16 {
+                    return Err(WireError::Truncated);
+                }
+                let ranges =
+                    (0..n).map(|_| (buf.get_u64_le(), buf.get_u64_le())).collect::<Vec<_>>();
+                Message::Nak { target, ranges }
+            }
+            2 => {
+                if buf.len() < 18 {
+                    return Err(WireError::Truncated);
+                }
+                let round = buf.get_u64_le();
+                let w = NodeSet::from_bits(buf.get_u64_le());
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * 16 {
+                    return Err(WireError::Truncated);
+                }
+                let m = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                let s = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                Message::Gossip(Gossip { round, w, m, s })
+            }
+            3 => {
+                if buf.len() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Message::Heartbeat { sent: buf.get_u64_le() }
+            }
+            4 => {
+                if buf.len() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                Message::FlushReq {
+                    new_view: buf.get_u64_le(),
+                    members: NodeSet::from_bits(buf.get_u64_le()),
+                }
+            }
+            5 => {
+                if buf.len() < 10 {
+                    return Err(WireError::Truncated);
+                }
+                let new_view = buf.get_u64_le();
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * 8 {
+                    return Err(WireError::Truncated);
+                }
+                let received = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                Message::FlushAck { new_view, received }
+            }
+            6 => {
+                if buf.len() < 18 {
+                    return Err(WireError::Truncated);
+                }
+                let new_view = buf.get_u64_le();
+                let members = NodeSet::from_bits(buf.get_u64_le());
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * 8 {
+                    return Err(WireError::Truncated);
+                }
+                let cut = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                Message::ViewInstall { new_view, members, cut }
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        Ok(Envelope { sender, view, msg })
+    }
+}
+
+/// Encodes a batch of sequencer assignments as a [`PayloadKind::SeqAnn`]
+/// payload.
+pub fn encode_seq_ann(assigns: &[SeqAssign]) -> Bytes {
+    let mut b = BytesMut::with_capacity(2 + assigns.len() * 18);
+    b.put_u16_le(assigns.len() as u16);
+    for a in assigns {
+        b.put_u16_le(a.sender.0);
+        b.put_u64_le(a.msg_seq);
+        b.put_u64_le(a.global_seq);
+    }
+    b.freeze()
+}
+
+/// Decodes a [`PayloadKind::SeqAnn`] payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the declared count exceeds the buffer.
+pub fn decode_seq_ann(mut buf: Bytes) -> Result<Vec<SeqAssign>, WireError> {
+    if buf.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.len() < n * 18 {
+        return Err(WireError::Truncated);
+    }
+    Ok((0..n)
+        .map(|_| SeqAssign {
+            sender: NodeId(buf.get_u16_le()),
+            msg_seq: buf.get_u64_le(),
+            global_seq: buf.get_u64_le(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let env = Envelope { sender: NodeId(3), view: 7, msg };
+        let back = Envelope::decode(env.encode()).expect("roundtrip");
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Message::Data {
+            seq: 42,
+            total_frags: 3,
+            frag_idx: 1,
+            kind: PayloadKind::App,
+            payload: Bytes::from_static(b"hello"),
+            retrans: false,
+        });
+        roundtrip(Message::Data {
+            seq: 42,
+            total_frags: 1,
+            frag_idx: 0,
+            kind: PayloadKind::SeqAnn,
+            payload: Bytes::new(),
+            retrans: true,
+        });
+        roundtrip(Message::Nak { target: NodeId(2), ranges: vec![(1, 5), (9, 9)] });
+        roundtrip(Message::Gossip(Gossip {
+            round: 8,
+            w: NodeSet::first_n(3),
+            m: vec![1, 2, 3],
+            s: vec![0, 1, 2],
+        }));
+        roundtrip(Message::Heartbeat { sent: 99 });
+        roundtrip(Message::FlushReq { new_view: 2, members: NodeSet::first_n(2) });
+        roundtrip(Message::FlushAck { new_view: 2, received: vec![10, 20, 30] });
+        roundtrip(Message::ViewInstall {
+            new_view: 2,
+            members: NodeSet::first_n(2),
+            cut: vec![10, 20, 30],
+        });
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_kind() {
+        let env = Envelope { sender: NodeId(0), view: 0, msg: Message::Heartbeat { sent: 0 } };
+        let mut raw = BytesMut::from(&env.encode()[..]);
+        raw[0] = 0xFF;
+        assert_eq!(Envelope::decode(raw.clone().freeze()), Err(WireError::BadTag(0xFF)));
+        raw[0] = MAGIC;
+        raw[1] = 99;
+        assert_eq!(Envelope::decode(raw.freeze()), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let env = Envelope {
+            sender: NodeId(1),
+            view: 1,
+            msg: Message::Nak { target: NodeId(0), ranges: vec![(1, 2)] },
+        };
+        let full = env.encode();
+        for cut in 0..full.len() {
+            let r = Envelope::decode(full.slice(0..cut));
+            if cut < full.len() {
+                assert!(r.is_err() || cut >= ENVELOPE_OVERHEAD + 4, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_ann_roundtrip() {
+        let assigns = vec![
+            SeqAssign { sender: NodeId(1), msg_seq: 10, global_seq: 100 },
+            SeqAssign { sender: NodeId(2), msg_seq: 11, global_seq: 101 },
+        ];
+        let back = decode_seq_ann(encode_seq_ann(&assigns)).expect("roundtrip");
+        assert_eq!(back, assigns);
+        assert!(decode_seq_ann(Bytes::from_static(&[5])).is_err());
+        assert!(decode_seq_ann(encode_seq_ann(&assigns).slice(0..5)).is_err());
+    }
+
+    #[test]
+    fn data_payload_is_zero_copy() {
+        let payload = Bytes::from(vec![7u8; 100]);
+        let env = Envelope {
+            sender: NodeId(0),
+            view: 0,
+            msg: Message::Data {
+                seq: 1,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                payload: payload.clone(),
+                retrans: false,
+            },
+        };
+        let decoded = Envelope::decode(env.encode()).expect("decode");
+        match decoded.msg {
+            Message::Data { payload: p, .. } => assert_eq!(p, payload),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Addressing: hosts, ports, endpoints and multicast groups.
+
+use std::fmt;
+
+/// Identifier of a simulated host (dense index assigned by the builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u16);
+
+/// A UDP-like port on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u16);
+
+/// A multicast group identifier (the role of a class-D IP address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u16);
+
+/// A full endpoint: host + port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// Destination host.
+    pub host: HostId,
+    /// Destination port.
+    pub port: Port,
+}
+
+impl Addr {
+    /// Creates an endpoint.
+    pub const fn new(host: HostId, port: Port) -> Self {
+        Addr { host, port }
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:{}", self.host.0, self.port.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(HostId(3), Port(7001)).to_string(), "h3:7001");
+        assert_eq!(GroupId(1).to_string(), "g1");
+        assert_eq!(HostId(2).to_string(), "h2");
+    }
+}

@@ -1,0 +1,113 @@
+//! Topology construction.
+
+use crate::addr::HostId;
+use crate::network::{Network, SegmentConfig};
+use dbsm_sim::{Sim, Trace};
+
+/// Builds a [`Network`] topology: hosts attached to LAN segments and/or
+/// point-to-point WAN links.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_net::{NetworkBuilder, SegmentConfig};
+/// use dbsm_sim::Sim;
+///
+/// let sim = Sim::new();
+/// let mut b = NetworkBuilder::new(&sim);
+/// let lan = b.lan(SegmentConfig::fast_ethernet());
+/// let h0 = b.host(lan);
+/// let h1 = b.host(lan);
+/// let net = b.build();
+/// assert_eq!(net.n_hosts(), 2);
+/// # let _ = (h0, h1);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    sim: Sim,
+    segments: Vec<(SegmentConfig, Vec<HostId>, bool)>,
+    n_hosts: usize,
+    trace: Trace,
+}
+
+/// Identifier of a segment under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHandle(usize);
+
+impl NetworkBuilder {
+    /// Starts building a topology on the given simulation.
+    pub fn new(sim: &Sim) -> Self {
+        NetworkBuilder {
+            sim: sim.clone(),
+            segments: Vec::new(),
+            n_hosts: 0,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Enables packet tracing with the given buffer capacity.
+    pub fn trace(&mut self, trace: Trace) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Adds a LAN segment.
+    pub fn lan(&mut self, config: SegmentConfig) -> SegmentHandle {
+        self.segments.push((config, Vec::new(), false));
+        SegmentHandle(self.segments.len() - 1)
+    }
+
+    /// Adds a host attached to `segment`.
+    pub fn host(&mut self, segment: SegmentHandle) -> HostId {
+        let id = HostId(u16::try_from(self.n_hosts).expect("too many hosts"));
+        self.n_hosts += 1;
+        self.segments[segment.0].1.push(id);
+        id
+    }
+
+    /// Adds a host with no initial attachment (attach later with
+    /// [`attach`](NetworkBuilder::attach) or via [`p2p`](NetworkBuilder::p2p)).
+    pub fn isolated_host(&mut self) -> HostId {
+        let id = HostId(u16::try_from(self.n_hosts).expect("too many hosts"));
+        self.n_hosts += 1;
+        id
+    }
+
+    /// Attaches an existing host to an additional segment (multihoming).
+    pub fn attach(&mut self, host: HostId, segment: SegmentHandle) -> &mut Self {
+        self.segments[segment.0].1.push(host);
+        self
+    }
+
+    /// Adds a full-duplex point-to-point link between two existing hosts
+    /// (wide-area scenarios).
+    pub fn p2p(&mut self, a: HostId, b: HostId, config: SegmentConfig) -> SegmentHandle {
+        self.segments.push((config, vec![a, b], true));
+        SegmentHandle(self.segments.len() - 1)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Network {
+        Network::from_parts(self.sim, self.segments, self.n_hosts, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_multi_segment_topologies() {
+        let sim = Sim::new();
+        let mut b = NetworkBuilder::new(&sim);
+        let lan1 = b.lan(SegmentConfig::fast_ethernet());
+        let lan2 = b.lan(SegmentConfig::fast_ethernet());
+        let h0 = b.host(lan1);
+        let h1 = b.host(lan2);
+        let router = b.host(lan1);
+        b.attach(router, lan2);
+        b.p2p(h0, h1, SegmentConfig::wan(10_000_000.0, std::time::Duration::from_millis(20)));
+        let net = b.build();
+        assert_eq!(net.n_hosts(), 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Message-loss models, applied on packet *reception* as in the paper
+//! (§5.3: "each message is discarded upon reception with the specified
+//! probability"), so that loss is independent at each receiver — the
+//! property that makes random loss so damaging to stability detection.
+
+use dbsm_sim::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Decides whether an arriving packet is discarded.
+///
+/// Implementations are deterministic given their seed, so fault-injection
+/// runs are reproducible.
+pub trait LossModel {
+    /// Returns `true` if the packet arriving at `now` with the given wire
+    /// size must be dropped.
+    fn should_drop(&mut self, now: SimTime, wire_bytes: usize) -> bool;
+}
+
+/// Never drops (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _now: SimTime, _wire_bytes: usize) -> bool {
+        false
+    }
+}
+
+/// Drops each packet independently with probability `p` — the paper's
+/// *Random loss* fault, modelling transmission errors.
+#[derive(Debug, Clone)]
+pub struct RandomLoss {
+    p: f64,
+    rng: SmallRng,
+}
+
+impl RandomLoss {
+    /// Creates a random-loss model dropping with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        RandomLoss { p, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl LossModel for RandomLoss {
+    fn should_drop(&mut self, _now: SimTime, _wire_bytes: usize) -> bool {
+        self.rng.gen_bool(self.p)
+    }
+}
+
+/// Alternates between *receive* and *discard* periods of random duration —
+/// the paper's *Bursty loss* fault, modelling network congestion.
+///
+/// Period lengths are drawn uniformly in `[0, 2·mean)` (mean-preserving, as
+/// the paper specifies "bursts of average length … uniformly distributed").
+/// The discard-period mean is chosen so the *long-run loss fraction* equals
+/// the requested rate; e.g. 5 % loss in bursts averaging 5 packets.
+#[derive(Debug, Clone)]
+pub struct BurstyLoss {
+    dropping: bool,
+    /// Packets remaining in the current period.
+    remaining: u32,
+    mean_burst: f64,
+    mean_gap: f64,
+    rng: SmallRng,
+}
+
+impl BurstyLoss {
+    /// Creates a bursty-loss model with overall `loss_fraction` of packets
+    /// dropped, in bursts averaging `mean_burst_len` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_fraction` is not in `(0, 1)` or `mean_burst_len == 0`.
+    pub fn new(loss_fraction: f64, mean_burst_len: u32, seed: u64) -> Self {
+        assert!(loss_fraction > 0.0 && loss_fraction < 1.0, "loss fraction out of range");
+        assert!(mean_burst_len > 0, "burst length must be positive");
+        let mean_burst = f64::from(mean_burst_len);
+        // loss = burst / (burst + gap)  =>  gap = burst * (1 - p) / p
+        let mean_gap = mean_burst * (1.0 - loss_fraction) / loss_fraction;
+        let mut m = BurstyLoss {
+            dropping: false,
+            remaining: 0,
+            mean_burst,
+            mean_gap,
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        m.next_period(false);
+        m
+    }
+
+    fn next_period(&mut self, dropping: bool) {
+        self.dropping = dropping;
+        let mean = if dropping { self.mean_burst } else { self.mean_gap };
+        // Uniform in [0, 2*mean): mean-preserving random period length.
+        let len = self.rng.gen_range(0.0..2.0 * mean);
+        self.remaining = len.round().max(1.0) as u32;
+    }
+}
+
+impl LossModel for BurstyLoss {
+    fn should_drop(&mut self, _now: SimTime, _wire_bytes: usize) -> bool {
+        while self.remaining == 0 {
+            let flip = !self.dropping;
+            self.next_period(flip);
+        }
+        self.remaining -= 1;
+        self.dropping
+    }
+}
+
+/// Drops everything after a given instant — building block for crash faults
+/// (a crashed node stops interacting entirely; the fault crate also halts
+/// its outgoing traffic and timers).
+#[derive(Debug, Clone, Copy)]
+pub struct DropAfter {
+    at: SimTime,
+}
+
+impl DropAfter {
+    /// Creates a model dropping all packets arriving at or after `at`.
+    pub fn new(at: SimTime) -> Self {
+        DropAfter { at }
+    }
+}
+
+impl LossModel for DropAfter {
+    fn should_drop(&mut self, now: SimTime, _wire_bytes: usize) -> bool {
+        now >= self.at
+    }
+}
+
+/// Helper: expected long-run loss fraction of a model, estimated by driving
+/// it with `n` synthetic arrivals spaced `gap` apart. Used by tests and by
+/// fault-plan validation.
+pub fn measure_loss_rate(model: &mut dyn LossModel, n: u32, gap: Duration) -> f64 {
+    let mut now = SimTime::ZERO;
+    let mut dropped = 0u32;
+    for _ in 0..n {
+        if model.should_drop(now, 1000) {
+            dropped += 1;
+        }
+        now += gap;
+    }
+    f64::from(dropped) / f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_never_drops() {
+        assert_eq!(measure_loss_rate(&mut NoLoss, 1000, Duration::from_micros(1)), 0.0);
+    }
+
+    #[test]
+    fn random_loss_matches_probability() {
+        let mut m = RandomLoss::new(0.05, 42);
+        let rate = measure_loss_rate(&mut m, 100_000, Duration::from_micros(1));
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn random_loss_extremes() {
+        let mut never = RandomLoss::new(0.0, 1);
+        assert_eq!(measure_loss_rate(&mut never, 1000, Duration::from_micros(1)), 0.0);
+        let mut always = RandomLoss::new(1.0, 1);
+        assert_eq!(measure_loss_rate(&mut always, 1000, Duration::from_micros(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn random_loss_rejects_bad_probability() {
+        let _ = RandomLoss::new(1.5, 0);
+    }
+
+    #[test]
+    fn bursty_loss_matches_long_run_rate() {
+        let mut m = BurstyLoss::new(0.05, 5, 7);
+        let rate = measure_loss_rate(&mut m, 200_000, Duration::from_micros(1));
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_loss_drops_in_runs() {
+        // Consecutive drops should be far more likely than under independent
+        // loss at the same rate: count drop->drop transitions.
+        let mut m = BurstyLoss::new(0.05, 5, 11);
+        let mut prev = false;
+        let mut drops = 0u32;
+        let mut pairs = 0u32;
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let d = m.should_drop(now, 1000);
+            if d {
+                drops += 1;
+                if prev {
+                    pairs += 1;
+                }
+            }
+            prev = d;
+            now += Duration::from_micros(1);
+        }
+        let p_pair = f64::from(pairs) / f64::from(drops);
+        // Under independent 5% loss p(drop | drop) ~= 0.05; bursts of mean 5
+        // give ~0.8.
+        assert!(p_pair > 0.5, "drop->drop fraction {p_pair}");
+    }
+
+    #[test]
+    fn drop_after_cuts_off() {
+        let mut m = DropAfter::new(SimTime::from_secs(1));
+        assert!(!m.should_drop(SimTime::from_millis(999), 100));
+        assert!(m.should_drop(SimTime::from_secs(1), 100));
+        assert!(m.should_drop(SimTime::from_secs(2), 100));
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let mut a = RandomLoss::new(0.3, 9);
+        let mut b = RandomLoss::new(0.3, 9);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            assert_eq!(a.should_drop(now, 1), b.should_drop(now, 1));
+            now += Duration::from_micros(1);
+        }
+    }
+}

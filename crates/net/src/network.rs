@@ -1,0 +1,389 @@
+//! The network state machine: segments, hosts, sockets, transmission and
+//! delivery. This plays the role SSFNet plays in the paper (§2.1): a
+//! configurable model of NICs, links and protocol endpoints, with event
+//! logging.
+//!
+//! ## Transmission model
+//!
+//! Each segment is a shared channel (classic Ethernet bus or a full-duplex
+//! point-to-point pair). A transmission occupies the channel for
+//! `wire_bytes × 8 / bandwidth`, transmissions queue FIFO (modelled by a
+//! `busy_until` watermark), and delivery happens one propagation latency
+//! after serialization completes. If the backlog behind the watermark
+//! exceeds the configured buffer (expressed in time), the packet is dropped —
+//! drop-tail queueing. Frames above the MTU are dropped and counted: the
+//! paper found SSFNet did *not* enforce the Ethernet MTU for UDP and had to
+//! restrict packet sizes; we enforce it so misconfigured protocols fail
+//! loudly in the same way the real system would.
+
+use crate::addr::{Addr, GroupId, HostId, Port};
+use crate::loss::{LossModel, NoLoss};
+use crate::monitor::{DropCause, TrafficStats};
+use crate::packet::{wire_bytes, Datagram, Dest};
+use bytes::Bytes;
+use dbsm_sim::{Sim, SimTime, Trace, TraceKind};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Configuration of one network segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentConfig {
+    /// Link bandwidth in bits per second (e.g. `100_000_000` for Fast
+    /// Ethernet, the paper's test network).
+    pub bandwidth_bps: f64,
+    /// One-way propagation + switching latency.
+    pub latency: Duration,
+    /// Maximum frame size (payload + headers) in bytes.
+    pub mtu: usize,
+    /// Maximum transmit backlog, expressed as channel time; packets that
+    /// would queue beyond this are dropped (drop-tail).
+    pub tx_buffer: Duration,
+}
+
+impl SegmentConfig {
+    /// A 100 Mbps switched Ethernet LAN with 50 µs latency and 1500-byte MTU
+    /// — the paper's test environment (§4.1).
+    pub fn fast_ethernet() -> Self {
+        SegmentConfig {
+            bandwidth_bps: 100_000_000.0,
+            latency: Duration::from_micros(50),
+            mtu: 1500,
+            tx_buffer: Duration::from_millis(20),
+        }
+    }
+
+    /// A wide-area point-to-point link: configurable rate and delay, larger
+    /// buffer (routers buffer more than NICs).
+    pub fn wan(bandwidth_bps: f64, latency: Duration) -> Self {
+        SegmentConfig { bandwidth_bps, latency, mtu: 1500, tx_buffer: Duration::from_millis(100) }
+    }
+
+    fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+/// Kind of segment: a shared multicast-capable LAN or a point-to-point link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SegmentKind {
+    /// Shared bus: one channel, multicast delivers to all attached hosts.
+    Lan { members: Vec<HostId> },
+    /// Full-duplex pair: one channel per direction, no multicast.
+    P2p { a: HostId, b: HostId },
+}
+
+struct Segment {
+    config: SegmentConfig,
+    kind: SegmentKind,
+    /// Channel watermark(s): LAN uses `busy[0]`; P2P uses one per direction
+    /// (index 0 = a→b, 1 = b→a).
+    busy_until: [SimTime; 2],
+}
+
+impl Segment {
+    fn channel_index(&self, from: HostId) -> usize {
+        match &self.kind {
+            SegmentKind::Lan { .. } => 0,
+            SegmentKind::P2p { a, .. } => usize::from(from != *a),
+        }
+    }
+}
+
+type Handler = Rc<RefCell<dyn FnMut(Datagram)>>;
+
+struct HostState {
+    down: bool,
+    loss: Box<dyn LossModel>,
+    sockets: HashMap<Port, Handler>,
+    groups: HashSet<GroupId>,
+    /// Segments this host is attached to, in attachment order.
+    segments: Vec<usize>,
+}
+
+struct NetState {
+    segments: Vec<Segment>,
+    hosts: Vec<HostState>,
+    stats: TrafficStats,
+}
+
+/// Error binding a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindError {
+    /// The port already has a socket bound on this host.
+    PortInUse(Port),
+    /// Unknown host id.
+    NoSuchHost(HostId),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::PortInUse(p) => write!(f, "port {} already bound", p.0),
+            BindError::NoSuchHost(h) => write!(f, "no such host {h}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Handle to the simulated network. Clones share state.
+///
+/// Constructed through [`NetworkBuilder`](crate::NetworkBuilder).
+#[derive(Clone)]
+pub struct Network {
+    sim: Sim,
+    state: Rc<RefCell<NetState>>,
+    trace: Trace,
+}
+
+impl Network {
+    pub(crate) fn from_parts(
+        sim: Sim,
+        segments: Vec<(SegmentConfig, Vec<HostId>, bool)>,
+        n_hosts: usize,
+        trace: Trace,
+    ) -> Self {
+        let mut hosts: Vec<HostState> = (0..n_hosts)
+            .map(|_| HostState {
+                down: false,
+                loss: Box::new(NoLoss),
+                sockets: HashMap::new(),
+                groups: HashSet::new(),
+                segments: Vec::new(),
+            })
+            .collect();
+        let mut segs = Vec::new();
+        for (idx, (config, members, p2p)) in segments.into_iter().enumerate() {
+            for h in &members {
+                hosts[h.0 as usize].segments.push(idx);
+            }
+            let kind = if p2p {
+                assert_eq!(members.len(), 2, "point-to-point link needs exactly two hosts");
+                SegmentKind::P2p { a: members[0], b: members[1] }
+            } else {
+                SegmentKind::Lan { members }
+            };
+            segs.push(Segment { config, kind, busy_until: [SimTime::ZERO; 2] });
+        }
+        let state = NetState { segments: segs, hosts, stats: TrafficStats::new(n_hosts) };
+        Network { sim, state: Rc::new(RefCell::new(state)), trace }
+    }
+
+    /// The simulation this network is attached to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.state.borrow().hosts.len()
+    }
+
+    /// Binds a receive handler at `addr`. The handler runs at delivery time;
+    /// it may send packets and schedule events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError::PortInUse`] if the port is taken, or
+    /// [`BindError::NoSuchHost`] for an unknown host.
+    pub fn bind(
+        &self,
+        addr: Addr,
+        handler: impl FnMut(Datagram) + 'static,
+    ) -> Result<(), BindError> {
+        let mut st = self.state.borrow_mut();
+        let host =
+            st.hosts.get_mut(addr.host.0 as usize).ok_or(BindError::NoSuchHost(addr.host))?;
+        if host.sockets.contains_key(&addr.port) {
+            return Err(BindError::PortInUse(addr.port));
+        }
+        host.sockets.insert(addr.port, Rc::new(RefCell::new(handler)));
+        Ok(())
+    }
+
+    /// Removes the socket at `addr`, if any.
+    pub fn unbind(&self, addr: Addr) {
+        let mut st = self.state.borrow_mut();
+        if let Some(h) = st.hosts.get_mut(addr.host.0 as usize) {
+            h.sockets.remove(&addr.port);
+        }
+    }
+
+    /// Joins `host` to a multicast group.
+    pub fn join_group(&self, host: HostId, group: GroupId) {
+        self.state.borrow_mut().hosts[host.0 as usize].groups.insert(group);
+    }
+
+    /// Removes `host` from a multicast group.
+    pub fn leave_group(&self, host: HostId, group: GroupId) {
+        self.state.borrow_mut().hosts[host.0 as usize].groups.remove(&group);
+    }
+
+    /// Installs a receive-side loss model on a host (fault injection).
+    pub fn set_loss(&self, host: HostId, model: Box<dyn LossModel>) {
+        self.state.borrow_mut().hosts[host.0 as usize].loss = model;
+    }
+
+    /// Marks a host up or down. A down host neither sends nor receives.
+    pub fn set_host_down(&self, host: HostId, down: bool) {
+        self.state.borrow_mut().hosts[host.0 as usize].down = down;
+    }
+
+    /// True if the host is marked down.
+    pub fn is_host_down(&self, host: HostId) -> bool {
+        self.state.borrow().hosts[host.0 as usize].down
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.state.borrow().stats.clone()
+    }
+
+    /// Sends `payload` from `from` to `dest`. Losses, MTU violations and
+    /// queue overflows are recorded in [`stats`](Network::stats) rather than
+    /// reported to the caller — exactly the feedback a UDP sender gets.
+    pub fn send(&self, from: Addr, dest: Dest, payload: Bytes) {
+        let now = self.sim.now();
+        let wire = wire_bytes(payload.len());
+        // Phase 1: admission + serialization under the borrow.
+        let deliveries: Vec<(Addr, Option<GroupId>, SimTime)> = {
+            let mut st = self.state.borrow_mut();
+            if st.hosts[from.host.0 as usize].down {
+                st.stats.on_drop(DropCause::HostDown);
+                return;
+            }
+            let seg_idx = match self.route(&st, from.host, &dest) {
+                Some(i) => i,
+                None => {
+                    st.stats.on_drop(DropCause::NoRoute);
+                    self.trace.record_with(now, TraceKind::PacketDropped, || {
+                        format!("{from}->{dest:?}: no route")
+                    });
+                    return;
+                }
+            };
+            let seg = &st.segments[seg_idx];
+            let mtu = seg.config.mtu;
+            let ch = seg.channel_index(from.host);
+            let backlog = seg.busy_until[ch].saturating_duration_since(now);
+            let tx_buffer = seg.config.tx_buffer;
+            let start = seg.busy_until[ch].max(now);
+            let finish = start + seg.config.serialization(wire);
+            let arrive = finish + seg.config.latency;
+            if wire > mtu {
+                st.stats.on_drop(DropCause::Mtu);
+                self.trace.record_with(now, TraceKind::PacketDropped, || {
+                    format!("{from}->{dest:?}: frame {wire}B exceeds MTU {mtu}")
+                });
+                return;
+            }
+            if backlog > tx_buffer {
+                st.stats.on_drop(DropCause::TxOverflow);
+                self.trace.record_with(now, TraceKind::PacketDropped, || {
+                    format!("{from}->{dest:?}: tx overflow ({backlog:?} backlog)")
+                });
+                return;
+            }
+            st.segments[seg_idx].busy_until[ch] = finish;
+            st.stats.on_tx(from.host.0 as usize, wire);
+            self.trace.record_with(now, TraceKind::PacketSent, || {
+                format!("{from}->{dest:?} {wire}B arrive={arrive}")
+            });
+            // Resolve receiver set.
+            match dest {
+                Dest::Unicast(to) => vec![(to, None, arrive)],
+                Dest::Multicast(group, port) => {
+                    let members: Vec<HostId> = match &st.segments[seg_idx].kind {
+                        SegmentKind::Lan { members } => members.clone(),
+                        SegmentKind::P2p { a, b } => vec![*a, *b],
+                    };
+                    members
+                        .into_iter()
+                        .filter(|h| *h != from.host)
+                        .filter(|h| st.hosts[h.0 as usize].groups.contains(&group))
+                        .map(|h| (Addr::new(h, port), Some(group), arrive))
+                        .collect()
+                }
+            }
+        };
+        // Phase 2: schedule deliveries (outside the borrow).
+        for (to, group, arrive) in deliveries {
+            let this = self.clone();
+            let payload = payload.clone();
+            self.sim.schedule_at(arrive, move || this.deliver(from, to, group, payload, wire));
+        }
+    }
+
+    /// Picks the segment shared by `from` and the destination.
+    fn route(&self, st: &NetState, from: HostId, dest: &Dest) -> Option<usize> {
+        let from_segs = &st.hosts[from.0 as usize].segments;
+        match dest {
+            Dest::Unicast(to) => {
+                let to_segs = &st.hosts.get(to.host.0 as usize)?.segments;
+                from_segs.iter().find(|s| to_segs.contains(s)).copied()
+            }
+            // Multicast goes out on the first LAN the sender is attached to.
+            Dest::Multicast(..) => from_segs
+                .iter()
+                .find(|s| matches!(st.segments[**s].kind, SegmentKind::Lan { .. }))
+                .copied(),
+        }
+    }
+
+    fn deliver(
+        &self,
+        from: Addr,
+        to: Addr,
+        group: Option<GroupId>,
+        payload: Bytes,
+        wire: usize,
+    ) {
+        let now = self.sim.now();
+        let handler: Option<Handler> = {
+            let mut st = self.state.borrow_mut();
+            let host = &mut st.hosts[to.host.0 as usize];
+            if host.down {
+                st.stats.on_drop(DropCause::HostDown);
+                return;
+            }
+            if host.loss.should_drop(now, wire) {
+                st.stats.on_drop(DropCause::LossModel);
+                self.trace.record_with(now, TraceKind::PacketDropped, || {
+                    format!("{from}->{to}: loss model")
+                });
+                return;
+            }
+            match host.sockets.get(&to.port) {
+                Some(h) => {
+                    let h = h.clone();
+                    st.stats.on_rx(to.host.0 as usize, wire);
+                    self.trace.record_with(now, TraceKind::PacketDelivered, || {
+                        format!("{from}->{to} {wire}B")
+                    });
+                    Some(h)
+                }
+                None => {
+                    st.stats.on_drop(DropCause::NoSocket);
+                    None
+                }
+            }
+        };
+        if let Some(h) = handler {
+            let dg = Datagram { from, to, group, payload };
+            (h.borrow_mut())(dg);
+        }
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("Network")
+            .field("hosts", &st.hosts.len())
+            .field("segments", &st.segments.len())
+            .finish()
+    }
+}

@@ -1,0 +1,52 @@
+//! Datagrams and on-the-wire framing.
+
+use crate::addr::{Addr, GroupId, Port};
+use bytes::Bytes;
+
+/// Ethernet + IP + UDP framing overhead added to every payload, in bytes.
+///
+/// 14 (Ethernet header) + 20 (IPv4) + 8 (UDP). The Ethernet preamble and
+/// inter-frame gap are folded into the link's effective bandwidth instead.
+pub const HEADER_BYTES: usize = 42;
+
+/// Minimum Ethernet frame size in bytes; shorter frames are padded.
+pub const MIN_FRAME_BYTES: usize = 64;
+
+/// A datagram as seen by a receiving socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender endpoint.
+    pub from: Addr,
+    /// Destination (the receiving socket's endpoint).
+    pub to: Addr,
+    /// Multicast group the datagram was addressed to, if any.
+    pub group: Option<GroupId>,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// Destination of a transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// One receiver.
+    Unicast(Addr),
+    /// All members of a group on the sender's LAN, at the given port.
+    Multicast(GroupId, Port),
+}
+
+/// Bytes occupying the wire for a payload of `payload_len` bytes.
+pub fn wire_bytes(payload_len: usize) -> usize {
+    (payload_len + HEADER_BYTES).max(MIN_FRAME_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_pads_small_frames() {
+        assert_eq!(wire_bytes(0), MIN_FRAME_BYTES);
+        assert_eq!(wire_bytes(10), MIN_FRAME_BYTES);
+        assert_eq!(wire_bytes(100), 142);
+    }
+}

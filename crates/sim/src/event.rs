@@ -1,0 +1,89 @@
+//! Event identifiers and heap entries for the discrete-event scheduler.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Handle to a scheduled event, usable to [cancel](crate::Sim::cancel) it.
+///
+/// Identifiers are unique for the lifetime of a [`Sim`](crate::Sim) instance
+/// and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// A sentinel id that no scheduled event ever receives.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+/// The action executed when an event fires.
+///
+/// Actions are `FnOnce` closures; they typically capture `Rc` handles to the
+/// components they operate on. The kernel is single-threaded so no `Send`
+/// bound is required.
+pub(crate) type Action = Box<dyn FnOnce()>;
+
+/// An entry in the scheduler's priority queue.
+pub(crate) struct Entry {
+    pub at: SimTime,
+    pub id: EventId,
+    pub action: Action,
+}
+
+impl Entry {
+    /// Key establishing deterministic execution order: earlier time first,
+    /// then FIFO by insertion order (the monotone event id).
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.id.0)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    // Reversed: BinaryHeap is a max-heap but we need the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry").field("at", &self.at).field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, id: u64) -> Entry {
+        Entry { at: SimTime::from_nanos(at), id: EventId(id), action: Box::new(|| {}) }
+    }
+
+    #[test]
+    fn heap_order_is_time_then_fifo() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(entry(10, 2));
+        heap.push(entry(5, 3));
+        heap.push(entry(10, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.id.0).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn none_sentinel_is_distinct() {
+        assert_ne!(EventId::NONE, EventId(0));
+    }
+}

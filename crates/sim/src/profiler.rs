@@ -1,0 +1,69 @@
+//! Profiling modes for timing *real code* under the centralized simulation
+//! runtime (paper §2.2–2.3).
+//!
+//! The paper measures real protocol code with virtualized CPU cycle counters
+//! (Linux `perfctr`) and brings the elapsed time Δ into the simulation
+//! time-line. We provide that mechanism ([`ProfilerMode::WallClock`], using
+//! [`std::time::Instant`]) plus a deterministic alternative
+//! ([`ProfilerMode::Synthetic`]) in which real code declares its cost
+//! explicitly via [`RealContext::charge`](crate::RealContext::charge).
+//! Experiments default to synthetic mode so runs are bit-reproducible;
+//! wall-clock mode exercises the identical clock-stop machinery.
+
+/// How the duration of real-code jobs is obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfilerMode {
+    /// Deterministic: the job's duration is exactly the sum of explicit
+    /// [`charge`](crate::RealContext::charge) calls, divided by `speed`
+    /// (a speed of 2.0 simulates a CPU twice as fast as the cost model's
+    /// reference processor).
+    Synthetic {
+        /// Relative CPU speed; must be > 0.
+        speed: f64,
+    },
+    /// Measured: the job's duration is the wall-clock time spent inside the
+    /// job thunk, excluding time spent re-entered into the simulation runtime
+    /// (the paper's "stop the real-time clock" rule), multiplied by `scale`.
+    ///
+    /// `scale` plays the paper's processor-speed-scaling role: a scale of 0.5
+    /// simulates a processor twice as fast as the host.
+    WallClock {
+        /// Factor applied to measured durations; must be > 0.
+        scale: f64,
+    },
+}
+
+impl ProfilerMode {
+    /// Synthetic mode at reference speed 1.0 — the default for experiments.
+    pub fn synthetic() -> Self {
+        ProfilerMode::Synthetic { speed: 1.0 }
+    }
+
+    /// Wall-clock mode at host speed.
+    pub fn wall_clock() -> Self {
+        ProfilerMode::WallClock { scale: 1.0 }
+    }
+
+    /// True if durations are measured with the host clock.
+    pub fn is_wall_clock(&self) -> bool {
+        matches!(self, ProfilerMode::WallClock { .. })
+    }
+}
+
+impl Default for ProfilerMode {
+    fn default() -> Self {
+        ProfilerMode::synthetic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_synthetic() {
+        assert_eq!(ProfilerMode::default(), ProfilerMode::Synthetic { speed: 1.0 });
+        assert!(!ProfilerMode::default().is_wall_clock());
+        assert!(ProfilerMode::wall_clock().is_wall_clock());
+    }
+}

@@ -1,0 +1,334 @@
+//! Small statistics toolkit used by the experiment harness: summary
+//! statistics, percentiles, empirical CDFs (Fig. 7), and quantile-quantile
+//! pairs (Fig. 4).
+
+/// Running summary statistics (count, mean, variance via Welford, min/max).
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_sim::stats::Summary;
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A collection of samples supporting percentiles, ECDF and Q-Q extraction.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+    /// statistics; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.ensure_sorted();
+        if self.values.is_empty() {
+            return None;
+        }
+        let n = self.values.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Convenience percentile in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// The empirical CDF evaluated at `points.len()` evenly spaced ranks:
+    /// returns `(value, cumulative_fraction)` pairs suitable for plotting
+    /// (paper Fig. 7a/7b).
+    pub fn ecdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        if self.values.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.values.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+                (self.values[idx], frac)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn cdf_at(&mut self, x: f64) -> f64 {
+        self.ensure_sorted();
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let cnt = self.values.partition_point(|v| *v <= x);
+        cnt as f64 / self.values.len() as f64
+    }
+
+    /// Q-Q pairs against `other`: matching quantiles of the two sample sets
+    /// (paper Fig. 4 plots simulation quantiles against real-system
+    /// quantiles; a well-calibrated model hugs the diagonal).
+    pub fn qq(&mut self, other: &mut Samples, points: usize) -> Vec<(f64, f64)> {
+        if self.is_empty() || other.is_empty() {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let q = if points == 1 { 0.5 } else { i as f64 / (points - 1) as f64 };
+                (
+                    self.quantile(q).expect("checked non-empty"),
+                    other.quantile(q).expect("checked non-empty"),
+                )
+            })
+            .collect()
+    }
+
+    /// Read access to the raw values (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples { values: iter.into_iter().collect(), sorted: false }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_matches_pooled() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut pooled = Summary::new();
+        for (i, v) in [1.0, 5.0, 2.0, 8.0, 3.0, 9.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            pooled.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert!((a.mean() - pooled.mean()).abs() < 1e-12);
+        assert!((a.variance() - pooled.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut s: Samples = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert_eq!(s.quantile(0.5), Some(2.5));
+        assert_eq!(s.percentile(25.0), Some(1.75));
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let mut s: Samples = (1..=100).map(f64::from).collect();
+        let e = s.ecdf(10);
+        assert_eq!(e.len(), 10);
+        for w in e.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(e.last().expect("non-empty"), &(100.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_at_counts_fraction() {
+        let mut s: Samples = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.cdf_at(0.5), 0.0);
+        assert_eq!(s.cdf_at(2.0), 0.5);
+        assert_eq!(s.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn qq_of_identical_distributions_is_diagonal() {
+        let mut a: Samples = (0..1000).map(f64::from).collect();
+        let mut b: Samples = (0..1000).map(f64::from).collect();
+        for (x, y) in a.qq(&mut b, 21) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_samples_are_sane() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert!(s.ecdf(5).is_empty());
+        assert!(s.qq(&mut Samples::new(), 5).is_empty());
+    }
+}

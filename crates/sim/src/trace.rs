@@ -1,0 +1,189 @@
+//! Lightweight event tracing.
+//!
+//! SSFNet "provides extensive facilities to log events" (§2.1); our
+//! equivalent is a bounded in-memory trace that components append records to
+//! and tests/experiments inspect or dump. Tracing is off by default and has
+//! near-zero cost when disabled.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Category of a trace record, so consumers can filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Packet transmitted onto a link.
+    PacketSent,
+    /// Packet delivered to a socket.
+    PacketDelivered,
+    /// Packet dropped (loss model, queue overflow, MTU).
+    PacketDropped,
+    /// Group-communication protocol event.
+    Protocol,
+    /// Database engine event (lock wait, abort, commit...).
+    Database,
+    /// Fault-injection action.
+    Fault,
+    /// Anything else.
+    Other,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form description (e.g. "site2: abcast seq=42 len=512").
+    pub message: String,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+/// Shared handle to a bounded trace buffer.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_sim::{Trace, TraceKind, SimTime};
+///
+/// let trace = Trace::bounded(16);
+/// trace.record(SimTime::ZERO, TraceKind::Protocol, "hello".into());
+/// assert_eq!(trace.snapshot().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Trace {
+    /// Creates a disabled trace (records are discarded without allocation).
+    pub fn disabled() -> Self {
+        Trace {
+            inner: Rc::new(RefCell::new(Inner {
+                enabled: false,
+                capacity: 0,
+                records: VecDeque::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Creates an enabled trace keeping at most `capacity` newest records.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            inner: Rc::new(RefCell::new(Inner {
+                enabled: true,
+                capacity,
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Appends a record (no-op when disabled). Oldest records are evicted
+    /// once `capacity` is exceeded.
+    pub fn record(&self, at: SimTime, kind: TraceKind, message: String) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+            inner.dropped += 1;
+        }
+        inner.records.push_back(TraceRecord { at, kind, message });
+    }
+
+    /// Like [`record`](Trace::record) but only formats the message when the
+    /// trace is enabled.
+    pub fn record_with(&self, at: SimTime, kind: TraceKind, f: impl FnOnce() -> String) {
+        if self.is_enabled() {
+            self.record(at, kind, f());
+        }
+    }
+
+    /// Copies out the current records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner.borrow().records.iter().cloned().collect()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Number of records matching `kind`.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.inner.borrow().records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Clears all records.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.records.clear();
+        inner.dropped = 0;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_discards() {
+        let t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::Other, "x".into());
+        assert!(t.snapshot().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_evicts_oldest() {
+        let t = Trace::bounded(2);
+        for i in 0..3 {
+            t.record(SimTime::from_nanos(i), TraceKind::Other, i.to_string());
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].message, "1");
+        assert_eq!(t.evicted(), 1);
+    }
+
+    #[test]
+    fn record_with_skips_formatting_when_disabled() {
+        let t = Trace::disabled();
+        t.record_with(SimTime::ZERO, TraceKind::Other, || panic!("must not format"));
+    }
+
+    #[test]
+    fn count_filters_by_kind() {
+        let t = Trace::bounded(8);
+        t.record(SimTime::ZERO, TraceKind::PacketSent, "a".into());
+        t.record(SimTime::ZERO, TraceKind::PacketDropped, "b".into());
+        t.record(SimTime::ZERO, TraceKind::PacketSent, "c".into());
+        assert_eq!(t.count(TraceKind::PacketSent), 2);
+        assert_eq!(t.count(TraceKind::PacketDropped), 1);
+        t.clear();
+        assert_eq!(t.count(TraceKind::PacketSent), 0);
+    }
+}

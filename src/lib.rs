@@ -1,0 +1,44 @@
+//! # dbsm-testbed
+//!
+//! A Rust reproduction of *"Testing the Dependability and Performance of
+//! Group Communication Based Database Replication Protocols"* (Sousa,
+//! Pereira, Soares, Correia Jr., Rocha, Oliveira, Moura — DSN 2005): a
+//! testing tool that runs **real implementations** of the Database State
+//! Machine's certification and group-communication protocols inside a
+//! **simulated environment** — network, database engine and TPC-C traffic —
+//! under a centralized simulation runtime with global observation and fault
+//! injection.
+//!
+//! This umbrella crate re-exports the workspace so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`sim`] — discrete-event kernel, simulated CPUs, the CSRT (§2)
+//! * [`net`] — the SSFNet-role network model (§2.1)
+//! * [`cert`] — the certification prototype, real code (§3.3)
+//! * [`gcs`] — the group-communication prototype, real code (§3.4)
+//! * [`db`] — the database server model (§3.1)
+//! * [`tpcc`] — the TPC-C traffic generator (§3.2)
+//! * [`fault`] — fault plans and the off-line safety checker (§5.3)
+//! * [`core`] — the assembled replicated-database model and experiment
+//!   runner (§3–§5)
+//!
+//! # Examples
+//!
+//! ```
+//! use dbsm_testbed::core::{run_experiment, ExperimentConfig};
+//!
+//! // Three replicas, thirty clients, a short measured run.
+//! let metrics = run_experiment(ExperimentConfig::replicated(3, 30).with_target(40));
+//! assert!(metrics.committed() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dbsm_cert as cert;
+pub use dbsm_core as core;
+pub use dbsm_db as db;
+pub use dbsm_fault as fault;
+pub use dbsm_gcs as gcs;
+pub use dbsm_net as net;
+pub use dbsm_sim as sim;
+pub use dbsm_tpcc as tpcc;

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocol invariants.
+
+use dbsm_testbed::cert::{
+    marshal, unmarshal, CertRequest, Certifier, RwSet, SiteId, TableId, TupleId,
+};
+use dbsm_testbed::gcs::{NodeId, NodeSet};
+use dbsm_testbed::sim::stats::Samples;
+use proptest::prelude::*;
+
+fn arb_tuple_id() -> impl Strategy<Value = TupleId> {
+    (0u16..8, 1u64..10_000).prop_map(|(t, r)| TupleId::new(TableId(t), r))
+}
+
+fn arb_rwset(max: usize) -> impl Strategy<Value = RwSet> {
+    prop::collection::vec(arb_tuple_id(), 0..max).prop_map(RwSet::from_unsorted)
+}
+
+proptest! {
+    #[test]
+    fn tuple_id_roundtrips_raw(t in 0u16..u16::MAX, r in 1u64..(1u64 << 48)) {
+        let id = TupleId::new(TableId(t), r);
+        let back = TupleId::from_raw(id.as_raw());
+        prop_assert_eq!(back, id);
+        prop_assert_eq!(back.table(), TableId(t));
+        prop_assert_eq!(back.row(), r);
+    }
+
+    #[test]
+    fn rwset_is_sorted_and_unique(ids in prop::collection::vec(arb_tuple_id(), 0..64)) {
+        let set = RwSet::from_unsorted(ids.clone());
+        prop_assert!(set.ids().windows(2).all(|w| w[0] < w[1]));
+        for id in &ids {
+            prop_assert!(set.contains(*id));
+        }
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_matches_naive(a in arb_rwset(32), b in arb_rwset(32)) {
+        let fast = a.intersects(&b);
+        prop_assert_eq!(fast, b.intersects(&a), "symmetry");
+        let naive = a.ids().iter().any(|x| b.ids().iter().any(|y| x.covers(*y) || y.covers(*x)));
+        prop_assert_eq!(fast, naive, "matches the quadratic oracle");
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rwset(24), b in arb_rwset(24)) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        for id in a.ids().iter().chain(b.ids()) {
+            prop_assert!(u.contains(*id));
+        }
+        prop_assert!(u.ids().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn upgrade_preserves_conflicts(raw in prop::collection::vec(arb_tuple_id(), 1..128),
+                                   threshold in 1usize..16) {
+        let set = RwSet::from_unsorted(raw);
+        let mut upgraded = set.clone();
+        upgraded.upgrade_large_tables(threshold);
+        // Upgrading can only widen, never lose, conflicts.
+        for id in set.ids() {
+            prop_assert!(upgraded.contains(*id), "lost {id}");
+        }
+        prop_assert!(upgraded.len() <= set.len());
+    }
+
+    #[test]
+    fn marshal_roundtrips(site in 0u16..64, txn in 0u64..1_000_000, start in 0u64..1_000_000,
+                          reads in arb_rwset(48), writes in arb_rwset(24),
+                          wb in 0u32..4096) {
+        let req = CertRequest {
+            site: SiteId(site), txn, start_seq: start,
+            read_set: reads, write_set: writes, write_bytes: wb,
+        };
+        let back = unmarshal(marshal(&req)).expect("roundtrip");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn truncated_marshals_never_panic(reads in arb_rwset(16), cut in 0usize..64) {
+        let req = CertRequest {
+            site: SiteId(1), txn: 1, start_seq: 0,
+            read_set: reads, write_set: RwSet::new(), write_bytes: 8,
+        };
+        let wire = marshal(&req);
+        let cut = cut.min(wire.len());
+        // Must return an error or a valid request, never panic.
+        let _ = unmarshal(wire.slice(0..cut));
+    }
+
+    #[test]
+    fn certifiers_agree_on_any_request_stream(
+        stream in prop::collection::vec(
+            (0u16..3, arb_rwset(8), arb_rwset(4), 0u64..4), 1..64)
+    ) {
+        // Two replicas fed the same totally ordered stream reach identical
+        // decisions and identical last-committed counters.
+        let mut a = Certifier::new();
+        let mut b = Certifier::new();
+        for (i, (site, reads, writes, back)) in stream.iter().enumerate() {
+            let start = a.last_committed().saturating_sub(*back);
+            let req = CertRequest {
+                site: SiteId(*site), txn: i as u64, start_seq: start,
+                read_set: reads.clone(), write_set: writes.clone(), write_bytes: 0,
+            };
+            let ra = a.certify(&req).expect("window");
+            let rb = b.certify(&req).expect("window");
+            prop_assert_eq!(ra.0, rb.0);
+        }
+        prop_assert_eq!(a.last_committed(), b.last_committed());
+    }
+
+    #[test]
+    fn certification_outcome_only_depends_on_concurrent_history(
+        writes in arb_rwset(8), reads in arb_rwset(8)
+    ) {
+        // A request whose snapshot includes every commit always commits.
+        let mut c = Certifier::new();
+        let w = CertRequest {
+            site: SiteId(0), txn: 0, start_seq: 0,
+            read_set: RwSet::new(), write_set: writes, write_bytes: 0,
+        };
+        c.certify(&w).expect("w");
+        let snapshot = c.last_committed();
+        let r = CertRequest {
+            site: SiteId(1), txn: 0, start_seq: snapshot,
+            read_set: reads, write_set: RwSet::new(), write_bytes: 0,
+        };
+        let (outcome, _) = c.certify(&r).expect("r");
+        prop_assert!(outcome.is_commit());
+    }
+
+    #[test]
+    fn nodeset_roundtrips_members(members in prop::collection::btree_set(0u16..64, 0..64)) {
+        let set: NodeSet = members.iter().map(|m| NodeId(*m)).collect();
+        prop_assert_eq!(set.len(), members.len());
+        let back: Vec<u16> = set.iter().map(|n| n.0).collect();
+        let expect: Vec<u16> = members.iter().copied().collect();
+        prop_assert_eq!(back, expect, "iteration is sorted and complete");
+    }
+
+    #[test]
+    fn nodeset_algebra_laws(a in prop::collection::btree_set(0u16..64, 0..32),
+                            b in prop::collection::btree_set(0u16..64, 0..32)) {
+        let sa: NodeSet = a.iter().map(|m| NodeId(*m)).collect();
+        let sb: NodeSet = b.iter().map(|m| NodeId(*m)).collect();
+        let union = sa.union(sb);
+        prop_assert!(sa.is_subset(union));
+        prop_assert!(sb.is_subset(union));
+        let diff = sa.difference(sb);
+        for n in diff.iter() {
+            prop_assert!(sa.contains(n));
+            prop_assert!(!sb.contains(n));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in prop::collection::vec(0.0f64..1e6, 1..256)) {
+        let mut s: Samples = values.iter().copied().collect();
+        let lo = s.quantile(0.0).expect("non-empty");
+        let mid = s.quantile(0.5).expect("non-empty");
+        let hi = s.quantile(1.0).expect("non-empty");
+        prop_assert!(lo <= mid && mid <= hi);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min && hi <= max);
+    }
+
+    #[test]
+    fn ecdf_reaches_one(values in prop::collection::vec(0.0f64..1e6, 1..128), pts in 1usize..32) {
+        let mut s: Samples = values.iter().copied().collect();
+        let e = s.ecdf(pts);
+        prop_assert_eq!(e.len(), pts);
+        let last = e.last().expect("non-empty");
+        prop_assert!((last.1 - 1.0).abs() < 1e-12);
+        prop_assert!(e.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end integration tests of the assembled testbed: the replicated
+//! database model under TPC-C load, with and without faults, checked for
+//! the paper's safety condition and basic performance sanity.
+
+use dbsm_testbed::core::{run_experiment, ExperimentConfig};
+use dbsm_testbed::fault::{check_logs, FaultPlan};
+use dbsm_testbed::sim::SimTime;
+use dbsm_testbed::tpcc::TxnClass;
+use std::time::Duration;
+
+fn crashed_flags(m: &dbsm_testbed::core::RunMetrics, sites: usize) -> Vec<bool> {
+    (0..sites as u16).map(|s| m.crashed_sites.contains(&s)).collect()
+}
+
+#[test]
+fn centralized_run_commits_and_measures() {
+    let m = run_experiment(ExperimentConfig::centralized(1, 40).with_target(400));
+    assert!(m.committed() > 300, "committed {}", m.committed());
+    assert!(m.tpm() > 0.0);
+    assert!(m.mean_latency_ms() > 0.0);
+    assert!(m.elapsed > SimTime::ZERO);
+    // The mix hit every major class.
+    assert!(m.class(TxnClass::NewOrder).submitted > 0);
+    assert!(m.class(TxnClass::PaymentLong).submitted > 0);
+}
+
+#[test]
+fn replicated_sites_commit_identical_sequences() {
+    let m = run_experiment(ExperimentConfig::replicated(3, 45).with_target(400));
+    assert!(m.committed() > 300);
+    check_logs(&m.commit_logs, &[false; 3]).expect("identical sequences");
+    // Update transactions certify: the logs must be non-trivial.
+    assert!(m.commit_logs[0].len() > 100, "log {}", m.commit_logs[0].len());
+    assert!(m.cert_latencies_ms.len() > 100);
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let a = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
+    let b = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
+    assert_eq!(a.commit_logs, b.commit_logs);
+    assert_eq!(a.committed(), b.committed());
+    assert_eq!(a.elapsed, b.elapsed);
+    let c = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(8));
+    assert_ne!(a.commit_logs, c.commit_logs, "different seed, different run");
+}
+
+#[test]
+fn safety_holds_under_random_loss() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(300)
+            .with_faults(FaultPlan::random_loss(0.05)),
+    );
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety under random loss");
+    assert!(m.committed() > 200);
+}
+
+#[test]
+fn safety_holds_under_bursty_loss() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(300)
+            .with_faults(FaultPlan::bursty_loss(0.05, 5)),
+    );
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety under bursty loss");
+}
+
+#[test]
+fn safety_holds_under_clock_drift() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(300)
+            .with_faults(FaultPlan::clock_drift(1, 1.1)),
+    );
+    let crashed = crashed_flags(&m, 3);
+    check_logs(&m.commit_logs, &crashed).expect("safety under clock drift");
+}
+
+#[test]
+fn safety_holds_under_scheduling_latency() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(300)
+            .with_faults(FaultPlan::sched_latency(Duration::from_millis(2))),
+    );
+    let crashed = crashed_flags(&m, 3);
+    check_logs(&m.commit_logs, &crashed).expect("safety under scheduling latency");
+}
+
+#[test]
+fn crash_leaves_survivors_consistent_and_live() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(600)
+            .with_faults(FaultPlan::crash(2, SimTime::from_secs(15))),
+    );
+    assert_eq!(m.crashed_sites, vec![2]);
+    check_logs(&m.commit_logs, &[false, false, true]).expect("crashed site holds a prefix");
+    // Survivors kept committing after the crash: their logs are longer than
+    // the dead site's.
+    assert!(m.commit_logs[0].len() > m.commit_logs[2].len());
+}
+
+#[test]
+fn random_loss_inflates_the_latency_tail() {
+    let base = run_experiment(ExperimentConfig::replicated(3, 45).with_target(400));
+    let lossy = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(400)
+            .with_faults(FaultPlan::random_loss(0.05)),
+    );
+    let mut b = base.pooled_latencies_ms();
+    let mut l = lossy.pooled_latencies_ms();
+    let (b99, l99) =
+        (b.percentile(99.0).expect("samples"), l.percentile(99.0).expect("samples"));
+    assert!(l99 > b99, "p99 {l99} vs fault-free {b99}");
+}
+
+#[test]
+fn payment_aborts_dominate_the_breakdown() {
+    // Table 1's structure: payment's warehouse hot-spot makes it the most
+    // abort-prone class, far above neworder. The effect needs saturation
+    // (lock hold times inflate with queueing), as in the paper's Table 1
+    // operating points.
+    let m = run_experiment(ExperimentConfig::centralized(1, 700).with_target(2500));
+    let payment = m.class(TxnClass::PaymentLong).abort_rate()
+        + m.class(TxnClass::PaymentShort).abort_rate();
+    let neworder = m.class(TxnClass::NewOrder).abort_rate();
+    assert!(
+        payment > neworder,
+        "payment {payment:.2}% should exceed neworder {neworder:.2}%"
+    );
+    // Stock-level is relaxed: never aborts.
+    assert_eq!(m.class(TxnClass::StockLevel).abort_rate(), 0.0);
+}
+
+#[test]
+fn replication_tracks_matching_cpu_centralized_throughput() {
+    // Fig. 5a's headline: 3 sites x 1 CPU ≈ 1 site x 3 CPU.
+    let clients = 150;
+    let three_cpu =
+        run_experiment(ExperimentConfig::centralized(3, clients).with_target(600));
+    let three_sites =
+        run_experiment(ExperimentConfig::replicated(3, clients).with_target(600));
+    let ratio = three_sites.tpm() / three_cpu.tpm();
+    assert!(
+        ratio > 0.75 && ratio < 1.25,
+        "replicated/centralized tpm ratio {ratio:.2} (tpm {} vs {})",
+        three_sites.tpm(),
+        three_cpu.tpm()
+    );
+}
+
+#[test]
+fn network_traffic_scales_with_sites() {
+    let three = run_experiment(ExperimentConfig::replicated(3, 45).with_target(300));
+    let six = run_experiment(ExperimentConfig::replicated(6, 48).with_target(300));
+    assert!(six.network_tx_bytes > three.network_tx_bytes);
+    assert!(three.network_kbps() > 0.0);
+}
+
+#[test]
+fn more_cpus_raise_the_saturation_point() {
+    // At a load that saturates one CPU, three CPUs commit more per minute.
+    let clients = 900;
+    let one = run_experiment(ExperimentConfig::centralized(1, clients).with_target(1200));
+    let three = run_experiment(ExperimentConfig::centralized(3, clients).with_target(1200));
+    assert!(
+        three.tpm() > one.tpm() * 1.2,
+        "3 CPU {} vs 1 CPU {}",
+        three.tpm(),
+        one.tpm()
+    );
+}
+
+#[test]
+fn disk_usage_grows_with_load() {
+    let light = run_experiment(ExperimentConfig::centralized(6, 30).with_target(300));
+    let heavy = run_experiment(ExperimentConfig::centralized(6, 300).with_target(900));
+    assert!(heavy.mean_disk_usage() > light.mean_disk_usage());
+}
+
+#[test]
+fn protocol_cpu_stays_in_the_papers_band() {
+    // Fig. 7c: protocol (real-job) CPU is a small share, ~1-2%.
+    let m = run_experiment(ExperimentConfig::replicated(3, 90).with_target(500));
+    let (_total, real) = m.mean_cpu_usage();
+    assert!(real > 0.0, "protocol CPU must be visible");
+    assert!(real < 0.15, "protocol CPU {real:.3} unexpectedly high");
+}
