@@ -17,7 +17,14 @@ fn rwset(table: u16, base: u64, n: u64) -> RwSet {
 }
 
 fn req(site: u16, txn: u64, start: u64, reads: RwSet, writes: RwSet) -> CertRequest {
-    CertRequest { site: SiteId(site), txn, start_seq: start, read_set: reads, write_set: writes, write_bytes: 256 }
+    CertRequest {
+        site: SiteId(site),
+        txn,
+        start_seq: start,
+        read_set: reads,
+        write_set: writes,
+        write_bytes: 256,
+    }
 }
 
 fn bench_certification(c: &mut Criterion) {
@@ -152,7 +159,11 @@ fn bench_network_pump(c: &mut Criterion) {
             net.bind(Addr::new(h1, Port(9)), |_| {}).expect("bind");
             let payload = Bytes::from(vec![0u8; 512]);
             for _ in 0..1000 {
-                net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), payload.clone());
+                net.send(
+                    Addr::new(h0, Port(1)),
+                    Dest::Unicast(Addr::new(h1, Port(9))),
+                    payload.clone(),
+                );
             }
             sim.run();
             black_box(net.stats().host(1).rx_packets)

@@ -13,7 +13,10 @@ fn main() {
     let native_window = Duration::from_millis(120);
 
     println!("# Fig 3a/3b: flooding bandwidth (Mbit/s)");
-    println!("{:>8} {:>14} {:>14} {:>14} {:>14}", "size", "written(real)", "written(CSRT)", "recv(real)", "recv(CSRT)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "size", "written(real)", "written(CSRT)", "recv(real)", "recv(CSRT)"
+    );
     for &size in &sizes {
         let sim = flood_sim(size, sim_window, overhead);
         let real = flood_native(size, native_window, Some(100.0))

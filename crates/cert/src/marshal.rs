@@ -140,10 +140,7 @@ mod tests {
             site: SiteId(3),
             txn: 42,
             start_seq: 1000,
-            read_set: RwSet::from_iter([
-                TupleId::new(TableId(1), 5),
-                TupleId::new(TableId(2), 9),
-            ]),
+            read_set: RwSet::from_iter([TupleId::new(TableId(1), 5), TupleId::new(TableId(2), 9)]),
             write_set: RwSet::from_iter([TupleId::new(TableId(2), 9)]),
             write_bytes: 137,
         }

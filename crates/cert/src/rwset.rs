@@ -68,8 +68,7 @@ impl RwSet {
         if self.ids.binary_search(&id).is_ok() {
             return true;
         }
-        !id.is_table_level()
-            && self.ids.binary_search(&TupleId::table_level(id.table())).is_ok()
+        !id.is_table_level() && self.ids.binary_search(&TupleId::table_level(id.table())).is_ok()
     }
 
     /// Single-traversal intersection test with wildcard awareness: a

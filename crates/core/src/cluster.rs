@@ -215,8 +215,11 @@ impl Cluster {
                 FaultSpec::RandomLoss { target, p } => {
                     for (i, s) in self.sites.iter().enumerate() {
                         if target.includes(i as u16) {
-                            let seed =
-                                derive_seed_indexed(self.cfg.seed, "loss", i as u64 + 17 * spec_idx as u64);
+                            let seed = derive_seed_indexed(
+                                self.cfg.seed,
+                                "loss",
+                                i as u64 + 17 * spec_idx as u64,
+                            );
                             self.net.set_loss(s.host, Box::new(RandomLoss::new(*p, seed)));
                         }
                     }
@@ -224,8 +227,11 @@ impl Cluster {
                 FaultSpec::BurstyLoss { target, fraction, mean_burst } => {
                     for (i, s) in self.sites.iter().enumerate() {
                         if target.includes(i as u16) {
-                            let seed =
-                                derive_seed_indexed(self.cfg.seed, "burst", i as u64 + 17 * spec_idx as u64);
+                            let seed = derive_seed_indexed(
+                                self.cfg.seed,
+                                "burst",
+                                i as u64 + 17 * spec_idx as u64,
+                            );
                             self.net.set_loss(
                                 s.host,
                                 Box::new(BurstyLoss::new(*fraction, *mean_burst, seed)),
@@ -308,11 +314,7 @@ impl Cluster {
             let usage = s.cpu.usage();
             let denom = el * self.cfg.cpus_per_site as f64;
             metrics.site_usage[i] = SiteUsage {
-                cpu_total: if denom > 0.0 {
-                    usage.busy_total().as_secs_f64() / denom
-                } else {
-                    0.0
-                },
+                cpu_total: if denom > 0.0 { usage.busy_total().as_secs_f64() / denom } else { 0.0 },
                 cpu_real: if denom > 0.0 { usage.busy_real.as_secs_f64() / denom } else { 0.0 },
                 disk: s.engine.storage().utilization(elapsed),
             };

@@ -130,8 +130,7 @@ impl Default for CertCostModel {
 impl CertCostModel {
     /// Cost of marshalling `bytes`.
     pub fn marshal(&self, bytes: usize) -> Duration {
-        self.marshal_fixed
-            + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
+        self.marshal_fixed + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
     }
 
     /// Cost of certifying with `comparisons` merge steps.

@@ -455,9 +455,7 @@ pub fn real_rig_run(cfg: RigConfig) -> LatencySplit {
                     }
                 }
                 if acquired {
-                    rig.spin(Duration::from_secs_f64(
-                        spec.cpu.as_secs_f64() * rig.cfg.cpu_scale,
-                    ));
+                    rig.spin(Duration::from_secs_f64(spec.cpu.as_secs_f64() * rig.cfg.cpu_scale));
                     if !spec.read_only && !spec.user_abort {
                         rig.disk_io(spec.write_set.len() as u32, disk_latency, disk_channels);
                     }
@@ -487,9 +485,7 @@ pub fn real_rig_run(cfg: RigConfig) -> LatencySplit {
     for h in handles {
         h.join().expect("rig thread");
     }
-    Arc::try_unwrap(results)
-        .map(|m| m.into_inner().expect("results lock"))
-        .unwrap_or_default()
+    Arc::try_unwrap(results).map(|m| m.into_inner().expect("results lock")).unwrap_or_default()
 }
 
 /// The simulation side of Fig. 4: the same scaled workload through the
@@ -500,8 +496,7 @@ pub fn sim_rig_run(cfg: RigConfig) -> LatencySplit {
         .with_seed(cfg.seed);
     // Scale CPU demands and think times identically to the rig. CPU speed
     // scales simulated processing, so speed = 1/scale shrinks demands.
-    xc.think_mean =
-        Duration::from_secs_f64(xc.think_mean.as_secs_f64() * cfg.think_scale);
+    xc.think_mean = Duration::from_secs_f64(xc.think_mean.as_secs_f64() * cfg.think_scale);
     xc.storage.latency = Duration::from_secs_f64(1650e-6 * cfg.cpu_scale.max(0.01));
     let mut gcs = dbsm_gcs::GcsConfig::lan(1);
     gcs.n_nodes = 1;

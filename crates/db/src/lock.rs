@@ -142,8 +142,7 @@ impl LockTable {
                 .iter()
                 .copied()
                 .filter(|c| {
-                    self.holders.get(c).map(|h| h.kind == OwnerKind::LocalAbortable)
-                        == Some(true)
+                    self.holders.get(c).map(|h| h.kind == OwnerKind::LocalAbortable) == Some(true)
                 })
                 .collect();
             if !abortable.is_empty() {

@@ -31,11 +31,7 @@ impl StorageConfig {
     /// above 98%, so the model is configured with 100% read hits ("read
     /// items do not directly consume storage bandwidth").
     pub fn raid5_fibre() -> Self {
-        StorageConfig {
-            latency: Duration::from_micros(1650),
-            concurrency: 4,
-            cache_hit: 1.0,
-        }
+        StorageConfig { latency: Duration::from_micros(1650), concurrency: 4, cache_hit: 1.0 }
     }
 
     /// Sustainable sector throughput (sectors per second).

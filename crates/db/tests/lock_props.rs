@@ -2,8 +2,8 @@
 //! acquisitions and releases, the core invariants of the multi-version
 //! policy hold — exclusivity, atomicity, no lost waiters, no deadlock.
 
-use dbsm_db::{Acquire, CcPolicy, LockTable, OwnerKind, TxnId};
 use dbsm_cert::{TableId, TupleId};
+use dbsm_db::{Acquire, CcPolicy, LockTable, OwnerKind, TxnId};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 

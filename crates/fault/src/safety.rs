@@ -45,10 +45,9 @@ pub enum Divergence {
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Divergence::Mismatch { a, b, position, at_a, at_b } => write!(
-                f,
-                "sites {a} and {b} diverge at position {position}: {at_a:?} vs {at_b:?}"
-            ),
+            Divergence::Mismatch { a, b, position, at_a, at_b } => {
+                write!(f, "sites {a} and {b} diverge at position {position}: {at_a:?} vs {at_b:?}")
+            }
             Divergence::CrashedNotPrefix { site, position } => {
                 write!(f, "crashed site {site} committed beyond the group at position {position}")
             }
@@ -81,8 +80,7 @@ pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence
             }
         }
     }
-    let operational: Vec<usize> =
-        (0..logs.len()).filter(|i| !crashed[*i]).collect();
+    let operational: Vec<usize> = (0..logs.len()).filter(|i| !crashed[*i]).collect();
     // Pairwise equality over operational sites (transitively sufficient
     // against the first one).
     if let Some(&first) = operational.first() {
@@ -151,10 +149,7 @@ mod tests {
     fn crashed_prefix_passes() {
         let full = log(&[(0, 1), (1, 1), (0, 2)]);
         let prefix = log(&[(0, 1), (1, 1)]);
-        assert_eq!(
-            check_logs(&[full.clone(), full, prefix], &[false, false, true]),
-            Ok(())
-        );
+        assert_eq!(check_logs(&[full.clone(), full, prefix], &[false, false, true]), Ok(()));
     }
 
     #[test]

@@ -15,8 +15,8 @@ use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
 use crate::stack::{Gcs, Upcall};
 use crate::types::NodeId;
 use bytes::Bytes;
-use std::collections::{BinaryHeap, HashSet};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -198,8 +198,8 @@ impl NativeBridge {
                 activity = true;
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
             Err(e) => return Err(e),
         }
         Ok(activity)

@@ -11,9 +11,9 @@ use crate::types::NodeId;
 use bytes::Bytes;
 use dbsm_net::{Addr, Dest, GroupId, Network};
 use dbsm_sim::{CpuBank, EventId, RealContext};
+use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -321,11 +321,11 @@ mod tests {
     use dbsm_net::{NetworkBuilder, Port, SegmentConfig};
     use dbsm_sim::{ProfilerMode, Sim};
 
+    /// Per-node log of `(sender, payload)` deliveries.
+    type DeliveryLog = Rc<RefCell<Vec<Vec<(NodeId, Bytes)>>>>;
+
     /// Builds an n-node group over a simulated LAN; returns upcall logs.
-    fn build(
-        n: usize,
-        cfg: GcsConfig,
-    ) -> (Sim, Vec<SimBridge>, Rc<RefCell<Vec<Vec<(NodeId, Bytes)>>>>, Network) {
+    fn build(n: usize, cfg: GcsConfig) -> (Sim, Vec<SimBridge>, DeliveryLog, Network) {
         let sim = Sim::new();
         let mut b = NetworkBuilder::new(&sim);
         let lan = b.lan(SegmentConfig::fast_ethernet());
@@ -334,8 +334,7 @@ mod tests {
         let port = Port(7000);
         let peers: Vec<Addr> = hosts.iter().map(|h| Addr::new(*h, port)).collect();
         let group = GroupId(1);
-        let delivered: Rc<RefCell<Vec<Vec<(NodeId, Bytes)>>>> =
-            Rc::new(RefCell::new(vec![Vec::new(); n]));
+        let delivered: DeliveryLog = Rc::new(RefCell::new(vec![Vec::new(); n]));
         let mut bridges = Vec::new();
         for i in 0..n {
             let cpu = CpuBank::new(&sim, 1, ProfilerMode::synthetic());

@@ -104,7 +104,7 @@ mod tests {
         let mut count = 0u64;
         net.set_drop_fn(move |_, _, _| {
             count += 1;
-            count % 5 == 0
+            count.is_multiple_of(5)
         });
         for i in 0..20u64 {
             net.broadcast(NodeId((i % 3) as u16), payload(i));

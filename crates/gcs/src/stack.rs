@@ -18,9 +18,7 @@ use crate::config::GcsConfig;
 use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
 use crate::stability::Stability;
 use crate::types::{NodeId, NodeSet, View};
-use crate::wire::{
-    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign,
-};
+use crate::wire::{decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign};
 use bytes::{Bytes, BytesMut};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -89,12 +87,6 @@ struct Assembler {
     total: u16,
     kind: PayloadKind,
     frags: Vec<Bytes>,
-}
-
-impl Default for PayloadKind {
-    fn default() -> Self {
-        PayloadKind::App
-    }
 }
 
 impl Assembler {
@@ -454,7 +446,12 @@ impl Gcs {
         }
     }
 
-    fn transmit_message(&mut self, rt: &mut dyn ProtocolRuntime, kind: PayloadKind, payload: Bytes) {
+    fn transmit_message(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        kind: PayloadKind,
+        payload: Bytes,
+    ) {
         let fp = self.cfg.frag_payload();
         let total = self.frags_needed(payload.len()) as u16;
         for idx in 0..total {
@@ -542,17 +539,25 @@ impl Gcs {
 
     fn received_vec(&self) -> Vec<u64> {
         (0..self.cfg.n_nodes)
-            .map(|j| {
-                if j == self.me.0 as usize {
-                    self.send.sent()
-                } else {
-                    self.recv[j].contiguous
-                }
-            })
+            .map(
+                |j| {
+                    if j == self.me.0 as usize {
+                        self.send.sent()
+                    } else {
+                        self.recv[j].contiguous
+                    }
+                },
+            )
             .collect()
     }
 
-    fn on_fragment(&mut self, rt: &mut dyn ProtocolRuntime, from: NodeId, seq: u64, rec: FragRecord) {
+    fn on_fragment(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        from: NodeId,
+        seq: u64,
+        rec: FragRecord,
+    ) {
         let j = from.0 as usize;
         let is_self = from == self.me;
         let stream = &mut self.recv[j];
@@ -873,7 +878,8 @@ impl Gcs {
         self.freeze_excluded(proposed);
         let mut acks = HashMap::new();
         acks.insert(self.me.0, self.received_vec());
-        self.phase = Phase::Flushing { new_view, proposed, acks, pending_install: None, sent_install: None };
+        self.phase =
+            Phase::Flushing { new_view, proposed, acks, pending_install: None, sent_install: None };
         let env = Envelope {
             sender: self.me,
             view: self.view.id,
@@ -958,8 +964,7 @@ impl Gcs {
     }
 
     fn check_flush_complete(&mut self, rt: &mut dyn ProtocolRuntime) {
-        let Phase::Flushing { new_view, proposed, acks, sent_install, .. } = &mut self.phase
-        else {
+        let Phase::Flushing { new_view, proposed, acks, sent_install, .. } = &mut self.phase else {
             return;
         };
         if sent_install.is_some() {
@@ -1030,6 +1035,9 @@ impl Gcs {
         // replay buffered fragments now allowed through; fragments still
         // missing will be NAKed from the survivors by nak_scan.
         let mut reached = true;
+        // Index loop: `j` addresses both `cut` and `self.recv` while
+        // `advance_stream` re-borrows `self` mutably.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..self.cfg.n_nodes {
             let node = NodeId(j as u16);
             if node == self.me || members.contains(node) || !self.view.members.contains(node) {
@@ -1052,8 +1060,16 @@ impl Gcs {
         }
     }
 
-    fn install(&mut self, rt: &mut dyn ProtocolRuntime, new_view: u64, members: NodeSet, cut: Vec<u64>) {
+    fn install(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        new_view: u64,
+        members: NodeSet,
+        cut: Vec<u64>,
+    ) {
         // Drop undeliverable fragments beyond the cut for dead streams.
+        // Index loop: `j` addresses both `cut` and `self.recv`.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..self.cfg.n_nodes {
             let node = NodeId(j as u16);
             if node == self.me || members.contains(node) {
@@ -1092,13 +1108,8 @@ impl Gcs {
         // New sequencer sequences everything left unassigned,
         // deterministically ordered.
         if self.i_am_sequencer() {
-            let mut unassigned: Vec<(u16, u64)> = self
-                .to
-                .store
-                .keys()
-                .filter(|k| !self.to.assigned.contains(k))
-                .copied()
-                .collect();
+            let mut unassigned: Vec<(u16, u64)> =
+                self.to.store.keys().filter(|k| !self.to.assigned.contains(k)).copied().collect();
             unassigned.sort_unstable();
             for (origin, msg_seq) in unassigned {
                 self.assign(rt, NodeId(origin), msg_seq);
@@ -1120,8 +1131,7 @@ impl Gcs {
             TimerKind::Gossip => {
                 let received = self.received_vec();
                 let g = self.stab.make_gossip(&received);
-                let env =
-                    Envelope { sender: self.me, view: self.view.id, msg: Message::Gossip(g) };
+                let env = Envelope { sender: self.me, view: self.view.id, msg: Message::Gossip(g) };
                 rt.multicast(env.encode());
                 self.metrics.gossip_sent += 1;
                 // Completing our own vote may already advance stability.

@@ -12,8 +12,8 @@ use crate::stack::{Gcs, Upcall};
 use crate::types::NodeId;
 use bytes::Bytes;
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashSet};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -21,6 +21,9 @@ enum Event {
     Packet { to: NodeId, raw: Bytes },
     Timer { node: NodeId, kind: TimerKind, id: TimerId },
 }
+
+/// Per-link loss decision: `drop_fn(from, to, bytes) -> drop?`.
+type DropFn = Box<dyn FnMut(NodeId, NodeId, &Bytes) -> bool>;
 
 struct Shared {
     now: u64,
@@ -30,7 +33,7 @@ struct Shared {
     events: Vec<Option<Event>>,
     cancelled: HashSet<u64>,
     /// drop_fn(from, to, bytes) -> drop?
-    drop_fn: Box<dyn FnMut(NodeId, NodeId, &Bytes) -> bool>,
+    drop_fn: DropFn,
     latency_ns: u64,
     crashed: HashSet<u16>,
 }

@@ -14,9 +14,10 @@ const MAGIC: u8 = 0x5D;
 
 /// What a reassembled reliable message contains, so the stack can route it
 /// to the application or to the total-order module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum PayloadKind {
     /// Application data (a marshalled certification request for the DBSM).
+    #[default]
     App,
     /// Sequencer announcements (total-order metadata) — deliberately shipped
     /// through the *reliable* layer so they consume the sequencer's buffer

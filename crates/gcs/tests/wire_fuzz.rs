@@ -19,12 +19,7 @@ fn arb_vec64(n: usize) -> impl Strategy<Value = Vec<u64>> {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (
-            any::<u64>(),
-            1u16..64,
-            any::<bool>(),
-            prop::collection::vec(any::<u8>(), 0..512)
-        )
+        (any::<u64>(), 1u16..64, any::<bool>(), prop::collection::vec(any::<u8>(), 0..512))
             .prop_flat_map(|(seq, total, retrans, payload)| {
                 (0..total).prop_map(move |idx| Message::Data {
                     seq,
@@ -46,8 +41,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(v, m)| Message::FlushReq { new_view: v, members: m }),
         (any::<u64>(), arb_vec64(16))
             .prop_map(|(v, r)| Message::FlushAck { new_view: v, received: r }),
-        (any::<u64>(), arb_nodeset(), arb_vec64(16))
-            .prop_map(|(v, m, c)| Message::ViewInstall { new_view: v, members: m, cut: c }),
+        (any::<u64>(), arb_nodeset(), arb_vec64(16)).prop_map(|(v, m, c)| Message::ViewInstall {
+            new_view: v,
+            members: m,
+            cut: c
+        }),
     ]
 }
 

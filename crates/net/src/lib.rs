@@ -123,7 +123,11 @@ mod tests {
         let got1 = collector(&net, Addr::new(hosts[1], Port(9)));
         let got2 = collector(&net, Addr::new(hosts[2], Port(9)));
         let got3 = collector(&net, Addr::new(hosts[3], Port(9)));
-        net.send(Addr::new(hosts[0], Port(1)), Dest::Multicast(g, Port(9)), Bytes::from_static(b"m"));
+        net.send(
+            Addr::new(hosts[0], Port(1)),
+            Dest::Multicast(g, Port(9)),
+            Bytes::from_static(b"m"),
+        );
         sim.run();
         assert_eq!(got1.borrow().len(), 1);
         assert_eq!(got2.borrow().len(), 1);
@@ -263,7 +267,11 @@ mod tests {
         })
         .expect("bind responder");
         let got = collector(&net, Addr::new(h0, Port(1)));
-        net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::from_static(b"x"));
+        net.send(
+            Addr::new(h0, Port(1)),
+            Dest::Unicast(Addr::new(h1, Port(9))),
+            Bytes::from_static(b"x"),
+        );
         sim.run();
         assert_eq!(got.borrow().len(), 1, "round trip completed");
     }

@@ -333,14 +333,7 @@ impl Network {
         }
     }
 
-    fn deliver(
-        &self,
-        from: Addr,
-        to: Addr,
-        group: Option<GroupId>,
-        payload: Bytes,
-        wire: usize,
-    ) {
+    fn deliver(&self, from: Addr, to: Addr, group: Option<GroupId>, payload: Bytes, wire: usize) {
         let now = self.sim.now();
         let handler: Option<Handler> = {
             let mut st = self.state.borrow_mut();

@@ -209,7 +209,9 @@ mod tests {
     use super::*;
     use std::cell::RefCell;
 
-    fn recorder() -> (Rc<RefCell<Vec<u32>>>, impl Fn(u32) -> Box<dyn FnOnce()>) {
+    type Log = Rc<RefCell<Vec<u32>>>;
+
+    fn recorder() -> (Log, impl Fn(u32) -> Box<dyn FnOnce()>) {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
         let mk = move |v: u32| {

@@ -135,7 +135,7 @@ pub fn duration_to_nanos(d: Duration) -> u64 {
 /// Scales a duration by a dimensionless factor, used for CPU-speed scaling
 /// and fault-injection clock drift. Negative or NaN factors are clamped to 0.
 pub fn scale_duration(d: Duration, factor: f64) -> Duration {
-    if !(factor > 0.0) {
+    if factor.is_nan() || factor <= 0.0 {
         return Duration::ZERO;
     }
     let ns = duration_to_nanos(d) as f64 * factor;

@@ -124,7 +124,15 @@ impl TpccGen {
         for _ in 0..n_districts {
             districts.push(DistrictState { next_o_id: 3001, ..DistrictState::default() });
         }
-        TpccGen { cfg, warehouses, rng, nurand_c, districts, last_order: HashMap::new(), history_counter: 0 }
+        TpccGen {
+            cfg,
+            warehouses,
+            rng,
+            nurand_c,
+            districts,
+            last_order: HashMap::new(),
+            history_counter: 0,
+        }
     }
 
     /// Number of warehouses backing the run.
@@ -232,8 +240,7 @@ impl TpccGen {
         let didx = district_index(w, d);
         let c = customer_id(&mut self.rng, &self.nurand_c);
         let ol_cnt = self.rng.gen_range(5..=15u64);
-        let mut reads =
-            vec![warehouse_row(w), district_row(w, d), customer_row(w, d, c)];
+        let mut reads = vec![warehouse_row(w), district_row(w, d), customer_row(w, d, c)];
         let mut writes = vec![district_row(w, d)];
         let o_id = {
             let ds = &mut self.districts[didx as usize];
@@ -329,8 +336,7 @@ impl TpccGen {
                 reads.push(order_line_row(didx, o_id, l));
             }
         }
-        let class =
-            if by_name { TxnClass::OrderStatusLong } else { TxnClass::OrderStatusShort };
+        let class = if by_name { TxnClass::OrderStatusLong } else { TxnClass::OrderStatusShort };
         self.finish(class, reads, Vec::new(), false)
     }
 
@@ -449,17 +455,21 @@ mod tests {
     #[test]
     fn orderstatus_reads_the_last_order() {
         let mut g = generator(10);
-        // Create some orders first.
-        for _ in 0..50 {
+        // Create some orders first. The NURand customer draw is shared
+        // between new-order and order-status, but a hit on the same
+        // (district, customer) pair is still rare — seed enough orders and
+        // probe until one lands so the test is robust to the RNG stream.
+        for _ in 0..300 {
             let _ = g.request_for(0, TxnClass::NewOrder);
         }
         let mut with_order = 0;
-        for _ in 0..50 {
+        for _ in 0..2000 {
             let r = g.request_for(0, TxnClass::OrderStatusShort);
             assert!(r.spec.read_only);
             assert!(r.spec.write_set.is_empty());
             if r.spec.read_set.len() > 1 {
                 with_order += 1;
+                break;
             }
         }
         assert!(with_order > 0, "some order-status hits an existing order");

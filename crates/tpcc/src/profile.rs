@@ -74,12 +74,8 @@ pub fn profile(class: TxnClass) -> ClassProfile {
     let commit_ms = 1.8;
     match class {
         TxnClass::NewOrder => ClassProfile { mean_ms: 16.0, sd_ms: 4.0, min_ms: 6.0, commit_ms },
-        TxnClass::PaymentLong => {
-            ClassProfile { mean_ms: 11.0, sd_ms: 2.5, min_ms: 5.0, commit_ms }
-        }
-        TxnClass::PaymentShort => {
-            ClassProfile { mean_ms: 7.5, sd_ms: 1.5, min_ms: 3.5, commit_ms }
-        }
+        TxnClass::PaymentLong => ClassProfile { mean_ms: 11.0, sd_ms: 2.5, min_ms: 5.0, commit_ms },
+        TxnClass::PaymentShort => ClassProfile { mean_ms: 7.5, sd_ms: 1.5, min_ms: 3.5, commit_ms },
         TxnClass::OrderStatusLong => {
             ClassProfile { mean_ms: 8.0, sd_ms: 2.0, min_ms: 3.0, commit_ms }
         }
@@ -87,9 +83,7 @@ pub fn profile(class: TxnClass) -> ClassProfile {
             ClassProfile { mean_ms: 5.0, sd_ms: 1.0, min_ms: 2.0, commit_ms }
         }
         TxnClass::Delivery => ClassProfile { mean_ms: 55.0, sd_ms: 10.0, min_ms: 25.0, commit_ms },
-        TxnClass::StockLevel => {
-            ClassProfile { mean_ms: 32.0, sd_ms: 8.0, min_ms: 12.0, commit_ms }
-        }
+        TxnClass::StockLevel => ClassProfile { mean_ms: 32.0, sd_ms: 8.0, min_ms: 12.0, commit_ms },
     }
 }
 

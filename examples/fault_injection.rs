@@ -15,8 +15,7 @@ use std::time::Duration;
 fn run(label: &str, faults: FaultPlan) -> RunMetrics {
     let cfg = ExperimentConfig::replicated(3, 120).with_target(1200).with_faults(faults);
     let metrics = run_experiment(cfg);
-    let crashed: Vec<bool> =
-        (0..3u16).map(|s| metrics.crashed_sites.contains(&s)).collect();
+    let crashed: Vec<bool> = (0..3u16).map(|s| metrics.crashed_sites.contains(&s)).collect();
     check_logs(&metrics.commit_logs, &crashed).expect("safety violated");
     let mut lat = metrics.pooled_latencies_ms();
     println!(

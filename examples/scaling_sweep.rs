@@ -19,10 +19,7 @@ fn main() {
         let one = run_experiment(ExperimentConfig::centralized(1, clients).with_target(txns));
         let three = run_experiment(ExperimentConfig::centralized(3, clients).with_target(txns));
         let sites = run_experiment(ExperimentConfig::replicated(3, clients).with_target(txns));
-        println!(
-            "{}",
-            report::series_row(clients, &[one.tpm(), three.tpm(), sites.tpm()])
-        );
+        println!("{}", report::series_row(clients, &[one.tpm(), three.tpm(), sites.tpm()]));
         rows.push((clients, one, three, sites));
     }
 
@@ -41,7 +38,10 @@ fn main() {
     for (clients, one, three, sites) in &rows {
         println!(
             "{}",
-            report::series_row(*clients, &[one.abort_rate(), three.abort_rate(), sites.abort_rate()])
+            report::series_row(
+                *clients,
+                &[one.abort_rate(), three.abort_rate(), sites.abort_rate()]
+            )
         );
     }
 

@@ -112,8 +112,7 @@ fn random_loss_inflates_the_latency_tail() {
     );
     let mut b = base.pooled_latencies_ms();
     let mut l = lossy.pooled_latencies_ms();
-    let (b99, l99) =
-        (b.percentile(99.0).expect("samples"), l.percentile(99.0).expect("samples"));
+    let (b99, l99) = (b.percentile(99.0).expect("samples"), l.percentile(99.0).expect("samples"));
     assert!(l99 > b99, "p99 {l99} vs fault-free {b99}");
 }
 
@@ -124,13 +123,10 @@ fn payment_aborts_dominate_the_breakdown() {
     // (lock hold times inflate with queueing), as in the paper's Table 1
     // operating points.
     let m = run_experiment(ExperimentConfig::centralized(1, 700).with_target(2500));
-    let payment = m.class(TxnClass::PaymentLong).abort_rate()
-        + m.class(TxnClass::PaymentShort).abort_rate();
+    let payment =
+        m.class(TxnClass::PaymentLong).abort_rate() + m.class(TxnClass::PaymentShort).abort_rate();
     let neworder = m.class(TxnClass::NewOrder).abort_rate();
-    assert!(
-        payment > neworder,
-        "payment {payment:.2}% should exceed neworder {neworder:.2}%"
-    );
+    assert!(payment > neworder, "payment {payment:.2}% should exceed neworder {neworder:.2}%");
     // Stock-level is relaxed: never aborts.
     assert_eq!(m.class(TxnClass::StockLevel).abort_rate(), 0.0);
 }
@@ -139,10 +135,8 @@ fn payment_aborts_dominate_the_breakdown() {
 fn replication_tracks_matching_cpu_centralized_throughput() {
     // Fig. 5a's headline: 3 sites x 1 CPU ≈ 1 site x 3 CPU.
     let clients = 150;
-    let three_cpu =
-        run_experiment(ExperimentConfig::centralized(3, clients).with_target(600));
-    let three_sites =
-        run_experiment(ExperimentConfig::replicated(3, clients).with_target(600));
+    let three_cpu = run_experiment(ExperimentConfig::centralized(3, clients).with_target(600));
+    let three_sites = run_experiment(ExperimentConfig::replicated(3, clients).with_target(600));
     let ratio = three_sites.tpm() / three_cpu.tpm();
     assert!(
         ratio > 0.75 && ratio < 1.25,
@@ -166,12 +160,7 @@ fn more_cpus_raise_the_saturation_point() {
     let clients = 900;
     let one = run_experiment(ExperimentConfig::centralized(1, clients).with_target(1200));
     let three = run_experiment(ExperimentConfig::centralized(3, clients).with_target(1200));
-    assert!(
-        three.tpm() > one.tpm() * 1.2,
-        "3 CPU {} vs 1 CPU {}",
-        three.tpm(),
-        one.tpm()
-    );
+    assert!(three.tpm() > one.tpm() * 1.2, "3 CPU {} vs 1 CPU {}", three.tpm(), one.tpm());
 }
 
 #[test]

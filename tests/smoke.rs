@@ -1,0 +1,66 @@
+//! CI smoke test: a small 3-replica experiment run twice with the same RNG
+//! seed must produce *identical* metrics — not just the same commit order,
+//! but the same latency samples, resource usage and network traffic. This
+//! guards the simulation's reproducibility promise (the paper's methodology
+//! depends on re-runnable experiments) against nondeterminism creeping in
+//! through hash-map iteration, uninitialized state or wall-clock leakage.
+
+use dbsm_testbed::core::{run_experiment, ExperimentConfig, RunMetrics};
+
+fn small_run(seed: u64) -> RunMetrics {
+    run_experiment(ExperimentConfig::replicated(3, 20).with_target(60).with_seed(seed))
+}
+
+/// Every externally observable metric of two same-seed runs must match.
+fn assert_identical(a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(a.committed(), b.committed(), "committed count");
+    assert_eq!(a.aborted(), b.aborted(), "aborted count");
+    assert_eq!(a.elapsed, b.elapsed, "virtual elapsed time");
+    assert_eq!(a.network_tx_bytes, b.network_tx_bytes, "network traffic");
+    assert_eq!(a.commit_logs, b.commit_logs, "per-site commit sequences");
+    assert_eq!(a.crashed_sites, b.crashed_sites, "crash record");
+    assert_eq!(a.per_class.len(), b.per_class.len());
+    for (ca, cb) in a.per_class.iter().zip(&b.per_class) {
+        assert_eq!(ca.submitted, cb.submitted, "per-class submitted");
+        assert_eq!(ca.committed, cb.committed, "per-class committed");
+        assert_eq!(ca.aborted_user, cb.aborted_user, "per-class user aborts");
+        assert_eq!(ca.aborted_ww, cb.aborted_ww, "per-class ww aborts");
+        assert_eq!(ca.aborted_remote, cb.aborted_remote, "per-class remote aborts");
+        assert_eq!(ca.aborted_cert, cb.aborted_cert, "per-class cert aborts");
+        assert_eq!(
+            ca.latencies_ms.values(),
+            cb.latencies_ms.values(),
+            "per-class latency samples, in recording order"
+        );
+    }
+    assert_eq!(
+        a.cert_latencies_ms.values(),
+        b.cert_latencies_ms.values(),
+        "certification latency samples, in recording order"
+    );
+    // Same-seed runs must be exactly deterministic: compare bit patterns,
+    // not within a tolerance — a tolerance would let tiny nondeterminism
+    // (e.g. float summation order) slip through.
+    for (ua, ub) in a.site_usage.iter().zip(&b.site_usage) {
+        assert_eq!(ua.cpu_total.to_bits(), ub.cpu_total.to_bits(), "cpu_total");
+        assert_eq!(ua.cpu_real.to_bits(), ub.cpu_real.to_bits(), "cpu_real");
+        assert_eq!(ua.disk.to_bits(), ub.disk.to_bits(), "disk");
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let a = small_run(1234);
+    let b = small_run(1234);
+    assert!(a.committed() > 0, "smoke run commits work");
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = small_run(1234);
+    let b = small_run(4321);
+    // With different seeds the runs must not be identical — otherwise the
+    // seed is not actually wired through the stochastic components.
+    assert_ne!(a.commit_logs, b.commit_logs, "seed must steer the workload");
+}

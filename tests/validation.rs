@@ -2,9 +2,7 @@
 //! must match the analytic expectations of the configured models, and the
 //! RealRig comparison must produce comparable distributions.
 
-use dbsm_testbed::core::validate::{
-    flood_sim, real_rig_run, rtt_sim, sim_rig_run, RigConfig,
-};
+use dbsm_testbed::core::validate::{flood_sim, real_rig_run, rtt_sim, sim_rig_run, RigConfig};
 use dbsm_testbed::gcs::OverheadModel;
 use std::time::Duration;
 
@@ -14,11 +12,7 @@ fn flood_sim_write_rate_is_cpu_bound() {
     let r = flood_sim(4000, Duration::from_millis(100), overhead);
     // Analytic: one message costs 18us + 9ns/B * 4000 = 54us -> ~18.5k msg/s
     // -> ~593 Mbit/s written.
-    assert!(
-        (r.written_mbit - 590.0).abs() < 60.0,
-        "written {:.0} Mbit/s",
-        r.written_mbit
-    );
+    assert!((r.written_mbit - 590.0).abs() < 60.0, "written {:.0} Mbit/s", r.written_mbit);
     // The wire caps reception at 100 Mbit/s.
     assert!(r.received_mbit < 100.0, "received {:.0}", r.received_mbit);
     assert!(r.received_mbit > 60.0, "received {:.0}", r.received_mbit);

@@ -1,0 +1,269 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the subset it uses: [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of upstream's
+//! statistical analysis it runs a fixed warm-up followed by timed samples and
+//! reports mean / min / max per benchmark — enough to compare hot paths
+//! between commits while staying dependency-free.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is amortized; accepted for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-runs for every routine invocation.
+    PerIteration,
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    target_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            target_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Reads the benchmark name filter from the command line, like upstream:
+    /// `cargo bench -- <substring>` runs only matching benchmarks. The
+    /// harness flags cargo passes (`--bench`, the target name) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            filter: self.filter.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if self.matches(&name) {
+            run_one(&name, self.settings, f);
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A named group of benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    filter: Option<String>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.target_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.filter.as_deref().is_none_or(|fl| full.contains(fl)) {
+            run_one(&full, self.settings, f);
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    // Warm-up: run the routine until the warm-up budget elapses, measuring
+    // nothing. Also seeds the per-sample iteration count estimate.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(50);
+    while warm_start.elapsed() < settings.warm_up {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed / b.iters as u32;
+        }
+    }
+    let target_sample = settings.target_time.div_f64(settings.sample_size as f64);
+    // The iteration cap keeps the first sample of a state-growing benchmark
+    // bounded even when the warm-up estimate is far too optimistic; 2^14
+    // iterations still times nanosecond-scale routines to well under 1%.
+    let iters_for = |per_iter: Duration| {
+        (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 14) as u64
+    };
+
+    // The iteration count is re-estimated after every sample: benchmarks
+    // whose state grows as they run (larger histories, longer queues) get
+    // slower per iteration, and a stale estimate would overshoot the time
+    // budget by orders of magnitude. A hard wall-clock cap bounds even
+    // super-linear growth.
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    let measure_start = Instant::now();
+    let hard_cap = settings.target_time * 3;
+    for _ in 0..settings.sample_size {
+        b.iters = iters_for(per_iter);
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        per_iter = b.elapsed / b.iters as u32;
+        if measure_start.elapsed() > hard_cap {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(samples[0]),
+        fmt_time(mean),
+        fmt_time(*samples.last().expect("non-empty")),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        g.bench_function("iter", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
