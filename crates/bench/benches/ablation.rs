@@ -1,12 +1,13 @@
 //! Ablation benchmarks over the design choices DESIGN.md calls out:
 //! locking policy (multi-version vs conservative 2PL), sequencer buffer
-//! share (the §5.3 mitigation), announcement batching, and uniform
-//! delivery. Each runs a small end-to-end experiment; Criterion reports the
+//! share (the §5.3 mitigation), announcement batching, uniform delivery,
+//! and the certification backend (linear scan vs indexed write history).
+//! Each runs a small end-to-end experiment; Criterion reports the
 //! wall-clock cost of simulating it, and the printed side-channel reports
 //! the system-level metric of interest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbsm_core::{run_experiment, ExperimentConfig};
+use dbsm_core::{run_experiment, CertBackendKind, ExperimentConfig};
 use dbsm_db::CcPolicy;
 use dbsm_fault::FaultPlan;
 use dbsm_gcs::GcsConfig;
@@ -90,11 +91,38 @@ fn bench_uniform_delivery(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cert_backend(c: &mut Criterion) {
+    // The certification ablation at a paper-scale operating point: 2000
+    // clients over 3 sites keep a wide conflict window open, which is where
+    // the linear scan's O(window) cost and the index's O(request) probes
+    // diverge. Decisions are bit-identical across backends; tpm/latency and
+    // the scan-vs-probe work ledger are the comparison.
+    let mut g = c.benchmark_group("ablation_cert_backend");
+    g.sample_size(10);
+    for kind in [CertBackendKind::Linear, CertBackendKind::Indexed] {
+        g.bench_function(format!("clients_2000_{}", kind.name()), |b| {
+            b.iter(|| {
+                let cfg =
+                    ExperimentConfig::replicated(3, 2000).with_target(600).with_cert_backend(kind);
+                let m = run_experiment(cfg);
+                black_box((
+                    m.tpm(),
+                    m.mean_latency_ms(),
+                    m.cert_work.mean_comparisons(),
+                    m.cert_work.mean_probes(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_locking_policy,
     bench_sequencer_share,
     bench_ann_batching,
     bench_uniform_delivery,
+    bench_cert_backend,
 );
 criterion_main!(benches);

@@ -1,0 +1,572 @@
+//! Pluggable certification backends.
+//!
+//! The DBSM conflict check (§3.3) is a pure function of the totally ordered
+//! request stream, so *how* the write history is organized is an
+//! implementation choice as long as every backend reaches bit-identical
+//! decisions. [`CertBackend`] captures the contract; two implementations are
+//! provided:
+//!
+//! * [`LinearCertifier`] — the paper-faithful ordered-merge scan of every
+//!   concurrent write-set. Cost grows with the conflict window
+//!   (`history_scanned` × merge `comparisons`).
+//! * [`IndexedCertifier`] — a per-table hash index from row number to the
+//!   sequence numbers that wrote it, plus table-level wildcard and
+//!   any-writer interval lists, so certification probes only the request's
+//!   own keys. Cost is O(request) `probes`, independent of the window.
+//!
+//! Both maintain the same low-water/garbage-collection semantics, so they
+//! are interchangeable under the replication protocol; a property test
+//! (`tests/properties.rs`) and this module's equivalence tests hold them to
+//! identical outcome streams on the same totally ordered input, and the
+//! smoke test runs each backend's 3-replica experiment bit-reproducibly.
+
+use crate::certifier::{CertWork, HistoryTruncated, LinearCertifier, Outcome};
+use crate::request::CertRequest;
+use crate::rwset::RwSet;
+use crate::tuple::TableId;
+use std::collections::{HashMap, VecDeque};
+
+/// The operations the replication layer needs from a certifier, independent
+/// of how the write history is organized.
+///
+/// Implementations must be deterministic functions of the call sequence:
+/// every replica feeds its backend the same totally ordered stream and must
+/// reach the same [`Outcome`] — including the same `conflict_seq` on aborts,
+/// which is defined as the *lowest* sequence number among conflicting
+/// concurrent transactions (the first hit of the paper's linear scan).
+pub trait CertBackend {
+    /// Certifies a request delivered in total order, updating the history
+    /// when it commits. See [`LinearCertifier::certify`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
+    /// collection low-water mark, making a sound decision impossible.
+    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated>;
+
+    /// Certifies a local read-only transaction without consuming a sequence
+    /// number. See [`LinearCertifier::certify_read_only`].
+    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork);
+
+    /// Discards history at or below `stable_seq` (clamped to
+    /// [`CertBackend::last_committed`]).
+    fn gc(&mut self, stable_seq: u64);
+
+    /// Sequence number of the last committed transaction (0 if none).
+    fn last_committed(&self) -> u64;
+
+    /// Committed write-sets currently retained.
+    fn history_len(&self) -> usize;
+
+    /// Oldest garbage-collected sequence number; snapshots below it cannot
+    /// be certified.
+    fn low_water(&self) -> u64;
+}
+
+impl CertBackend for LinearCertifier {
+    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
+        LinearCertifier::certify(self, req)
+    }
+
+    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
+        LinearCertifier::certify_read_only(self, read_set, start_seq)
+    }
+
+    fn gc(&mut self, stable_seq: u64) {
+        LinearCertifier::gc(self, stable_seq)
+    }
+
+    fn last_committed(&self) -> u64 {
+        LinearCertifier::last_committed(self)
+    }
+
+    fn history_len(&self) -> usize {
+        LinearCertifier::history_len(self)
+    }
+
+    fn low_water(&self) -> u64 {
+        LinearCertifier::low_water(self)
+    }
+}
+
+/// Selects which [`CertBackend`] implementation a site runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertBackendKind {
+    /// The paper-faithful ordered-merge scan ([`LinearCertifier`]).
+    #[default]
+    Linear,
+    /// The per-table write-history index ([`IndexedCertifier`]).
+    Indexed,
+}
+
+impl CertBackendKind {
+    /// Instantiates a fresh backend of this kind.
+    pub fn new_backend(self) -> Box<dyn CertBackend> {
+        match self {
+            CertBackendKind::Linear => Box::new(LinearCertifier::new()),
+            CertBackendKind::Indexed => Box::new(IndexedCertifier::new()),
+        }
+    }
+
+    /// Short lowercase name (used in bench ids and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CertBackendKind::Linear => "linear",
+            CertBackendKind::Indexed => "indexed",
+        }
+    }
+}
+
+/// Per-table slice of the write-history index.
+///
+/// All three containers hold *ascending* sequence numbers: commits arrive in
+/// total order, so insertion is a push to the back, and garbage collection —
+/// which retires the globally oldest history entry first — is a pop from the
+/// front. A conflict probe is then a single `partition_point` for the first
+/// sequence number above the request's snapshot.
+#[derive(Debug, Clone, Default)]
+struct TableIndex {
+    /// Row number → sequence numbers of committed transactions that wrote it.
+    rows: HashMap<u64, VecDeque<u64>>,
+    /// Sequence numbers of table-level (wildcard) writes to this table.
+    wildcard: VecDeque<u64>,
+    /// Sequence numbers of *any* write touching this table (row or
+    /// wildcard), deduplicated — the list a wildcard *read* probes.
+    any_writer: VecDeque<u64>,
+}
+
+impl TableIndex {
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.wildcard.is_empty() && self.any_writer.is_empty()
+    }
+}
+
+/// Smallest sequence number in `seqs` strictly above `start_seq`.
+fn first_above(seqs: &VecDeque<u64>, start_seq: u64) -> Option<u64> {
+    let i = seqs.partition_point(|s| *s <= start_seq);
+    seqs.get(i).copied()
+}
+
+/// Pops the front of `seqs` when it equals the sequence number being
+/// garbage-collected; eviction follows history order, so the retired
+/// sequence number is always the oldest one present.
+fn evict_front(seqs: &mut VecDeque<u64>, seq: u64) {
+    debug_assert!(seqs.front().is_none_or(|s| *s >= seq), "eviction out of order");
+    if seqs.front() == Some(&seq) {
+        seqs.pop_front();
+    }
+}
+
+/// A certifier that answers the DBSM conflict check from a per-table index
+/// of the write history instead of scanning it.
+///
+/// For every read-set entry the probe is: the row's writer list (was this
+/// tuple overwritten concurrently?), the table's wildcard list (did a
+/// table-level write cover it?), and — for wildcard reads — the table's
+/// any-writer list. Each is a hash lookup plus one binary search, so the
+/// total cost is proportional to the *request*, not to the conflict window;
+/// [`CertWork::probes`] counts those lookups. The index is maintained
+/// incrementally: commits append, [`IndexedCertifier::gc`] evicts exactly
+/// the entries of the history rows it retires.
+#[derive(Debug, Clone)]
+pub struct IndexedCertifier {
+    /// Committed `(seq, write_set)` pairs, oldest first — retained only to
+    /// drive incremental index eviction on gc.
+    history: VecDeque<(u64, RwSet)>,
+    /// The per-table probe structures.
+    tables: HashMap<TableId, TableIndex>,
+    /// Next global sequence number to assign.
+    next_seq: u64,
+    /// All sequence numbers `<= low_water` have been garbage collected.
+    low_water: u64,
+}
+
+impl Default for IndexedCertifier {
+    fn default() -> Self {
+        IndexedCertifier::new()
+    }
+}
+
+impl IndexedCertifier {
+    /// Creates an indexed certifier with an empty history; the first
+    /// committed transaction receives sequence number 1.
+    pub fn new() -> Self {
+        IndexedCertifier {
+            history: VecDeque::new(),
+            tables: HashMap::new(),
+            next_seq: 1,
+            low_water: 0,
+        }
+    }
+
+    /// Sequence number of the last committed transaction (0 if none).
+    pub fn last_committed(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Number of write-sets retained.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Oldest garbage-collected sequence number.
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    /// Probes the index for the lowest sequence number above `start_seq`
+    /// whose write-set intersects `read_set` — the same answer the linear
+    /// scan's first hit gives, found in O(|read_set|) lookups.
+    fn probe_conflicts(&self, read_set: &RwSet, start_seq: u64) -> (Option<u64>, CertWork) {
+        let mut work = CertWork::default();
+        let mut earliest: Option<u64> = None;
+        let mut note = |seq: Option<u64>| {
+            if let Some(s) = seq {
+                earliest = Some(earliest.map_or(s, |e| e.min(s)));
+            }
+        };
+        for id in read_set.ids() {
+            // The table lookup itself is one probe.
+            work.probes += 1;
+            let Some(table) = self.tables.get(&id.table()) else { continue };
+            if id.is_table_level() {
+                // A wildcard read conflicts with any concurrent write to the
+                // table.
+                work.probes += 1;
+                note(first_above(&table.any_writer, start_seq));
+            } else {
+                // A row read conflicts with concurrent writes to that row or
+                // with a concurrent table-level write.
+                work.probes += 2;
+                note(first_above(&table.wildcard, start_seq));
+                if let Some(rows) = table.rows.get(&id.row()) {
+                    note(first_above(rows, start_seq));
+                }
+            }
+        }
+        (earliest, work)
+    }
+
+    /// Inserts a committed write-set into the index under `seq`.
+    fn index_writes(&mut self, seq: u64, writes: &RwSet) {
+        for id in writes.ids() {
+            let table = self.tables.entry(id.table()).or_default();
+            if id.is_table_level() {
+                table.wildcard.push_back(seq);
+            } else {
+                table.rows.entry(id.row()).or_default().push_back(seq);
+            }
+            // One entry per (table, seq) pair: ids of the same table are
+            // adjacent in the sorted write-set, so dedup against the back.
+            if table.any_writer.back() != Some(&seq) {
+                table.any_writer.push_back(seq);
+            }
+        }
+    }
+
+    /// Removes one retired history entry's contributions from the index.
+    fn unindex_writes(&mut self, seq: u64, writes: &RwSet) {
+        for id in writes.ids() {
+            let Some(table) = self.tables.get_mut(&id.table()) else { continue };
+            if id.is_table_level() {
+                evict_front(&mut table.wildcard, seq);
+            } else if let Some(rows) = table.rows.get_mut(&id.row()) {
+                evict_front(rows, seq);
+                if rows.is_empty() {
+                    table.rows.remove(&id.row());
+                }
+            }
+        }
+        for t in writes.tables() {
+            if let Some(table) = self.tables.get_mut(&t) {
+                evict_front(&mut table.any_writer, seq);
+                if table.is_empty() {
+                    self.tables.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Certifies a request delivered in total order; same contract and same
+    /// decisions as [`LinearCertifier::certify`], at O(request) cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
+    /// collection low-water mark.
+    pub fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
+        if req.start_seq < self.low_water {
+            return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
+        }
+        let (conflict, work) = self.probe_conflicts(&req.read_set, req.start_seq);
+        if let Some(conflict_seq) = conflict {
+            return Ok((Outcome::Abort { conflict_seq }, work));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if !req.write_set.is_empty() {
+            self.index_writes(seq, &req.write_set);
+            self.history.push_back((seq, req.write_set.clone()));
+        }
+        Ok((Outcome::Commit(seq), work))
+    }
+
+    /// Local read-only validation; same contract as
+    /// [`LinearCertifier::certify_read_only`].
+    pub fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
+        let (conflict, work) = self.probe_conflicts(read_set, start_seq);
+        (conflict.is_none(), work)
+    }
+
+    /// Discards history at or below `stable_seq` (clamped to
+    /// [`IndexedCertifier::last_committed`]), incrementally evicting the
+    /// retired entries from the index.
+    pub fn gc(&mut self, stable_seq: u64) {
+        let stable_seq = stable_seq.min(self.last_committed());
+        while let Some((seq, _)) = self.history.front() {
+            if *seq > stable_seq {
+                break;
+            }
+            let (seq, writes) = self.history.pop_front().expect("front just checked");
+            self.unindex_writes(seq, &writes);
+        }
+        self.low_water = self.low_water.max(stable_seq);
+    }
+}
+
+impl CertBackend for IndexedCertifier {
+    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
+        IndexedCertifier::certify(self, req)
+    }
+
+    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
+        IndexedCertifier::certify_read_only(self, read_set, start_seq)
+    }
+
+    fn gc(&mut self, stable_seq: u64) {
+        IndexedCertifier::gc(self, stable_seq)
+    }
+
+    fn last_committed(&self) -> u64 {
+        IndexedCertifier::last_committed(self)
+    }
+
+    fn history_len(&self) -> usize {
+        IndexedCertifier::history_len(self)
+    }
+
+    fn low_water(&self) -> u64 {
+        IndexedCertifier::low_water(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+    use crate::SiteId;
+
+    fn id(t: u16, r: u64) -> TupleId {
+        TupleId::new(TableId(t), r)
+    }
+
+    fn wild(t: u16) -> TupleId {
+        TupleId::table_level(TableId(t))
+    }
+
+    fn req(site: u16, txn: u64, start: u64, reads: &[TupleId], writes: &[TupleId]) -> CertRequest {
+        CertRequest {
+            site: SiteId(site),
+            txn,
+            start_seq: start,
+            read_set: reads.iter().copied().collect(),
+            write_set: writes.iter().copied().collect(),
+            write_bytes: 0,
+        }
+    }
+
+    /// A deterministic pseudo-random request stream exercising rows,
+    /// wildcards, varying snapshots and varying set sizes.
+    fn stream(len: u64) -> Vec<CertRequest> {
+        let mut reqs = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..len {
+            let reads: Vec<TupleId> = (0..rng() % 6)
+                .map(|_| {
+                    let t = (rng() % 5) as u16;
+                    match rng() % 8 {
+                        0 => wild(t),
+                        r => id(t, r % 97 + 1),
+                    }
+                })
+                .collect();
+            let writes: Vec<TupleId> = (0..rng() % 4)
+                .map(|_| {
+                    let t = (rng() % 5) as u16;
+                    match rng() % 16 {
+                        0 => wild(t),
+                        r => id(t, r % 97 + 1),
+                    }
+                })
+                .collect();
+            let back = rng() % 5;
+            // Snapshots trail an optimistic commit count (request i sees at
+            // most i commits); exactness does not matter, validity
+            // (≥ low_water) does.
+            reqs.push(req((i % 3) as u16, i, i.saturating_sub(back), &reads, &writes));
+        }
+        reqs
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_stream() {
+        let mut linear = LinearCertifier::new();
+        let mut indexed = IndexedCertifier::new();
+        for (i, r) in stream(600).iter().enumerate() {
+            let a = linear.certify(r);
+            let b = indexed.certify(r);
+            assert_eq!(a.map(|(o, _)| o), b.map(|(o, _)| o), "request {i} diverged");
+            if i % 97 == 0 {
+                let stable = linear.last_committed().saturating_sub(16);
+                linear.gc(stable);
+                indexed.gc(stable);
+                assert_eq!(linear.low_water(), indexed.low_water());
+            }
+        }
+        assert_eq!(linear.last_committed(), indexed.last_committed());
+        assert_eq!(linear.history_len(), indexed.history_len());
+    }
+
+    #[test]
+    fn three_replicas_per_backend_stay_identical() {
+        // The deterministic multi-replica check of the linear certifier,
+        // replayed across backend kinds: three replicas of each kind fed the
+        // same totally ordered stream all agree with each other *and* across
+        // kinds.
+        let mut replicas: Vec<Box<dyn CertBackend>> = vec![
+            CertBackendKind::Linear.new_backend(),
+            CertBackendKind::Linear.new_backend(),
+            CertBackendKind::Linear.new_backend(),
+            CertBackendKind::Indexed.new_backend(),
+            CertBackendKind::Indexed.new_backend(),
+            CertBackendKind::Indexed.new_backend(),
+        ];
+        for r in &stream(300) {
+            let outcomes: Vec<_> =
+                replicas.iter_mut().map(|c| c.certify(r).expect("window").0).collect();
+            assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {outcomes:?}");
+        }
+        let heads: Vec<u64> = replicas.iter().map(|c| c.last_committed()).collect();
+        assert!(heads.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn abort_reports_the_earliest_conflicting_seq() {
+        // Two concurrent writers of the same tuple: the linear scan reports
+        // the first (lowest-seq) one, so the index must too.
+        let mut c = IndexedCertifier::new();
+        c.certify(&req(0, 1, 0, &[], &[id(1, 5)])).expect("w1"); // seq 1
+        c.certify(&req(0, 2, 1, &[], &[id(1, 5)])).expect("w2"); // seq 2
+        let (o, _) = c.certify(&req(1, 3, 0, &[id(1, 5)], &[])).expect("reader");
+        assert_eq!(o, Outcome::Abort { conflict_seq: 1 });
+        // A snapshot past the first writer sees only the second.
+        let (o, _) = c.certify(&req(1, 4, 1, &[id(1, 5)], &[])).expect("reader");
+        assert_eq!(o, Outcome::Abort { conflict_seq: 2 });
+    }
+
+    #[test]
+    fn wildcard_reads_and_writes_conflict_through_the_index() {
+        let mut c = IndexedCertifier::new();
+        c.certify(&req(0, 1, 0, &[], &[id(3, 42)])).expect("row write"); // seq 1
+        c.certify(&req(0, 2, 1, &[], &[wild(4)])).expect("table write"); // seq 2
+                                                                         // Wildcard read vs row write.
+        let (o, _) = c.certify(&req(1, 3, 0, &[wild(3)], &[])).expect("wild read");
+        assert_eq!(o, Outcome::Abort { conflict_seq: 1 });
+        // Row read vs wildcard write.
+        let (o, _) = c.certify(&req(1, 4, 0, &[id(4, 9)], &[])).expect("row read");
+        assert_eq!(o, Outcome::Abort { conflict_seq: 2 });
+        // Unrelated table commits.
+        let (o, _) = c.certify(&req(1, 5, 0, &[id(5, 1)], &[])).expect("clean");
+        assert!(o.is_commit());
+    }
+
+    #[test]
+    fn gc_evicts_index_entries_incrementally() {
+        let mut c = IndexedCertifier::new();
+        for i in 0..32 {
+            c.certify(&req(0, i, i, &[], &[id(1, i % 4 + 1), wild(2)])).expect("fill");
+        }
+        assert_eq!(c.history_len(), 32);
+        assert_eq!(c.tables.len(), 2);
+        c.gc(30);
+        assert_eq!(c.history_len(), 2);
+        let t1 = c.tables.get(&TableId(1)).expect("table 1 live");
+        let total_row_seqs: usize = t1.rows.values().map(|v| v.len()).sum();
+        assert_eq!(total_row_seqs, 2, "only uncollected writers remain indexed");
+        assert_eq!(c.tables.get(&TableId(2)).expect("table 2 live").wildcard.len(), 2);
+        // Full collection drops the tables entirely.
+        c.gc(32);
+        assert!(c.tables.is_empty());
+        assert_eq!(c.history_len(), 0);
+        // The emptied certifier still certifies fresh snapshots.
+        let (o, _) = c.certify(&req(1, 99, 32, &[id(1, 1)], &[])).expect("fresh");
+        assert!(o.is_commit());
+    }
+
+    #[test]
+    fn probe_work_is_independent_of_history_depth() {
+        // The acceptance claim behind the refactor: linear work grows with
+        // the conflict window, indexed work stays O(request).
+        let probe_reads: Vec<TupleId> = (1..=8).map(|r| id(9, r)).collect();
+        let mut probes_by_depth = Vec::new();
+        let mut scans_by_depth = Vec::new();
+        for depth in [64u64, 512, 4096] {
+            let mut linear = LinearCertifier::new();
+            let mut indexed = IndexedCertifier::new();
+            for i in 0..depth {
+                let w = [id(1, i % 50 + 1)];
+                linear.certify(&req(0, i, i, &[], &w)).expect("fill");
+                indexed.certify(&req(0, i, i, &[], &w)).expect("fill");
+            }
+            let probe = req(1, depth, 0, &probe_reads, &[]);
+            let (ol, wl) = linear.certify(&probe).expect("linear");
+            let (oi, wi) = indexed.certify(&probe).expect("indexed");
+            assert_eq!(ol, oi);
+            probes_by_depth.push(wi.probes);
+            scans_by_depth.push(wl.history_scanned);
+        }
+        assert_eq!(probes_by_depth[0], probes_by_depth[2], "probes flat in depth");
+        assert!(scans_by_depth[2] > scans_by_depth[0] * 10, "linear scan grows with depth");
+    }
+
+    #[test]
+    fn default_constructed_certifiers_are_valid() {
+        // Regression: a derived Default would zero next_seq and make
+        // last_committed() underflow; Default must agree with new().
+        assert_eq!(IndexedCertifier::default().last_committed(), 0);
+        assert_eq!(LinearCertifier::default().last_committed(), 0);
+    }
+
+    #[test]
+    fn backend_kind_constructs_and_names() {
+        assert_eq!(CertBackendKind::default(), CertBackendKind::Linear);
+        assert_eq!(CertBackendKind::Linear.name(), "linear");
+        assert_eq!(CertBackendKind::Indexed.name(), "indexed");
+        for kind in [CertBackendKind::Linear, CertBackendKind::Indexed] {
+            let mut b = kind.new_backend();
+            assert_eq!(b.last_committed(), 0);
+            let (o, _) = b.certify(&req(0, 1, 0, &[], &[id(1, 1)])).expect("first");
+            assert_eq!(o, Outcome::Commit(1));
+            assert_eq!(b.history_len(), 1);
+            b.gc(1);
+            assert_eq!(b.history_len(), 0);
+            assert_eq!(b.low_water(), 1);
+        }
+    }
+}

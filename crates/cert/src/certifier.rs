@@ -1,11 +1,17 @@
-//! The deterministic certification procedure (§3.3).
+//! The deterministic certification procedure (§3.3) — linear backend.
 //!
-//! Every site runs an identical [`Certifier`] over the totally ordered
-//! stream of [`CertRequest`]s. A request aborts iff its read-set intersects
-//! the write-set of some *concurrent* committed transaction — one whose
-//! global sequence number is greater than the request's `start_seq`.
-//! Determinism of this procedure plus total order is what keeps all replicas
-//! consistent without distributed locking.
+//! Every site runs an identical certifier over the totally ordered stream of
+//! [`CertRequest`]s. A request aborts iff its read-set intersects the
+//! write-set of some *concurrent* committed transaction — one whose global
+//! sequence number is greater than the request's `start_seq`. Determinism of
+//! this procedure plus total order is what keeps all replicas consistent
+//! without distributed locking.
+//!
+//! [`LinearCertifier`] is the paper-faithful implementation: an ordered-merge
+//! scan of the request's read-set against every concurrent write-set. It is
+//! one of the two [`CertBackend`](crate::CertBackend) implementations; see
+//! [`IndexedCertifier`](crate::IndexedCertifier) for the indexed alternative
+//! whose cost is O(request) instead of O(conflict window).
 
 use crate::request::CertRequest;
 use crate::rwset::RwSet;
@@ -34,12 +40,20 @@ impl Outcome {
 
 /// Work performed during one certification — used by the simulation bridge
 /// to charge CPU proportionally to the real algorithm's cost.
+///
+/// The linear backend reports `history_scanned`/`comparisons`; the indexed
+/// backend reports `probes`. A cost model prices each dimension separately so
+/// both backends are charged honestly for what they actually execute.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CertWork {
-    /// Committed transactions examined.
+    /// Committed transactions examined (linear backend).
     pub history_scanned: usize,
-    /// Ordered-merge comparison steps across all examined write-sets.
+    /// Ordered-merge comparison steps across all examined write-sets
+    /// (linear backend).
     pub comparisons: usize,
+    /// Index lookups — hash probes and interval-list binary searches —
+    /// performed (indexed backend).
+    pub probes: usize,
 }
 
 /// Error: the certifier's history no longer covers the request's snapshot.
@@ -68,9 +82,10 @@ impl fmt::Display for HistoryTruncated {
 impl std::error::Error for HistoryTruncated {}
 
 /// Deterministic certifier state: the write-sets of recently committed
-/// transactions, keyed by their global sequence numbers.
+/// transactions, keyed by their global sequence numbers, scanned linearly
+/// per request exactly as in the paper's prototype.
 #[derive(Debug, Clone)]
-pub struct Certifier {
+pub struct LinearCertifier {
     /// Committed `(seq, write_set)` pairs, oldest first, seq contiguous.
     history: VecDeque<(u64, RwSet)>,
     /// Next global sequence number to assign.
@@ -79,17 +94,21 @@ pub struct Certifier {
     low_water: u64,
 }
 
-impl Default for Certifier {
+/// The historical name of the linear backend, kept for source compatibility:
+/// `Certifier` has always been the paper-faithful ordered-merge scan.
+pub type Certifier = LinearCertifier;
+
+impl Default for LinearCertifier {
     fn default() -> Self {
-        Certifier::new()
+        LinearCertifier::new()
     }
 }
 
-impl Certifier {
+impl LinearCertifier {
     /// Creates a certifier with an empty history; the first committed
     /// transaction receives sequence number 1.
     pub fn new() -> Self {
-        Certifier { history: VecDeque::new(), next_seq: 1, low_water: 0 }
+        LinearCertifier { history: VecDeque::new(), next_seq: 1, low_water: 0 }
     }
 
     /// Sequence number of the last committed transaction (0 if none).
@@ -100,6 +119,31 @@ impl Certifier {
     /// Number of write-sets retained.
     pub fn history_len(&self) -> usize {
         self.history.len()
+    }
+
+    /// Oldest garbage-collected sequence number; snapshots below it cannot
+    /// be certified.
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    /// The shared conflict check of both [`LinearCertifier::certify`] and
+    /// [`LinearCertifier::certify_read_only`]: scans the write-sets of
+    /// transactions concurrent with the snapshot (`seq > start_seq`) and
+    /// returns the sequence number of the first one intersecting `read_set`.
+    fn scan_conflicts(&self, read_set: &RwSet, start_seq: u64) -> (Option<u64>, CertWork) {
+        let mut work = CertWork::default();
+        // History is ordered by seq, so binary-search the first relevant one.
+        let from = self.history.partition_point(|(seq, _)| *seq <= start_seq);
+        for (seq, writes) in self.history.iter().skip(from) {
+            work.history_scanned += 1;
+            let (hit, steps) = writes.intersect_stats(read_set);
+            work.comparisons += steps;
+            if hit {
+                return (Some(*seq), work);
+            }
+        }
+        (None, work)
     }
 
     /// Certifies a request delivered in total order, updating the history
@@ -117,17 +161,9 @@ impl Certifier {
         if req.start_seq < self.low_water {
             return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
         }
-        let mut work = CertWork::default();
-        // Scan only transactions concurrent with the request: seq > start_seq.
-        // History is ordered by seq, so binary-search the first relevant one.
-        let from = self.history.partition_point(|(seq, _)| *seq <= req.start_seq);
-        for (seq, writes) in self.history.iter().skip(from) {
-            work.history_scanned += 1;
-            let (hit, steps) = writes.intersect_stats(&req.read_set);
-            work.comparisons += steps;
-            if hit {
-                return Ok((Outcome::Abort { conflict_seq: *seq }, work));
-            }
+        let (conflict, work) = self.scan_conflicts(&req.read_set, req.start_seq);
+        if let Some(conflict_seq) = conflict {
+            return Ok((Outcome::Abort { conflict_seq }, work));
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -142,23 +178,20 @@ impl Certifier {
     /// queries that are not multicast (they acquire no locks and write
     /// nothing, so only read/write concurrency matters).
     pub fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
-        let mut work = CertWork::default();
-        let from = self.history.partition_point(|(seq, _)| *seq <= start_seq);
-        for (_, writes) in self.history.iter().skip(from) {
-            work.history_scanned += 1;
-            let (hit, steps) = writes.intersect_stats(read_set);
-            work.comparisons += steps;
-            if hit {
-                return (false, work);
-            }
-        }
-        (true, work)
+        let (conflict, work) = self.scan_conflicts(read_set, start_seq);
+        (conflict.is_none(), work)
     }
 
     /// Discards history entries with sequence numbers `<= stable_seq`.
     /// Called by the replication layer once every site is known to have
     /// committed past `stable_seq` (piggybacked last-committed identifiers).
+    ///
+    /// `stable_seq` is clamped to [`LinearCertifier::last_committed`]: the
+    /// low-water mark never moves past sequence numbers that were actually
+    /// assigned, so a gc on an empty (or fully collected) history cannot
+    /// make fresh snapshots spuriously [`HistoryTruncated`].
     pub fn gc(&mut self, stable_seq: u64) {
+        let stable_seq = stable_seq.min(self.last_committed());
         while let Some((seq, _)) = self.history.front() {
             if *seq <= stable_seq {
                 self.history.pop_front();
@@ -287,12 +320,38 @@ mod tests {
         assert_eq!(c.history_len(), 10);
         c.gc(5);
         assert_eq!(c.history_len(), 5);
+        assert_eq!(c.low_water(), 5);
         // Requests with snapshots at/above the low-water still certify.
         let (o, _) = c.certify(&req(1, 100, 5, &[id(2, 1)], &[])).expect("ok");
         assert!(o.is_commit());
         // Older snapshots are rejected loudly.
         let err = c.certify(&req(1, 101, 4, &[id(2, 1)], &[])).expect_err("too old");
         assert_eq!(err, HistoryTruncated { start_seq: 4, low_water: 5 });
+    }
+
+    #[test]
+    fn gc_on_empty_history_never_outruns_commits() {
+        // Regression: gc with a stable_seq beyond last_committed (e.g. a
+        // stale or overeager stability estimate, or repeated gc on an empty
+        // history) must not push low_water past the assigned sequence
+        // numbers — otherwise the very next request at the current snapshot
+        // would be spuriously rejected as HistoryTruncated.
+        let mut c = Certifier::new();
+        c.gc(100);
+        assert_eq!(c.low_water(), 0, "nothing committed, nothing collectable");
+        let (o, _) = c.certify(&req(0, 1, 0, &[id(1, 1)], &[id(1, 1)])).expect("fresh");
+        assert_eq!(o, Outcome::Commit(1));
+        // Drain the history completely, then gc far beyond it.
+        c.gc(1);
+        assert_eq!(c.history_len(), 0);
+        c.gc(1_000_000);
+        assert_eq!(c.low_water(), 1, "clamped to last_committed");
+        // gc-then-certify at the current snapshot still succeeds.
+        let (o, _) = c.certify(&req(0, 2, 1, &[id(1, 1)], &[])).expect("post-gc certify");
+        assert!(o.is_commit());
+        // And a genuinely stale snapshot still errors.
+        let err = c.certify(&req(0, 3, 0, &[id(1, 1)], &[])).expect_err("stale");
+        assert_eq!(err, HistoryTruncated { start_seq: 0, low_water: 1 });
     }
 
     #[test]
@@ -318,5 +377,32 @@ mod tests {
         assert_eq!(work_new.history_scanned, 0);
         let (_, work_old) = c.certify(&req(1, 98, 10, &[id(2, 1)], &[])).expect("old");
         assert_eq!(work_old.history_scanned, 40);
+        // The linear backend never performs index probes.
+        assert_eq!(work_old.probes, 0);
+    }
+
+    #[test]
+    fn read_only_and_update_certification_share_the_conflict_check() {
+        // The same read-set/snapshot pair must reach the same verdict through
+        // both entry points (one shared scan, satellite of the refactor).
+        let mut c = Certifier::new();
+        for i in 0..20 {
+            c.certify(&req(0, i, i, &[], &[id(1, i + 1)])).expect("fill");
+        }
+        for start in 0..20 {
+            let reads: RwSet = [id(1, 7), id(2, 3)].into_iter().collect();
+            let (ok, ro_work) = c.certify_read_only(&reads, start);
+            let probe = CertRequest {
+                site: SiteId(1),
+                txn: 1000 + start,
+                start_seq: start,
+                read_set: reads,
+                write_set: RwSet::new(),
+                write_bytes: 0,
+            };
+            let (outcome, up_work) = c.clone().certify(&probe).expect("window");
+            assert_eq!(ok, outcome.is_commit(), "start {start}");
+            assert_eq!(ro_work, up_work, "identical scans, identical work");
+        }
     }
 }

@@ -5,8 +5,15 @@
 //! high-order bits, sorted read/write sets with single-traversal conflict
 //! detection, marshalling with realistic padding for written values, the
 //! table-lock upgrade threshold for oversized read-sets, and the
-//! deterministic [`Certifier`] every replica runs over the totally ordered
+//! deterministic certifier every replica runs over the totally ordered
 //! request stream.
+//!
+//! Certification is pluggable behind the [`CertBackend`] trait:
+//! [`LinearCertifier`] is the paper-faithful ordered-merge scan (re-exported
+//! as [`Certifier`], its historical name), and [`IndexedCertifier`] answers
+//! the same conflict check from a per-table write-history index in
+//! O(request) probes. Both produce bit-identical decisions; select one with
+//! [`CertBackendKind`].
 //!
 //! This crate is deliberately free of any simulation dependency: it is the
 //! code "under test", driven identically by the simulation bridge and by
@@ -33,13 +40,15 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod certifier;
 mod marshal;
 mod request;
 mod rwset;
 mod tuple;
 
-pub use certifier::{CertWork, Certifier, HistoryTruncated, Outcome};
+pub use backend::{CertBackend, CertBackendKind, IndexedCertifier};
+pub use certifier::{CertWork, Certifier, HistoryTruncated, LinearCertifier, Outcome};
 pub use marshal::{marshal, marshalled_len, unmarshal, UnmarshalError, HEADER_LEN};
 pub use request::CertRequest;
 pub use rwset::RwSet;

@@ -5,7 +5,7 @@
 
 use crate::experiment::{CertCostModel, ExperimentConfig};
 use crate::metrics::{RunMetrics, SiteUsage};
-use dbsm_cert::{marshal, unmarshal, CertRequest, Certifier, Outcome as CertOutcome, SiteId};
+use dbsm_cert::{marshal, unmarshal, CertBackend, CertRequest, Outcome as CertOutcome, SiteId};
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
 use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall};
@@ -25,7 +25,7 @@ struct PendingCert {
 }
 
 struct SiteState {
-    certifier: Certifier,
+    certifier: Box<dyn CertBackend>,
     txn_seq: u64,
     pending: HashMap<u64, PendingCert>,
     crashed: bool,
@@ -128,7 +128,7 @@ impl Cluster {
             };
             site_handles.push(SiteHandles { cpu, engine, bridge, host: *host });
             site_states.push(SiteState {
-                certifier: Certifier::new(),
+                certifier: cfg.cert_backend.new_backend(),
                 txn_seq: 0,
                 pending: HashMap::new(),
                 crashed: false,
@@ -189,10 +189,12 @@ impl Cluster {
                     let Ok(req) = unmarshal(payload) else { return };
                     let (outcome, work) = {
                         let mut sh = this.shared.borrow_mut();
-                        let st = &mut sh.sites[i];
-                        st.certifier.certify(&req).expect("history window exceeded")
+                        let res =
+                            sh.sites[i].certifier.certify(&req).expect("history window exceeded");
+                        sh.metrics.cert_work.record(res.1);
+                        res
                     };
-                    ctx.charge(this.costs.certify(work.comparisons));
+                    ctx.charge(this.costs.certify(work));
                     let this2 = this.clone();
                     // Re-enter the simulated domain at start + Δ (Fig. 1b).
                     ctx.schedule(Duration::ZERO, move || {
@@ -401,10 +403,12 @@ impl Cluster {
             let this = self.clone();
             self.sites[site].cpu.submit_real(Box::new(move |ctx| {
                 let (ok, work) = {
-                    let sh = this.shared.borrow();
-                    sh.sites[site].certifier.certify_read_only(&spec.read_set, start_seq)
+                    let mut sh = this.shared.borrow_mut();
+                    let res = sh.sites[site].certifier.certify_read_only(&spec.read_set, start_seq);
+                    sh.metrics.cert_work.record(res.1);
+                    res
                 };
-                ctx.charge(this.costs.certify(work.comparisons));
+                ctx.charge(this.costs.certify(work));
                 let engine = engine.clone();
                 ctx.schedule(Duration::ZERO, move || engine.resolve(db_txn, ok));
             }));
@@ -437,9 +441,12 @@ impl Cluster {
                 let req = unmarshal(wire).expect("own marshalling is sound");
                 let (outcome, work) = {
                     let mut sh = this.shared.borrow_mut();
-                    sh.sites[site].certifier.certify(&req).expect("history window exceeded")
+                    let res =
+                        sh.sites[site].certifier.certify(&req).expect("history window exceeded");
+                    sh.metrics.cert_work.record(res.1);
+                    res
                 };
-                ctx.charge(this.costs.certify(work.comparisons));
+                ctx.charge(this.costs.certify(work));
                 let this2 = this.clone();
                 ctx.schedule(Duration::ZERO, move || this2.deliver_decision(site, req, outcome));
             } else {

@@ -1,5 +1,6 @@
 //! Experiment configuration: every knob the paper's §5 varies.
 
+use dbsm_cert::{CertBackendKind, CertWork};
 use dbsm_db::{CcPolicy, StorageConfig};
 use dbsm_fault::FaultPlan;
 use dbsm_gcs::GcsConfig;
@@ -40,6 +41,10 @@ pub struct ExperimentConfig {
     /// Committed write-sets retained by the certifier before garbage
     /// collection.
     pub history_window: u64,
+    /// Which certification backend every site runs: the paper-faithful
+    /// linear scan (default) or the indexed write history. Both reach
+    /// bit-identical decisions; they differ only in certification cost.
+    pub cert_backend: CertBackendKind,
     /// Relative CPU speed (the CSRT's processor-speed scaling, §2.3);
     /// both simulated processing and real-code costs scale by it.
     pub cpu_speed: f64,
@@ -66,6 +71,7 @@ impl ExperimentConfig {
             certify_read_only: true,
             table_lock_threshold: 256,
             history_window: 4096,
+            cert_backend: CertBackendKind::Linear,
             cpu_speed: 1.0,
             wan_latency: None,
         }
@@ -95,6 +101,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the certification backend.
+    pub fn with_cert_backend(mut self, backend: CertBackendKind) -> Self {
+        self.cert_backend = backend;
+        self
+    }
+
     /// The effective GCS configuration.
     pub fn gcs_config(&self) -> GcsConfig {
         self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites))
@@ -104,6 +116,12 @@ impl ExperimentConfig {
 /// CPU cost constants for the certification real code under synthetic
 /// profiling (the wall-clock mode measures instead). Calibrated so protocol
 /// CPU lands in the paper's ≈1–2 % band (Fig. 7c).
+///
+/// Both backends are priced from the same [`CertWork`] record: the linear
+/// scan reports merge `comparisons`, the indexed backend reports index
+/// `probes`, and each dimension carries its own per-unit cost — a hash probe
+/// plus binary search is dearer than one merge step, but the indexed backend
+/// performs O(request) of them instead of O(window).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CertCostModel {
     /// Fixed cost of building + marshalling a request.
@@ -112,8 +130,11 @@ pub struct CertCostModel {
     pub marshal_per_byte_ns: f64,
     /// Fixed cost of unmarshalling + certifying.
     pub certify_fixed: Duration,
-    /// Cost per ordered-merge comparison step.
+    /// Cost per ordered-merge comparison step (linear backend).
     pub per_comparison_ns: f64,
+    /// Cost per index probe — hash lookup plus interval binary search
+    /// (indexed backend).
+    pub per_probe_ns: f64,
 }
 
 impl Default for CertCostModel {
@@ -123,6 +144,7 @@ impl Default for CertCostModel {
             marshal_per_byte_ns: 2.0,
             certify_fixed: Duration::from_micros(20),
             per_comparison_ns: 60.0,
+            per_probe_ns: 90.0,
         }
     }
 }
@@ -133,10 +155,12 @@ impl CertCostModel {
         self.marshal_fixed + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
     }
 
-    /// Cost of certifying with `comparisons` merge steps.
-    pub fn certify(&self, comparisons: usize) -> Duration {
+    /// Cost of one certification that performed `work`, pricing the merge
+    /// comparisons and the index probes it actually executed.
+    pub fn certify(&self, work: CertWork) -> Duration {
         self.certify_fixed
-            + Duration::from_nanos((self.per_comparison_ns * comparisons as f64) as u64)
+            + Duration::from_nanos((self.per_comparison_ns * work.comparisons as f64) as u64)
+            + Duration::from_nanos((self.per_probe_ns * work.probes as f64) as u64)
     }
 }
 
@@ -160,6 +184,20 @@ mod tests {
     fn cost_model_scales() {
         let m = CertCostModel::default();
         assert!(m.marshal(1000) > m.marshal(10));
-        assert!(m.certify(500) > m.certify(0));
+        let comparisons = |n| CertWork { history_scanned: 0, comparisons: n, probes: 0 };
+        let probes = |n| CertWork { history_scanned: 0, comparisons: 0, probes: n };
+        assert!(m.certify(comparisons(500)) > m.certify(comparisons(0)));
+        assert!(m.certify(probes(500)) > m.certify(probes(0)));
+        // A handful of probes is far cheaper than a long scan: the honest
+        // pricing that makes the indexed backend pay off under load.
+        assert!(m.certify(probes(24)) < m.certify(comparisons(1000)));
+    }
+
+    #[test]
+    fn backend_selector_defaults_to_paper_faithful_linear() {
+        let c = ExperimentConfig::centralized(1, 10);
+        assert_eq!(c.cert_backend, CertBackendKind::Linear);
+        let c = c.with_cert_backend(CertBackendKind::Indexed);
+        assert_eq!(c.cert_backend, CertBackendKind::Indexed);
     }
 }

@@ -31,5 +31,6 @@ pub mod report;
 pub mod validate;
 
 pub use cluster::{run_experiment, Cluster};
+pub use dbsm_cert::CertBackendKind;
 pub use experiment::{CertCostModel, ExperimentConfig};
-pub use metrics::{ClassStats, RunMetrics, SiteUsage};
+pub use metrics::{CertWorkTotals, ClassStats, RunMetrics, SiteUsage};

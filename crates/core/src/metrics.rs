@@ -1,5 +1,6 @@
 //! Run metrics: everything the paper's §5 plots and tables need.
 
+use dbsm_cert::CertWork;
 use dbsm_db::AbortReason;
 use dbsm_sim::stats::Samples;
 use dbsm_sim::SimTime;
@@ -50,6 +51,49 @@ impl ClassStats {
     }
 }
 
+/// Total certification work performed across all sites in one run — the
+/// observable that distinguishes the backends: the linear scan accumulates
+/// `history_scanned`/`comparisons`, the indexed backend accumulates
+/// `probes`. Decisions are identical either way; this is the cost ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertWorkTotals {
+    /// Certifications performed (update + local read-only validations).
+    pub certifications: u64,
+    /// Committed transactions examined by linear scans.
+    pub history_scanned: u64,
+    /// Ordered-merge comparison steps by linear scans.
+    pub comparisons: u64,
+    /// Index lookups by the indexed backend.
+    pub probes: u64,
+}
+
+impl CertWorkTotals {
+    pub(crate) fn record(&mut self, work: CertWork) {
+        self.certifications += 1;
+        self.history_scanned += work.history_scanned as u64;
+        self.comparisons += work.comparisons as u64;
+        self.probes += work.probes as u64;
+    }
+
+    /// Mean linear-scan comparisons per certification.
+    pub fn mean_comparisons(&self) -> f64 {
+        if self.certifications == 0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.certifications as f64
+        }
+    }
+
+    /// Mean index probes per certification.
+    pub fn mean_probes(&self) -> f64 {
+        if self.certifications == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.certifications as f64
+        }
+    }
+}
+
 /// Per-site resource usage over the run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SiteUsage {
@@ -69,6 +113,8 @@ pub struct RunMetrics {
     /// Certification latency samples (commit-request to outcome at the
     /// origin site), in milliseconds — Fig. 7(b).
     pub cert_latencies_ms: Samples,
+    /// Certification work totals across all sites (scans vs probes).
+    pub cert_work: CertWorkTotals,
     /// Committed transactions per site, in commit order (safety check).
     pub commit_logs: Vec<Vec<(u16, u64)>>,
     /// Per-site resource usage (Fig. 6a/6b, Fig. 7c).
@@ -225,5 +271,20 @@ mod tests {
         assert_eq!(m.abort_rate(), 0.0);
         assert_eq!(m.network_kbps(), 0.0);
         assert_eq!(m.mean_cpu_usage(), (0.0, 0.0));
+        assert_eq!(m.cert_work.mean_comparisons(), 0.0);
+        assert_eq!(m.cert_work.mean_probes(), 0.0);
+    }
+
+    #[test]
+    fn cert_work_totals_accumulate_and_average() {
+        let mut t = CertWorkTotals::default();
+        t.record(CertWork { history_scanned: 3, comparisons: 12, probes: 0 });
+        t.record(CertWork { history_scanned: 0, comparisons: 0, probes: 8 });
+        assert_eq!(t.certifications, 2);
+        assert_eq!(t.history_scanned, 3);
+        assert_eq!(t.comparisons, 12);
+        assert_eq!(t.probes, 8);
+        assert!((t.mean_comparisons() - 6.0).abs() < 1e-12);
+        assert!((t.mean_probes() - 4.0).abs() < 1e-12);
     }
 }

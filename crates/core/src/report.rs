@@ -58,7 +58,7 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// One-line run summary.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -66,6 +66,8 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.mean_cpu_usage().1 * 100.0,
         m.mean_disk_usage() * 100.0,
         m.network_kbps(),
+        m.cert_work.mean_comparisons(),
+        m.cert_work.mean_probes(),
     )
 }
 

@@ -35,6 +35,56 @@ fn replicated_sites_commit_identical_sequences() {
 }
 
 #[test]
+fn indexed_backend_is_safe_and_performant_under_load() {
+    use dbsm_testbed::core::CertBackendKind;
+    // The indexed certifier must uphold the DBSM safety condition across
+    // replicas under real TPC-C load, and — charged honestly through
+    // per_probe_ns — not fall behind the linear backend's throughput.
+    let idx = run_experiment(
+        ExperimentConfig::replicated(3, 150)
+            .with_target(600)
+            .with_cert_backend(CertBackendKind::Indexed),
+    );
+    check_logs(&idx.commit_logs, &[false; 3]).expect("identical sequences (indexed)");
+    assert!(idx.committed() > 450, "committed {}", idx.committed());
+    assert!(idx.cert_work.probes > 0);
+    let lin = run_experiment(ExperimentConfig::replicated(3, 150).with_target(600));
+    let ratio = idx.tpm() / lin.tpm();
+    assert!(
+        ratio > 0.9,
+        "indexed tpm {} should not trail linear tpm {} (ratio {ratio:.2})",
+        idx.tpm(),
+        lin.tpm()
+    );
+    // The load-dependent scan work disappears entirely under the index.
+    assert!(lin.cert_work.history_scanned > 0);
+    assert_eq!(idx.cert_work.history_scanned, 0);
+}
+
+#[test]
+fn indexed_backend_safety_holds_under_faults() {
+    use dbsm_testbed::core::CertBackendKind;
+    // Loss and a mid-run crash exercise retransmission, view change and the
+    // gc/low-water machinery on the indexed path.
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(400)
+            .with_faults(FaultPlan::random_loss(0.05))
+            .with_cert_backend(CertBackendKind::Indexed),
+    );
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety under loss (indexed)");
+    assert!(m.committed() > 300);
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(600)
+            .with_faults(FaultPlan::crash(2, SimTime::from_secs(15)))
+            .with_cert_backend(CertBackendKind::Indexed),
+    );
+    assert_eq!(m.crashed_sites, vec![2]);
+    check_logs(&m.commit_logs, &[false, false, true]).expect("crashed site holds a prefix");
+}
+
+#[test]
 fn runs_are_deterministic_for_a_seed() {
     let a = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
     let b = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
