@@ -7,11 +7,12 @@
 //! the system-level metric of interest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbsm_core::{run_experiment, CertBackendKind, ExperimentConfig};
+use dbsm_core::{run_experiment, AnnBatchPolicy, CertBackendKind, ExperimentConfig};
 use dbsm_db::CcPolicy;
 use dbsm_fault::FaultPlan;
 use dbsm_gcs::GcsConfig;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn small(sites: usize, clients: usize) -> ExperimentConfig {
     ExperimentConfig::replicated(sites, clients).with_target(300)
@@ -54,21 +55,47 @@ fn bench_sequencer_share(c: &mut Criterion) {
 }
 
 fn bench_ann_batching(c: &mut Criterion) {
+    // The §5.3 sweep at the paper-scale operating point: 2000 clients over 3
+    // sites, each announcement policy crossed with packet-loss rates. Loss
+    // stalls stability and backs the sequencer's send queue up, which is
+    // exactly when per-message announcements amplify the collapse — and when
+    // the adaptive policy widens its window and piggybacks. Criterion times
+    // the simulation; the system-level comparison (tpm, latency, and the
+    // announcements-vs-piggybacks `ann_work` ledger) rides the black box.
     let mut g = c.benchmark_group("ablation_ann_batching");
     g.sample_size(10);
-    for (name, batch) in
-        [("immediate", None), ("batched_2ms", Some(std::time::Duration::from_millis(2)))]
-    {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = small(3, 60);
-                let mut gcs = GcsConfig::lan(3);
-                gcs.ann_batch = batch;
-                cfg.gcs = Some(gcs);
-                let m = run_experiment(cfg);
-                black_box(m.mean_latency_ms())
-            })
-        });
+    let policies = [
+        ("immediate", AnnBatchPolicy::Immediate),
+        ("batched_2ms", AnnBatchPolicy::Fixed(Duration::from_millis(2))),
+        ("adaptive", AnnBatchPolicy::adaptive_lan()),
+    ];
+    for (name, policy) in policies {
+        for loss_pct in [0u32, 1, 5] {
+            let id = format!("clients_2000_{name}_loss_{loss_pct}pct");
+            let mut printed = false;
+            g.bench_function(&id, |b| {
+                b.iter(|| {
+                    let mut cfg = ExperimentConfig::replicated(3, 2000)
+                        .with_target(600)
+                        .with_ann_policy(policy);
+                    if loss_pct > 0 {
+                        cfg = cfg.with_faults(FaultPlan::random_loss(loss_pct as f64 / 100.0));
+                    }
+                    let m = run_experiment(cfg);
+                    if !printed {
+                        printed = true;
+                        println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                    }
+                    black_box((
+                        m.tpm(),
+                        m.mean_latency_ms(),
+                        m.ann_work.announcements,
+                        m.ann_work.mean_batch(),
+                        m.ann_work.piggybacked,
+                    ))
+                })
+            });
+        }
     }
     g.finish();
 }

@@ -8,7 +8,9 @@ use dbsm_cert::{
     marshal, unmarshal, CertBackendKind, CertRequest, RwSet, SiteId, TableId, TupleId,
 };
 use dbsm_db::{Acquire, CcPolicy, LockTable, OwnerKind, TxnId};
-use dbsm_gcs::{NodeId, NodeSet, Stability};
+use dbsm_gcs::{
+    decode_seq_ann, encode_seq_ann, AnnBatchPolicy, NodeId, NodeSet, SeqAssign, Stability,
+};
 use dbsm_sim::Sim;
 use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
 use std::hint::black_box;
@@ -194,6 +196,46 @@ fn bench_gcs_stack(c: &mut Criterion) {
     });
 }
 
+fn bench_announcement(c: &mut Criterion) {
+    use bytes::Bytes;
+    use dbsm_gcs::{testkit::TestNet, GcsConfig};
+    // The two halves of the announcement hot path: the SeqAnn wire
+    // encode/decode roundtrip as a function of batch size, and the full
+    // assign→flush→deliver pipeline under each batching policy.
+    let mut g = c.benchmark_group("announcement");
+    for n in [1usize, 16, 256] {
+        let assigns: Vec<SeqAssign> = (0..n as u64)
+            .map(|i| SeqAssign {
+                sender: NodeId((i % 6) as u16),
+                msg_seq: i + 1,
+                global_seq: i + 1,
+            })
+            .collect();
+        g.bench_function(format!("encode_decode_{n}_assigns"), |b| {
+            b.iter(|| black_box(decode_seq_ann(encode_seq_ann(&assigns)).expect("roundtrip")))
+        });
+    }
+    for (name, policy) in [
+        ("immediate", AnnBatchPolicy::Immediate),
+        ("fixed_2ms", AnnBatchPolicy::Fixed(Duration::from_millis(2))),
+        ("adaptive", AnnBatchPolicy::adaptive_lan()),
+    ] {
+        g.bench_function(format!("flush_100_messages_{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = GcsConfig::lan(3);
+                cfg.ann_policy = policy;
+                let mut net = TestNet::new(cfg);
+                for i in 0..100u64 {
+                    net.broadcast(NodeId((i % 3) as u16), Bytes::from(i.to_le_bytes().to_vec()));
+                }
+                net.run_for(Duration::from_secs(2));
+                black_box(net.deliveries(NodeId(0)).len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_certification,
@@ -205,5 +247,6 @@ criterion_group!(
     bench_tpcc_gen,
     bench_network_pump,
     bench_gcs_stack,
+    bench_announcement,
 );
 criterion_main!(benches);

@@ -321,6 +321,11 @@ impl Cluster {
                 disk: s.engine.storage().utilization(elapsed),
             };
         }
+        for s in self.sites.iter() {
+            if let Some(b) = &s.bridge {
+                metrics.ann_work.record_site(&b.metrics());
+            }
+        }
         metrics.network_tx_bytes = self.net.stats().total_tx_bytes();
         metrics
     }

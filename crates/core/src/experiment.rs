@@ -3,7 +3,7 @@
 use dbsm_cert::{CertBackendKind, CertWork};
 use dbsm_db::{CcPolicy, StorageConfig};
 use dbsm_fault::FaultPlan;
-use dbsm_gcs::GcsConfig;
+use dbsm_gcs::{AnnBatchPolicy, GcsConfig};
 use std::time::Duration;
 
 /// Configuration of one experiment run.
@@ -107,6 +107,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the sequencer announcement batching policy, materializing the
+    /// default GCS configuration if none was set explicitly.
+    pub fn with_ann_policy(mut self, policy: AnnBatchPolicy) -> Self {
+        let mut gcs = self.gcs_config();
+        gcs.ann_policy = policy;
+        self.gcs = Some(gcs);
+        self
+    }
+
     /// The effective GCS configuration.
     pub fn gcs_config(&self) -> GcsConfig {
         self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites))
@@ -191,6 +200,15 @@ mod tests {
         // A handful of probes is far cheaper than a long scan: the honest
         // pricing that makes the indexed backend pay off under load.
         assert!(m.certify(probes(24)) < m.certify(comparisons(1000)));
+    }
+
+    #[test]
+    fn ann_policy_selector_materializes_gcs_config() {
+        let c = ExperimentConfig::replicated(3, 30);
+        assert_eq!(c.gcs_config().ann_policy, AnnBatchPolicy::Immediate, "paper-faithful default");
+        let c = c.with_ann_policy(AnnBatchPolicy::adaptive_lan());
+        assert_eq!(c.gcs_config().ann_policy, AnnBatchPolicy::adaptive_lan());
+        assert_eq!(c.gcs_config().n_nodes, 3, "materialized config keeps the site count");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use dbsm_cert::CertWork;
 use dbsm_db::AbortReason;
+use dbsm_gcs::GcsMetrics;
 use dbsm_sim::stats::Samples;
 use dbsm_sim::SimTime;
 use dbsm_tpcc::TxnClass;
@@ -94,6 +95,45 @@ impl CertWorkTotals {
     }
 }
 
+/// Total-order announcement work across all sites in one run — the
+/// observable for the announcement-batching ablation (§5.3): how many
+/// `SeqAnn` messages the sequencer actually spent, how many assignments
+/// each carried, and how many assignments rode application fragments for
+/// free. Delivery order is identical under every batching policy; this is
+/// the cost ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnWorkTotals {
+    /// `SeqAnn` announcement messages sent through the reliable layer.
+    pub announcements: u64,
+    /// Assignments carried by those announcement messages.
+    pub assigns_carried: u64,
+    /// Assignments piggybacked on application fragments (zero extra
+    /// messages).
+    pub piggybacked: u64,
+}
+
+impl AnnWorkTotals {
+    pub(crate) fn record_site(&mut self, m: &GcsMetrics) {
+        self.announcements += m.ann_sent;
+        self.assigns_carried += m.ann_assigns;
+        self.piggybacked += m.ann_piggybacked;
+    }
+
+    /// Mean assignments per announcement message (batch size).
+    pub fn mean_batch(&self) -> f64 {
+        if self.announcements == 0 {
+            0.0
+        } else {
+            self.assigns_carried as f64 / self.announcements as f64
+        }
+    }
+
+    /// All assignments announced, by message or by piggyback.
+    pub fn assigns_total(&self) -> u64 {
+        self.assigns_carried + self.piggybacked
+    }
+}
+
 /// Per-site resource usage over the run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SiteUsage {
@@ -115,6 +155,8 @@ pub struct RunMetrics {
     pub cert_latencies_ms: Samples,
     /// Certification work totals across all sites (scans vs probes).
     pub cert_work: CertWorkTotals,
+    /// Announcement work totals across all sites (messages vs piggybacks).
+    pub ann_work: AnnWorkTotals,
     /// Committed transactions per site, in commit order (safety check).
     pub commit_logs: Vec<Vec<(u16, u64)>>,
     /// Per-site resource usage (Fig. 6a/6b, Fig. 7c).
@@ -273,6 +315,25 @@ mod tests {
         assert_eq!(m.mean_cpu_usage(), (0.0, 0.0));
         assert_eq!(m.cert_work.mean_comparisons(), 0.0);
         assert_eq!(m.cert_work.mean_probes(), 0.0);
+    }
+
+    #[test]
+    fn ann_work_totals_accumulate_and_average() {
+        let mut t = AnnWorkTotals::default();
+        let site = GcsMetrics {
+            ann_sent: 4,
+            ann_assigns: 12,
+            ann_piggybacked: 5,
+            ..GcsMetrics::default()
+        };
+        t.record_site(&site);
+        t.record_site(&GcsMetrics::default()); // non-sequencer site: all zero
+        assert_eq!(t.announcements, 4);
+        assert_eq!(t.assigns_carried, 12);
+        assert_eq!(t.piggybacked, 5);
+        assert_eq!(t.assigns_total(), 17);
+        assert!((t.mean_batch() - 3.0).abs() < 1e-12);
+        assert_eq!(AnnWorkTotals::default().mean_batch(), 0.0);
     }
 
     #[test]

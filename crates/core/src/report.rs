@@ -58,7 +58,7 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// One-line run summary.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe ann={}x{:.1}+{}pb",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -68,6 +68,9 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.network_kbps(),
         m.cert_work.mean_comparisons(),
         m.cert_work.mean_probes(),
+        m.ann_work.announcements,
+        m.ann_work.mean_batch(),
+        m.ann_work.piggybacked,
     )
 }
 
@@ -102,5 +105,14 @@ mod tests {
     fn summary_line_is_single_line() {
         let m = RunMetrics::new(1);
         assert_eq!(summary_line("x", &m).lines().count(), 1);
+    }
+
+    #[test]
+    fn summary_line_reports_announcement_work() {
+        let mut m = RunMetrics::new(1);
+        m.ann_work.announcements = 5;
+        m.ann_work.assigns_carried = 20;
+        m.ann_work.piggybacked = 3;
+        assert!(summary_line("x", &m).contains("ann=5x4.0+3pb"));
     }
 }

@@ -49,14 +49,14 @@ mod wire;
 
 pub use bridge_native::{NativeBridge, NativeConfig};
 pub use bridge_sim::SimBridge;
-pub use config::{GcsConfig, OverheadModel};
+pub use config::{AnnBatchPolicy, GcsConfig, OverheadModel};
 pub use runtime::{ProtocolRuntime, TimerId, TimerKind};
 pub use stability::{Gossip, Stability};
 pub use stack::{Gcs, GcsMetrics, Upcall};
 pub use types::{NodeId, NodeSet, View, MAX_NODES};
 pub use wire::{
     decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, WireError,
-    DATA_OVERHEAD, ENVELOPE_OVERHEAD,
+    DATA_OVERHEAD, ENVELOPE_OVERHEAD, SEQ_ASSIGN_WIRE,
 };
 
 #[cfg(test)]
@@ -248,16 +248,107 @@ mod tests {
 
     #[test]
     fn ann_batching_still_orders() {
-        let mut cfg = GcsConfig::lan(3);
-        cfg.ann_batch = Some(Duration::from_millis(5));
-        let mut net = TestNet::new(cfg);
-        for i in 0..12u64 {
-            net.broadcast(NodeId((i % 3) as u16), payload(i));
+        for policy in
+            [AnnBatchPolicy::Fixed(Duration::from_millis(5)), AnnBatchPolicy::adaptive_lan()]
+        {
+            let mut cfg = GcsConfig::lan(3);
+            cfg.ann_policy = policy;
+            let mut net = TestNet::new(cfg);
+            for i in 0..12u64 {
+                net.broadcast(NodeId((i % 3) as u16), payload(i));
+            }
+            net.run_for(Duration::from_secs(2));
+            let d0 = net.deliveries(NodeId(0));
+            assert_eq!(d0.len(), 12, "{policy:?}");
+            assert_eq!(net.deliveries(NodeId(1)), d0, "{policy:?}");
+            assert_eq!(net.deliveries(NodeId(2)), d0, "{policy:?}");
         }
-        net.run_for(Duration::from_secs(2));
-        let d0 = net.deliveries(NodeId(0));
-        assert_eq!(d0.len(), 12);
-        assert_eq!(net.deliveries(NodeId(1)), d0);
-        assert_eq!(net.deliveries(NodeId(2)), d0);
+    }
+
+    #[test]
+    fn adaptive_policy_flushes_in_one_hop_at_idle() {
+        // At idle the adaptive policy must not tax latency: a lone message
+        // is announced immediately and delivers within the same few network
+        // hops as under `Immediate` — well before the 2 ms ceiling a fixed
+        // window would wait out.
+        let horizon = Duration::from_millis(1);
+        for policy in [AnnBatchPolicy::Immediate, AnnBatchPolicy::adaptive_lan()] {
+            // One lone message from a remote node, and one from the
+            // sequencer itself (whose own just-sent fragments must count as
+            // the carrier, not as backlog).
+            for sender in [NodeId(1), NodeId(0)] {
+                let mut cfg = GcsConfig::lan(3);
+                cfg.ann_policy = policy;
+                let mut net = TestNet::new(cfg);
+                net.broadcast(sender, payload(7));
+                net.run_for(horizon);
+                for n in 0..3u16 {
+                    assert_eq!(
+                        net.deliveries(NodeId(n)).len(),
+                        1,
+                        "{policy:?} from {sender} at node {n}"
+                    );
+                }
+            }
+        }
+        // The fixed window, by contrast, holds the announcement back.
+        let mut cfg = GcsConfig::lan(3);
+        cfg.ann_policy = AnnBatchPolicy::Fixed(Duration::from_millis(5));
+        let mut net = TestNet::new(cfg);
+        net.broadcast(NodeId(1), payload(7));
+        net.run_for(horizon);
+        for n in 0..3u16 {
+            assert!(net.deliveries(NodeId(n)).is_empty(), "fixed window waits at node {n}");
+        }
+    }
+
+    #[test]
+    fn adaptive_batching_under_backpressure_sends_fewer_announcements() {
+        // Choke the sequencer's send rate so its queue backs up: the
+        // adaptive policy should widen the window and coalesce assignments
+        // (or piggyback them), ending with measurably fewer SeqAnn messages
+        // than one per application message.
+        let run = |policy: AnnBatchPolicy| {
+            let mut cfg = GcsConfig::lan(3);
+            cfg.ann_policy = policy;
+            cfg.send_rate_bytes_per_sec = 200_000.0;
+            cfg.rate_burst_bytes = 2_000;
+            let mut net = TestNet::new(cfg);
+            // The sequencer itself pushes bulk traffic, keeping its send
+            // queue occupied for the whole run...
+            for i in 0..30u64 {
+                net.broadcast(NodeId(0), Bytes::from(vec![i as u8; 2_000]));
+            }
+            // ...while a peer streams the messages to be ordered.
+            for i in 0..30u64 {
+                net.broadcast(NodeId(1), Bytes::from(vec![i as u8; 600]));
+                net.run_for(Duration::from_micros(200));
+            }
+            net.run_for(Duration::from_secs(10));
+            for n in 0..3u16 {
+                assert_eq!(net.deliveries(NodeId(n)).len(), 60, "{policy:?} at node {n}");
+            }
+            let m = net.nodes[0].borrow().metrics();
+            m
+        };
+        let imm = run(AnnBatchPolicy::Immediate);
+        let ada = run(AnnBatchPolicy::Adaptive {
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(50),
+        });
+        assert_eq!(imm.ann_sent, 60, "immediate: one announcement per message");
+        assert_eq!(imm.ann_assigns, 60);
+        assert_eq!(imm.ann_piggybacked, 0, "immediate never holds a batch to piggyback");
+        assert!(
+            ada.ann_sent < imm.ann_sent / 2,
+            "adaptive must batch under backpressure: {} vs {}",
+            ada.ann_sent,
+            imm.ann_sent
+        );
+        assert_eq!(
+            ada.ann_assigns + ada.ann_piggybacked,
+            60,
+            "every assignment is announced exactly once: {ada:?}"
+        );
     }
 }

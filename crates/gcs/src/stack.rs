@@ -18,7 +18,9 @@ use crate::config::GcsConfig;
 use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
 use crate::stability::Stability;
 use crate::types::{NodeId, NodeSet, View};
-use crate::wire::{decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign};
+use crate::wire::{
+    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, SEQ_ASSIGN_WIRE,
+};
 use bytes::{Bytes, BytesMut};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -71,6 +73,14 @@ pub struct GcsMetrics {
     pub blocked_ns: u64,
     /// Peak pending (flow-control-blocked) queue length.
     pub pending_peak: usize,
+    /// `SeqAnn` announcement messages submitted to the reliable layer
+    /// (sequencer only).
+    pub ann_sent: u64,
+    /// Assignments carried by those announcement messages.
+    pub ann_assigns: u64,
+    /// Assignments piggybacked on outgoing application fragments instead of
+    /// costing a `SeqAnn` message of their own (sequencer only).
+    pub ann_piggybacked: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -78,6 +88,9 @@ struct FragRecord {
     total: u16,
     idx: u16,
     kind: PayloadKind,
+    /// Piggybacked sequencer assignments; part of the fragment's identity so
+    /// retransmissions (own buffer and peers' retained caches) carry them.
+    ann: Vec<SeqAssign>,
     payload: Bytes,
 }
 
@@ -202,6 +215,8 @@ struct TotalOrder {
     assign_counter: u64,
     /// Assignments made but not yet announced (batching mode).
     pending_ann: Vec<SeqAssign>,
+    /// `(sender, msg_seq)` keys of `pending_ann`, for O(1) dedup on push.
+    pending_keys: HashSet<(u16, u64)>,
     ann_timer: Option<TimerId>,
     /// Global sequence numbers that can never be delivered (their message
     /// died with its sender) — skipped deterministically by every survivor.
@@ -286,6 +301,7 @@ impl Gcs {
                 max_applied: 0,
                 assign_counter: 1,
                 pending_ann: Vec::new(),
+                pending_keys: HashSet::new(),
                 ann_timer: None,
                 skipped: HashSet::new(),
             },
@@ -458,9 +474,17 @@ impl Gcs {
             let lo = idx as usize * fp;
             let hi = (lo + fp).min(payload.len());
             let chunk = payload.slice(lo..hi);
+            // The last fragment of an application message usually leaves MTU
+            // slack: fill it with pending announcements (send-path drain
+            // consult of the batching policy).
+            let ann = if idx + 1 == total {
+                self.take_piggyback(rt, kind, chunk.len())
+            } else {
+                Vec::new()
+            };
             let seq = self.send.next_frag;
             self.send.next_frag += 1;
-            let rec = FragRecord { total, idx, kind, payload: chunk };
+            let rec = FragRecord { total, idx, kind, ann, payload: chunk };
             self.send.buffer.insert(seq, rec.clone());
             let env = Envelope {
                 sender: self.me,
@@ -470,6 +494,7 @@ impl Gcs {
                     total_frags: total,
                     frag_idx: idx,
                     kind,
+                    ann: rec.ann.clone(),
                     payload: rec.payload.clone(),
                     retrans: false,
                 },
@@ -479,6 +504,41 @@ impl Gcs {
             // Loopback: count own fragment as received by self.
             self.on_fragment(rt, self.me, seq, rec);
         }
+    }
+
+    /// Drains as many pending announcements as fit in the MTU slack of an
+    /// outgoing application fragment with `chunk_len` payload bytes. The
+    /// carried assignments then cost zero extra messages; if the batch
+    /// empties, the pending flush timer is disarmed.
+    fn take_piggyback(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        kind: PayloadKind,
+        chunk_len: usize,
+    ) -> Vec<SeqAssign> {
+        if kind != PayloadKind::App
+            || self.to.pending_ann.is_empty()
+            || !matches!(self.phase, Phase::Stable)
+            || !self.i_am_sequencer()
+        {
+            return Vec::new();
+        }
+        let room = self.cfg.frag_payload().saturating_sub(chunk_len) / SEQ_ASSIGN_WIRE;
+        let k = room.min(self.to.pending_ann.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let ann: Vec<SeqAssign> = self.to.pending_ann.drain(..k).collect();
+        for a in &ann {
+            self.to.pending_keys.remove(&(a.sender.0, a.msg_seq));
+        }
+        self.metrics.ann_piggybacked += ann.len() as u64;
+        if self.to.pending_ann.is_empty() {
+            if let Some(id) = self.to.ann_timer.take() {
+                rt.cancel_timer(id);
+            }
+        }
+        ann
     }
 
     // ----- receive path ------------------------------------------------
@@ -503,11 +563,11 @@ impl Gcs {
             return; // outside the universe
         }
         match env.msg {
-            Message::Data { seq, total_frags, frag_idx, kind, payload, retrans } => {
+            Message::Data { seq, total_frags, frag_idx, kind, ann, payload, retrans } => {
                 if retrans {
                     self.metrics.duplicates += 0; // counted below if truly dup
                 }
-                let rec = FragRecord { total: total_frags, idx: frag_idx, kind, payload };
+                let rec = FragRecord { total: total_frags, idx: frag_idx, kind, ann, payload };
                 self.on_fragment(rt, env.sender, seq, rec);
                 self.try_complete_install(rt);
             }
@@ -580,6 +640,7 @@ impl Gcs {
         let j = from.0 as usize;
         let is_self = from == self.me;
         let mut completed: Vec<(u64, PayloadKind, Bytes)> = Vec::new();
+        let mut anns: Vec<SeqAssign> = Vec::new();
         {
             let stream = &mut self.recv[j];
             loop {
@@ -593,6 +654,12 @@ impl Gcs {
                 if !is_self {
                     stream.retained.insert(next, rec.clone());
                 }
+                // Piggybacked assignments apply only once their carrier
+                // fragment is consumed into the contiguous prefix: that is
+                // the same flush/cut discipline `SeqAnn` messages obey, so a
+                // beyond-cut straggler can never apply assignments at some
+                // survivors and not others across a view change.
+                anns.extend_from_slice(&rec.ann);
                 if let Some(msg) = stream.asm.feed(next, &rec) {
                     completed.push(msg);
                 }
@@ -606,6 +673,12 @@ impl Gcs {
             } else {
                 stream.gap_since = None;
             }
+        }
+        if !anns.is_empty() {
+            for a in anns {
+                self.apply_assignment(a);
+            }
+            self.try_deliver(rt);
         }
         for (msg_seq, kind, payload) in completed {
             self.on_reliable_msg(rt, from, msg_seq, kind, payload);
@@ -656,10 +729,45 @@ impl Gcs {
     }
 
     fn assign(&mut self, rt: &mut dyn ProtocolRuntime, origin: NodeId, msg_seq: u64) {
+        // Dedup on push: a re-`assign` after sequencer recovery must not
+        // queue the same message twice in one batch (the duplicate would
+        // waste a global sequence number on an entry every receiver drops).
+        if !self.to.pending_keys.insert((origin.0, msg_seq)) {
+            return;
+        }
         let a = SeqAssign { sender: origin, msg_seq, global_seq: self.to.assign_counter };
         self.to.assign_counter += 1;
         self.to.pending_ann.push(a);
-        match self.cfg.ann_batch {
+        // A sequencer-origin message is assigned through loopback right
+        // after its own send, so its fragments are unavoidably still
+        // unstable — they are the carrier of this assignment, not backlog.
+        let carrier_frags = if origin == self.me {
+            self.to.store.get(&(origin.0, msg_seq)).map_or(0, |m| m.last_frag - msg_seq + 1)
+                as usize
+        } else {
+            0
+        };
+        self.schedule_ann(rt, carrier_frags);
+    }
+
+    /// Consults the batching policy for the queued announcements: flush now,
+    /// or make sure a flush timer is armed. Called at assign time, with the
+    /// triggering message's own fragment count as `carrier_frags`.
+    fn schedule_ann(&mut self, rt: &mut dyn ProtocolRuntime, carrier_frags: usize) {
+        if self.to.pending_ann.is_empty() {
+            return;
+        }
+        // Backlog: queued sequencer work *besides* the assignment that
+        // triggered the consult — batch-mates already waiting, untransmitted
+        // messages, and unstable fragments still consuming the sequencer's
+        // buffer share (the §5.3 resource announcements compete for). All
+        // three drain to zero when the sequencer is idle and stability has
+        // caught up, so the adaptive policy then flushes in one hop.
+        let stable_self = self.stab.stable()[self.me.0 as usize];
+        let in_flight =
+            (self.send.sent().saturating_sub(stable_self) as usize).saturating_sub(carrier_frags);
+        let backlog = (self.to.pending_ann.len() - 1) + self.send.pending.len() + in_flight;
+        match self.cfg.ann_policy.window(backlog) {
             None => self.flush_ann(rt),
             Some(d) => {
                 if self.to.ann_timer.is_none() {
@@ -670,13 +778,29 @@ impl Gcs {
     }
 
     fn flush_ann(&mut self, rt: &mut dyn ProtocolRuntime) {
-        self.to.ann_timer = None;
+        if let Some(id) = self.to.ann_timer.take() {
+            rt.cancel_timer(id);
+        }
         if self.to.pending_ann.is_empty() || !matches!(self.phase, Phase::Stable) {
+            // Outside `Stable` the batch is retained; `install` then clears
+            // it and its re-assignment pass rebuilds (and re-schedules, via
+            // `assign`) every still-unassigned message — so a flush timer
+            // fired mid-view-change strands nothing.
             return;
         }
-        let payload = encode_seq_ann(&self.to.pending_ann);
-        self.to.pending_ann.clear();
-        self.enqueue_send(PayloadKind::SeqAnn, payload);
+        // One wire message per chunk keeps the u16 count field sound under
+        // extreme backlog.
+        const MAX_ANN_CHUNK: usize = 4096;
+        while !self.to.pending_ann.is_empty() {
+            let take = self.to.pending_ann.len().min(MAX_ANN_CHUNK);
+            let chunk: Vec<SeqAssign> = self.to.pending_ann.drain(..take).collect();
+            for a in &chunk {
+                self.to.pending_keys.remove(&(a.sender.0, a.msg_seq));
+            }
+            self.metrics.ann_sent += 1;
+            self.metrics.ann_assigns += chunk.len() as u64;
+            self.enqueue_send(PayloadKind::SeqAnn, encode_seq_ann(&chunk));
+        }
         self.drain_sends(rt);
     }
 
@@ -742,6 +866,7 @@ impl Gcs {
                             total_frags: rec.total,
                             frag_idx: rec.idx,
                             kind: rec.kind,
+                            ann: rec.ann,
                             payload: rec.payload,
                             retrans: true,
                         },
@@ -1094,8 +1219,13 @@ impl Gcs {
             self.to.assigned.remove(&(origin.0, msg_seq));
             self.to.skipped.insert(g);
         }
-        // Announcements never sent can be re-assigned from scratch.
+        // Announcements never sent can be re-assigned from scratch (with a
+        // fresh flush timer: the old one belongs to the dropped batch).
         self.to.pending_ann.clear();
+        self.to.pending_keys.clear();
+        if let Some(id) = self.to.ann_timer.take() {
+            rt.cancel_timer(id);
+        }
         self.to.assign_counter = self.to.max_applied + 1;
 
         self.view = View { id: new_view, members };
@@ -1161,6 +1291,11 @@ impl Gcs {
                 self.drain_sends(rt);
             }
             TimerKind::AnnFlush => {
+                // The fired timer is spent: drop the handle first so
+                // flush_ann does not issue a cancel for it (cancels of
+                // already-fired ids accumulate forever in the native and
+                // testkit runtimes' cancelled sets).
+                self.to.ann_timer = None;
                 self.flush_ann(rt);
             }
             TimerKind::FlushResend => {
@@ -1191,5 +1326,257 @@ impl Gcs {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnnBatchPolicy;
+    use std::time::Duration;
+
+    /// A transparent [`ProtocolRuntime`] recording everything the stack does,
+    /// for driving single `Gcs` instances through exact event sequences the
+    /// network harness cannot easily force (e.g. a flush timer firing in the
+    /// middle of a view change).
+    #[derive(Default)]
+    struct MockRt {
+        now: u64,
+        next_timer: u64,
+        armed: Vec<(TimerId, TimerKind)>,
+        cancelled: Vec<TimerId>,
+        sent: Vec<Bytes>,
+    }
+
+    impl ProtocolRuntime for MockRt {
+        fn now_nanos(&mut self) -> u64 {
+            self.now
+        }
+
+        fn set_timer(&mut self, _delay: Duration, kind: TimerKind) -> TimerId {
+            let id = TimerId(self.next_timer);
+            self.next_timer += 1;
+            self.armed.push((id, kind));
+            id
+        }
+
+        fn cancel_timer(&mut self, id: TimerId) {
+            self.cancelled.push(id);
+        }
+
+        fn unicast(&mut self, _to: NodeId, payload: Bytes) {
+            self.sent.push(payload);
+        }
+
+        fn multicast(&mut self, payload: Bytes) {
+            self.sent.push(payload);
+        }
+
+        fn charge(&mut self, _cost: Duration) {}
+    }
+
+    fn fixed_cfg(n: usize, window: Duration) -> GcsConfig {
+        let mut cfg = GcsConfig::lan(n);
+        cfg.ann_policy = AnnBatchPolicy::Fixed(window);
+        cfg
+    }
+
+    fn app_fragment(sender: NodeId, seq: u64, payload: &'static [u8]) -> Bytes {
+        Envelope {
+            sender,
+            view: 0,
+            msg: Message::Data {
+                seq,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                ann: Vec::new(),
+                payload: Bytes::from_static(payload),
+                retrans: false,
+            },
+        }
+        .encode()
+    }
+
+    fn ann_timer_armed(g: &Gcs, rt: &MockRt) -> bool {
+        g.to.ann_timer.is_some_and(|id| !rt.cancelled.contains(&id))
+    }
+
+    #[test]
+    fn flush_timer_fired_mid_view_change_does_not_strand_the_batch() {
+        // Regression for the stale-batch edge: the sequencer's flush timer
+        // fires while a view change is in progress (outside `Phase::Stable`),
+        // which used to leave the pending announcements with no armed timer.
+        // On re-entry to `Stable` the batch must be re-scheduled.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(600)));
+        g.on_start(&mut rt);
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 1, b"txn"));
+        assert_eq!(g.to.pending_ann.len(), 1, "assignment queued for batching");
+        assert!(ann_timer_armed(&g, &rt), "flush timer armed");
+
+        // Node 1 coordinates a view change excluding node 2.
+        let members: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
+        let req = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::FlushReq { new_view: 1, members },
+        };
+        g.on_packet(&mut rt, req.encode());
+        // The armed flush timer fires mid-flush: the batch is retained but
+        // its timer is gone — the stranded state under test.
+        g.on_timer(&mut rt, TimerKind::AnnFlush);
+        assert_eq!(g.to.pending_ann.len(), 1, "batch retained across the view change");
+        assert!(!ann_timer_armed(&g, &rt), "timer consumed mid-flush");
+        assert_eq!(g.metrics().ann_sent, 0, "nothing announced while flushing");
+
+        let install = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::ViewInstall { new_view: 1, members, cut: vec![0, 1, 0] },
+        };
+        g.on_packet(&mut rt, install.encode());
+        assert!(matches!(g.phase, Phase::Stable), "view installed");
+        assert_eq!(g.to.pending_ann.len(), 1, "assignment re-queued by the new-view pass");
+        assert!(ann_timer_armed(&g, &rt), "batch re-scheduled on re-entry to Stable");
+
+        // The re-armed timer fires: the announcement goes out and the
+        // message is delivered in total order.
+        g.on_timer(&mut rt, TimerKind::AnnFlush);
+        let m = g.metrics();
+        assert_eq!((m.ann_sent, m.ann_assigns), (1, 1));
+        assert!(rt.cancelled.is_empty(), "fired timers must not be cancelled (runtime set leak)");
+        let delivered: Vec<_> = g
+            .drain_upcalls()
+            .into_iter()
+            .filter_map(|u| match u {
+                Upcall::Deliver { origin, global_seq, .. } => Some((origin, global_seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![(NodeId(1), 1)]);
+    }
+
+    #[test]
+    fn duplicate_assign_is_dropped_from_the_batch() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(2, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        g.assign(&mut rt, NodeId(1), 7);
+        g.assign(&mut rt, NodeId(1), 7);
+        assert_eq!(g.to.pending_ann.len(), 1, "duplicate dropped on push");
+        assert_eq!(g.to.assign_counter, 2, "duplicate burned no global sequence number");
+        g.assign(&mut rt, NodeId(1), 8);
+        assert_eq!(g.to.pending_ann.len(), 2);
+        assert_eq!(g.to.assign_counter, 3);
+    }
+
+    #[test]
+    fn pending_announcements_piggyback_on_app_fragments() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(2, Duration::from_millis(10)));
+        g.on_start(&mut rt);
+        // A remote message is assigned and held for the batching window...
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 1, b"remote"));
+        assert_eq!(g.to.pending_ann.len(), 1);
+        // ...then the sequencer sends application traffic of its own: the
+        // assignment rides the fragment's MTU slack, costing zero messages.
+        g.broadcast(&mut rt, Bytes::from_static(b"own"));
+        let m = g.metrics();
+        assert_eq!(m.ann_piggybacked, 1, "assignment piggybacked");
+        assert_eq!(m.ann_sent, 0, "no SeqAnn message spent");
+        // The broadcast's own message was assigned at loopback *after* its
+        // fragment left, so exactly that one assignment is waiting now.
+        assert_eq!(g.to.pending_ann.len(), 1);
+        assert_eq!(g.to.pending_ann[0].sender, NodeId(0));
+        assert!(ann_timer_armed(&g, &rt), "fresh assignment re-armed the flush timer");
+        // The carried assignment is on the wire...
+        let carried = rt.sent.iter().any(|raw| {
+            matches!(
+                Envelope::decode(raw.clone()),
+                Ok(Envelope { msg: Message::Data { ann, .. }, .. }) if !ann.is_empty()
+            )
+        });
+        assert!(carried, "an outgoing fragment carries the assignment");
+        // ...and applied through loopback: the remote message delivers.
+        let delivered: Vec<_> = g
+            .drain_upcalls()
+            .into_iter()
+            .filter_map(|u| match u {
+                Upcall::Deliver { origin, global_seq, .. } => Some((origin, global_seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![(NodeId(1), 1)]);
+    }
+
+    #[test]
+    fn beyond_cut_piggyback_is_never_applied() {
+        // Agreement discipline: assignments piggybacked on a fragment beyond
+        // the agreed view-change cut must never be applied — they apply only
+        // when the carrier joins the contiguous prefix, exactly like a
+        // `SeqAnn` through the stream. A survivor that applied a beyond-cut
+        // straggler while its peers did not would diverge after install.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(2), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        // Sequencer node 0's fragment seq 2 arrives out of order (seq 1
+        // lost), carrying a piggybacked assignment.
+        let frag = Envelope {
+            sender: NodeId(0),
+            view: 0,
+            msg: Message::Data {
+                seq: 2,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 9, global_seq: 5 }],
+                payload: Bytes::from_static(b"late"),
+                retrans: false,
+            },
+        };
+        g.on_packet(&mut rt, frag.encode());
+        assert!(g.to.assigned.is_empty(), "out-of-order carrier: assignment must wait");
+        assert_eq!(g.to.max_applied, 0);
+        // Node 0 dies; node 1 coordinates a view change whose cut excludes
+        // the straggler (no survivor acked fragment 1, let alone 2).
+        let members: NodeSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        let req = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::FlushReq { new_view: 1, members },
+        };
+        g.on_packet(&mut rt, req.encode());
+        let install = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::ViewInstall { new_view: 1, members, cut: vec![0, 0, 0] },
+        };
+        g.on_packet(&mut rt, install.encode());
+        assert!(matches!(g.phase, Phase::Stable), "view installed");
+        assert!(g.to.assigned.is_empty(), "beyond-cut assignment never applied");
+        assert_eq!(g.to.max_applied, 0, "assign counters untouched by the dropped straggler");
+    }
+
+    #[test]
+    fn piggyback_respects_mtu_slack() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(2, Duration::from_millis(10)));
+        g.on_start(&mut rt);
+        for i in 0..200 {
+            g.assign(&mut rt, NodeId(1), i + 1);
+        }
+        // A payload one byte under the fragment limit leaves room for no
+        // assignment at all; a tiny one carries as many as fit.
+        let fp = g.cfg.frag_payload();
+        g.broadcast(&mut rt, Bytes::from(vec![0u8; fp - 1]));
+        assert_eq!(g.metrics().ann_piggybacked, 0, "no slack, no piggyback");
+        g.broadcast(&mut rt, Bytes::from_static(b"x"));
+        let max_fit = ((fp - 1) / SEQ_ASSIGN_WIRE) as u64;
+        assert_eq!(g.metrics().ann_piggybacked, max_fit, "slack filled to the MTU");
+        // Each broadcast's own message joins the batch at loopback: 200
+        // seeded assignments + 2 own, minus what the second fragment carried.
+        assert_eq!(g.to.pending_ann.len(), 202 - max_fit as usize, "rest stays batched");
+        assert!(ann_timer_armed(&g, &rt), "remaining batch keeps its timer");
     }
 }

@@ -211,10 +211,18 @@ impl TestNet {
 
     /// The totally ordered `(origin, payload)` deliveries observed at `node`.
     pub fn deliveries(&self, node: NodeId) -> Vec<(NodeId, Bytes)> {
+        self.deliveries_seq(node).into_iter().map(|(o, _, p)| (o, p)).collect()
+    }
+
+    /// Like [`TestNet::deliveries`] but including the assigned global
+    /// sequence number: `(origin, global_seq, payload)`.
+    pub fn deliveries_seq(&self, node: NodeId) -> Vec<(NodeId, u64, Bytes)> {
         self.upcalls[node.0 as usize]
             .iter()
             .filter_map(|u| match u {
-                Upcall::Deliver { origin, payload, .. } => Some((*origin, payload.clone())),
+                Upcall::Deliver { origin, global_seq, payload } => {
+                    Some((*origin, *global_seq, payload.clone()))
+                }
                 _ => None,
             })
             .collect()

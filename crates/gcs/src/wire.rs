@@ -66,6 +66,10 @@ pub enum Message {
         frag_idx: u16,
         /// Payload routing tag.
         kind: PayloadKind,
+        /// Sequencer assignments piggybacked in the packet's MTU slack —
+        /// hot-path announcements that cost zero extra messages. Part of the
+        /// fragment's identity: retransmissions carry the same batch.
+        ann: Vec<SeqAssign>,
         /// Fragment bytes.
         payload: Bytes,
         /// True when this is a retransmission (metrics only).
@@ -148,8 +152,25 @@ pub struct Envelope {
 
 /// Fixed envelope overhead in bytes (magic, kind, sender, view).
 pub const ENVELOPE_OVERHEAD: usize = 1 + 1 + 2 + 8;
-/// Per-fragment data header beyond the envelope.
-pub const DATA_OVERHEAD: usize = 8 + 2 + 2 + 1 + 1;
+/// Per-fragment data header beyond the envelope (includes the piggyback
+/// count).
+pub const DATA_OVERHEAD: usize = 8 + 2 + 2 + 1 + 1 + 2;
+/// Wire size of one encoded [`SeqAssign`].
+pub const SEQ_ASSIGN_WIRE: usize = 2 + 8 + 8;
+
+fn put_seq_assign(b: &mut BytesMut, a: &SeqAssign) {
+    b.put_u16_le(a.sender.0);
+    b.put_u64_le(a.msg_seq);
+    b.put_u64_le(a.global_seq);
+}
+
+fn get_seq_assign(buf: &mut Bytes) -> SeqAssign {
+    SeqAssign {
+        sender: NodeId(buf.get_u16_le()),
+        msg_seq: buf.get_u64_le(),
+        global_seq: buf.get_u64_le(),
+    }
+}
 
 impl Envelope {
     /// Encodes to a fresh buffer.
@@ -160,12 +181,16 @@ impl Envelope {
         b.put_u16_le(self.sender.0);
         b.put_u64_le(self.view);
         match &self.msg {
-            Message::Data { seq, total_frags, frag_idx, kind, payload, retrans } => {
+            Message::Data { seq, total_frags, frag_idx, kind, ann, payload, retrans } => {
                 b.put_u64_le(*seq);
                 b.put_u16_le(*total_frags);
                 b.put_u16_le(*frag_idx);
                 b.put_u8(kind.to_byte());
                 b.put_u8(u8::from(*retrans));
+                b.put_u16_le(ann.len() as u16);
+                for a in ann {
+                    put_seq_assign(&mut b, a);
+                }
                 b.put_slice(payload);
             }
             Message::Nak { target, ranges } => {
@@ -252,7 +277,12 @@ impl Envelope {
                 let k = buf.get_u8();
                 let retrans = buf.get_u8() != 0;
                 let kind = PayloadKind::from_byte(k).ok_or(WireError::BadTag(k))?;
-                Message::Data { seq, total_frags, frag_idx, kind, payload: buf, retrans }
+                let n_ann = buf.get_u16_le() as usize;
+                if buf.len() < n_ann * SEQ_ASSIGN_WIRE {
+                    return Err(WireError::Truncated);
+                }
+                let ann = (0..n_ann).map(|_| get_seq_assign(&mut buf)).collect();
+                Message::Data { seq, total_frags, frag_idx, kind, ann, payload: buf, retrans }
             }
             1 => {
                 if buf.len() < 4 {
@@ -330,12 +360,11 @@ impl Envelope {
 /// Encodes a batch of sequencer assignments as a [`PayloadKind::SeqAnn`]
 /// payload.
 pub fn encode_seq_ann(assigns: &[SeqAssign]) -> Bytes {
-    let mut b = BytesMut::with_capacity(2 + assigns.len() * 18);
+    debug_assert!(assigns.len() <= u16::MAX as usize, "announcement batch exceeds wire count");
+    let mut b = BytesMut::with_capacity(2 + assigns.len() * SEQ_ASSIGN_WIRE);
     b.put_u16_le(assigns.len() as u16);
     for a in assigns {
-        b.put_u16_le(a.sender.0);
-        b.put_u64_le(a.msg_seq);
-        b.put_u64_le(a.global_seq);
+        put_seq_assign(&mut b, a);
     }
     b.freeze()
 }
@@ -350,16 +379,10 @@ pub fn decode_seq_ann(mut buf: Bytes) -> Result<Vec<SeqAssign>, WireError> {
         return Err(WireError::Truncated);
     }
     let n = buf.get_u16_le() as usize;
-    if buf.len() < n * 18 {
+    if buf.len() < n * SEQ_ASSIGN_WIRE {
         return Err(WireError::Truncated);
     }
-    Ok((0..n)
-        .map(|_| SeqAssign {
-            sender: NodeId(buf.get_u16_le()),
-            msg_seq: buf.get_u64_le(),
-            global_seq: buf.get_u64_le(),
-        })
-        .collect())
+    Ok((0..n).map(|_| get_seq_assign(&mut buf)).collect())
 }
 
 #[cfg(test)]
@@ -379,6 +402,7 @@ mod tests {
             total_frags: 3,
             frag_idx: 1,
             kind: PayloadKind::App,
+            ann: Vec::new(),
             payload: Bytes::from_static(b"hello"),
             retrans: false,
         });
@@ -387,8 +411,21 @@ mod tests {
             total_frags: 1,
             frag_idx: 0,
             kind: PayloadKind::SeqAnn,
+            ann: Vec::new(),
             payload: Bytes::new(),
             retrans: true,
+        });
+        roundtrip(Message::Data {
+            seq: 7,
+            total_frags: 1,
+            frag_idx: 0,
+            kind: PayloadKind::App,
+            ann: vec![
+                SeqAssign { sender: NodeId(1), msg_seq: 3, global_seq: 9 },
+                SeqAssign { sender: NodeId(2), msg_seq: 4, global_seq: 10 },
+            ],
+            payload: Bytes::from_static(b"carried"),
+            retrans: false,
         });
         roundtrip(Message::Nak { target: NodeId(2), ranges: vec![(1, 5), (9, 9)] });
         roundtrip(Message::Gossip(Gossip {
@@ -435,6 +472,34 @@ mod tests {
     }
 
     #[test]
+    fn truncated_piggyback_rejected() {
+        let env = Envelope {
+            sender: NodeId(0),
+            view: 1,
+            msg: Message::Data {
+                seq: 1,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 1, global_seq: 1 }],
+                payload: Bytes::new(),
+                retrans: false,
+            },
+        };
+        let full = env.encode();
+        // Cutting inside the piggyback region must be an error, never a
+        // misparse of assignment bytes as payload.
+        for cut in ENVELOPE_OVERHEAD + DATA_OVERHEAD..full.len() {
+            assert_eq!(
+                Envelope::decode(full.slice(0..cut)),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
+        }
+        assert!(Envelope::decode(full).is_ok());
+    }
+
+    #[test]
     fn seq_ann_roundtrip() {
         let assigns = vec![
             SeqAssign { sender: NodeId(1), msg_seq: 10, global_seq: 100 },
@@ -457,6 +522,7 @@ mod tests {
                 total_frags: 1,
                 frag_idx: 0,
                 kind: PayloadKind::App,
+                ann: Vec::new(),
                 payload: payload.clone(),
                 retrans: false,
             },

@@ -17,15 +17,30 @@ fn arb_vec64(n: usize) -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(any::<u64>(), 0..n)
 }
 
+fn arb_seq_assign() -> impl Strategy<Value = SeqAssign> {
+    (0u16..64, any::<u64>(), any::<u64>()).prop_map(|(s, m, g)| SeqAssign {
+        sender: NodeId(s),
+        msg_seq: m,
+        global_seq: g,
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), 1u16..64, any::<bool>(), prop::collection::vec(any::<u8>(), 0..512))
-            .prop_flat_map(|(seq, total, retrans, payload)| {
+        (
+            any::<u64>(),
+            1u16..64,
+            any::<bool>(),
+            prop::collection::vec(arb_seq_assign(), 0..8),
+            prop::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_flat_map(|(seq, total, retrans, ann, payload)| {
                 (0..total).prop_map(move |idx| Message::Data {
                     seq,
                     total_frags: total,
                     frag_idx: idx,
                     kind: if retrans { PayloadKind::SeqAnn } else { PayloadKind::App },
+                    ann: ann.clone(),
                     payload: Bytes::from(payload.clone()),
                     retrans,
                 })
