@@ -11,6 +11,7 @@ use dbsm_core::{run_experiment, AnnBatchPolicy, CertBackendKind, ExperimentConfi
 use dbsm_db::CcPolicy;
 use dbsm_fault::FaultPlan;
 use dbsm_gcs::GcsConfig;
+use dbsm_sim::SimTime;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -118,6 +119,70 @@ fn bench_uniform_delivery(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fault_plans(c: &mut Criterion) {
+    // Prices every fault-scenario family at the paper-scale operating point
+    // (2000 clients over 3 sites): what does each fault family cost in
+    // throughput and latency, and what does the fault machinery itself do
+    // (view installs, duplicate absorption, partition drops)? Criterion
+    // times the simulation; the printed summary lines carry the
+    // system-level ledger. Note the partition rows run with uniform (safe)
+    // delivery — the runner forces it for partition plans.
+    let mut g = c.benchmark_group("ablation_fault_plans");
+    g.sample_size(10);
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        ("random_loss_5pct", FaultPlan::random_loss(0.05)),
+        ("bursty_loss_5pct", FaultPlan::bursty_loss(0.05, 5)),
+        ("clock_drift_1.05", FaultPlan::clock_drift(1, 1.05)),
+        ("crash_at_1s", FaultPlan::crash(2, SimTime::from_secs(1))),
+        (
+            "partition_2s",
+            FaultPlan::partition(
+                vec![vec![0, 1], vec![2]],
+                SimTime::from_secs(1),
+                SimTime::from_secs(3),
+            ),
+        ),
+        (
+            "partition_300ms",
+            FaultPlan::partition(
+                vec![vec![0, 1], vec![2]],
+                SimTime::from_secs(1),
+                SimTime::from_millis(1_300),
+            ),
+        ),
+        ("duplicates_10pct_x2", FaultPlan::duplicate_delivery(0.10, 2)),
+        (
+            "correlated_burst_10pct",
+            FaultPlan::correlated_burst(vec![0, 1, 2], Duration::from_millis(10), 0.10),
+        ),
+    ];
+    for (name, plan) in plans {
+        let id = format!("clients_2000_{name}");
+        let mut printed = false;
+        g.bench_function(&id, |b| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::replicated(3, 2000)
+                    .with_target(600)
+                    .with_faults(plan.clone());
+                let m = run_experiment(cfg);
+                if !printed {
+                    printed = true;
+                    println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                }
+                black_box((
+                    m.tpm(),
+                    m.mean_latency_ms(),
+                    m.fault_work.view_installs,
+                    m.fault_work.dup_injected,
+                    m.fault_work.partition_drops,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_cert_backend(c: &mut Criterion) {
     // The certification ablation at a paper-scale operating point: 2000
     // clients over 3 sites keep a wide conflict window open, which is where
@@ -150,6 +215,7 @@ criterion_group!(
     bench_sequencer_share,
     bench_ann_batching,
     bench_uniform_delivery,
+    bench_fault_plans,
     bench_cert_backend,
 );
 criterion_main!(benches);

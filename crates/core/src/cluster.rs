@@ -11,6 +11,7 @@ use dbsm_fault::FaultSpec;
 use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall};
 use dbsm_net::{
     Addr, BurstyLoss, GroupId, HostId, Network, NetworkBuilder, Port, RandomLoss, SegmentConfig,
+    WindowedBurst,
 };
 use dbsm_sim::{derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, Sim, SimTime};
 use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
@@ -82,6 +83,9 @@ impl Cluster {
     pub fn build(cfg: ExperimentConfig) -> Self {
         assert!(cfg.sites >= 1, "at least one site");
         assert!(cfg.clients >= 1, "at least one client");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         let sim = Sim::new();
         let mut nb = NetworkBuilder::new(&sim);
         let mut seg = SegmentConfig::fast_ethernet();
@@ -212,6 +216,9 @@ impl Cluster {
     }
 
     fn apply_faults(&self) {
+        // Loss-family specs *stack* (Network::add_loss): a plan combining
+        // e.g. a correlated burst with background random loss injects both,
+        // each advancing its own schedule on every arrival.
         for (spec_idx, spec) in self.cfg.faults.specs.iter().enumerate() {
             match spec {
                 FaultSpec::RandomLoss { target, p } => {
@@ -222,7 +229,7 @@ impl Cluster {
                                 "loss",
                                 i as u64 + 17 * spec_idx as u64,
                             );
-                            self.net.set_loss(s.host, Box::new(RandomLoss::new(*p, seed)));
+                            self.net.add_loss(s.host, Box::new(RandomLoss::new(*p, seed)));
                         }
                     }
                 }
@@ -234,7 +241,7 @@ impl Cluster {
                                 "burst",
                                 i as u64 + 17 * spec_idx as u64,
                             );
-                            self.net.set_loss(
+                            self.net.add_loss(
                                 s.host,
                                 Box::new(BurstyLoss::new(*fraction, *mean_burst, seed)),
                             );
@@ -266,6 +273,38 @@ impl Cluster {
                     let this = self.clone();
                     let site = *site as usize;
                     self.sim.schedule_at(*at, move || this.crash_site(site));
+                }
+                FaultSpec::Partition { groups, at, heal_at } => {
+                    // Split and heal ride the simulation scheduler so the
+                    // membership machinery sees a real network event, not a
+                    // configuration change.
+                    let host_groups: Vec<Vec<HostId>> = groups
+                        .iter()
+                        .map(|g| g.iter().map(|s| self.sites[*s as usize].host).collect())
+                        .collect();
+                    let net = self.net.clone();
+                    self.sim.schedule_at(*at, move || net.set_partition(&host_groups));
+                    let net = self.net.clone();
+                    self.sim.schedule_at(*heal_at, move || net.clear_partition());
+                }
+                FaultSpec::DuplicateDelivery { p, max_copies } => {
+                    for (i, s) in self.sites.iter().enumerate() {
+                        let seed = derive_seed_indexed(
+                            self.cfg.seed,
+                            "dup",
+                            i as u64 + 17 * spec_idx as u64,
+                        );
+                        self.net.set_duplication(s.host, *p, *max_copies, seed);
+                    }
+                }
+                FaultSpec::CorrelatedBurst { sites, window, p } => {
+                    // One seed for the whole spec: every listed site gets the
+                    // identical blackout schedule — that is the correlation.
+                    let seed = derive_seed_indexed(self.cfg.seed, "cburst", spec_idx as u64);
+                    for site in sites {
+                        let host = self.sites[*site as usize].host;
+                        self.net.add_loss(host, Box::new(WindowedBurst::new(*window, *p, seed)));
+                    }
                 }
             }
         }
@@ -323,10 +362,15 @@ impl Cluster {
         }
         for s in self.sites.iter() {
             if let Some(b) = &s.bridge {
-                metrics.ann_work.record_site(&b.metrics());
+                let m = b.metrics();
+                metrics.ann_work.record_site(&m);
+                metrics.fault_work.record_site(&m);
             }
         }
-        metrics.network_tx_bytes = self.net.stats().total_tx_bytes();
+        let net_stats = self.net.stats();
+        metrics.fault_work.dup_injected = net_stats.duplicates_injected();
+        metrics.fault_work.partition_drops = net_stats.drops(dbsm_net::DropCause::Partition);
+        metrics.network_tx_bytes = net_stats.total_tx_bytes();
         metrics
     }
 

@@ -117,8 +117,31 @@ impl ExperimentConfig {
     }
 
     /// The effective GCS configuration.
+    ///
+    /// Plans containing a [`dbsm_fault::FaultSpec::Partition`] always run
+    /// with **uniform (safe) delivery**, overriding
+    /// [`GcsConfig::uniform_delivery`]: optimistic delivery speculates on
+    /// orderings that only a minority may have seen, and across a
+    /// primary-component change the next sequencer can legitimately re-make
+    /// them — a minority site that already acted on the old ordering would
+    /// have committed a divergent history. Uniform delivery (content *and*
+    /// ordering stable before delivery) closes that window; the membership
+    /// machinery's primary-component rule handles the rest.
     pub fn gcs_config(&self) -> GcsConfig {
-        self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites))
+        let mut gcs = self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites));
+        if self.faults.has_partition() {
+            gcs.uniform_delivery = true;
+        }
+        gcs
+    }
+
+    /// Checks the configuration's fault plan against its site count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`dbsm_fault::PlanError`] found.
+    pub fn validate(&self) -> Result<(), dbsm_fault::PlanError> {
+        self.faults.validate(self.sites)
     }
 }
 
@@ -209,6 +232,36 @@ mod tests {
         let c = c.with_ann_policy(AnnBatchPolicy::adaptive_lan());
         assert_eq!(c.gcs_config().ann_policy, AnnBatchPolicy::adaptive_lan());
         assert_eq!(c.gcs_config().n_nodes, 3, "materialized config keeps the site count");
+    }
+
+    #[test]
+    fn partition_plans_force_uniform_delivery() {
+        use dbsm_sim::SimTime;
+        let plan = FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(6),
+        );
+        let c = ExperimentConfig::replicated(3, 30);
+        assert!(!c.gcs_config().uniform_delivery, "optimistic by default");
+        let c = c.with_faults(plan);
+        assert!(c.gcs_config().uniform_delivery, "partition plans run uniform");
+        assert!(c.validate().is_ok());
+        // Even an explicitly optimistic GCS config is overridden.
+        let mut c = c;
+        c.gcs = Some(GcsConfig::lan(3));
+        assert!(c.gcs_config().uniform_delivery);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        use dbsm_sim::SimTime;
+        let bad = FaultPlan::partition(
+            vec![vec![0, 1], vec![1, 2]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert!(ExperimentConfig::replicated(3, 30).with_faults(bad).validate().is_err());
     }
 
     #[test]

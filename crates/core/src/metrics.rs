@@ -134,6 +134,33 @@ impl AnnWorkTotals {
     }
 }
 
+/// Fault-machinery work across one run — the observable that prices each
+/// fault scenario family (§5.3 and the partition/duplicate/burst families
+/// beyond it): how many duplicate packets the network injected and how many
+/// the GCS dedup path absorbed, how much traffic died at partition
+/// boundaries, and how many view installs the membership machinery
+/// performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultWorkTotals {
+    /// Duplicate packet copies injected by the duplicate-delivery fault.
+    pub dup_injected: u64,
+    /// Duplicate fragments discarded by the GCS dedup path (includes
+    /// retransmission overlap, which rides the same counter).
+    pub dup_discarded: u64,
+    /// Packets dropped at a partition boundary.
+    pub partition_drops: u64,
+    /// View installs performed, summed across all sites (a single
+    /// reconfiguration of `n` surviving sites counts `n`).
+    pub view_installs: u64,
+}
+
+impl FaultWorkTotals {
+    pub(crate) fn record_site(&mut self, m: &GcsMetrics) {
+        self.dup_discarded += m.duplicates;
+        self.view_installs += m.view_changes;
+    }
+}
+
 /// Per-site resource usage over the run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SiteUsage {
@@ -157,6 +184,9 @@ pub struct RunMetrics {
     pub cert_work: CertWorkTotals,
     /// Announcement work totals across all sites (messages vs piggybacks).
     pub ann_work: AnnWorkTotals,
+    /// Fault-machinery work: duplicates injected/absorbed, partition drops,
+    /// view installs.
+    pub fault_work: FaultWorkTotals,
     /// Committed transactions per site, in commit order (safety check).
     pub commit_logs: Vec<Vec<(u16, u64)>>,
     /// Per-site resource usage (Fig. 6a/6b, Fig. 7c).
@@ -334,6 +364,16 @@ mod tests {
         assert_eq!(t.assigns_total(), 17);
         assert!((t.mean_batch() - 3.0).abs() < 1e-12);
         assert_eq!(AnnWorkTotals::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn fault_work_totals_accumulate_across_sites() {
+        let mut t = FaultWorkTotals::default();
+        t.record_site(&GcsMetrics { duplicates: 7, view_changes: 1, ..GcsMetrics::default() });
+        t.record_site(&GcsMetrics { duplicates: 3, view_changes: 1, ..GcsMetrics::default() });
+        assert_eq!(t.dup_discarded, 10);
+        assert_eq!(t.view_installs, 2);
+        assert_eq!(t.dup_injected, 0, "network-side counters are filled by the runner");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// One-line run summary.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe ann={}x{:.1}+{}pb",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe ann={}x{:.1}+{}pb vc={} dup={}/{}",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -71,6 +71,9 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.ann_work.announcements,
         m.ann_work.mean_batch(),
         m.ann_work.piggybacked,
+        m.fault_work.view_installs,
+        m.fault_work.dup_injected,
+        m.fault_work.dup_discarded,
     )
 }
 
@@ -114,5 +117,14 @@ mod tests {
         m.ann_work.assigns_carried = 20;
         m.ann_work.piggybacked = 3;
         assert!(summary_line("x", &m).contains("ann=5x4.0+3pb"));
+    }
+
+    #[test]
+    fn summary_line_reports_fault_work() {
+        let mut m = RunMetrics::new(1);
+        m.fault_work.view_installs = 2;
+        m.fault_work.dup_injected = 40;
+        m.fault_work.dup_discarded = 38;
+        assert!(summary_line("x", &m).contains("vc=2 dup=40/38"));
     }
 }

@@ -1,9 +1,23 @@
-//! Fault plans: declarative descriptions of the fault loads of §5.3.
+//! Fault plans: declarative descriptions of the fault loads of §5.3, plus
+//! the scenario families the paper's catalogue motivates but does not
+//! exercise — partitions with merges, duplicate delivery, and correlated
+//! loss bursts.
 
 use dbsm_sim::SimTime;
+use std::fmt;
 use std::time::Duration;
 
 /// Which sites a fault applies to.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_fault::Target;
+///
+/// assert!(Target::All.includes(5));
+/// assert!(Target::Site(2).includes(2));
+/// assert!(!Target::Site(2).includes(3));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
     /// Every site.
@@ -22,7 +36,10 @@ impl Target {
     }
 }
 
-/// One fault, as catalogued by the paper (§5.3).
+/// One fault, as catalogued by the paper (§5.3) or added on top of it
+/// (partition/merge, duplicate delivery, correlated bursts — the scenarios
+/// Sutra & Shapiro and Cecchet et al. identify as where middleware
+/// replication actually breaks).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultSpec {
     /// Clock drift: scheduled events are postponed (scaled up) and measured
@@ -50,6 +67,9 @@ pub enum FaultSpec {
         p: f64,
     },
     /// Bursty loss: alternating receive/discard periods (models congestion).
+    /// The burst schedule advances per packet at each receiver, so bursts
+    /// decorrelate across sites — use [`FaultSpec::CorrelatedBurst`] for
+    /// bursts that hit several sites in the same instant.
     BurstyLoss {
         /// Affected sites.
         target: Target,
@@ -65,9 +85,163 @@ pub enum FaultSpec {
         /// Crash instant.
         at: SimTime,
     },
+    /// Network partition: at `at` the network splits into the given
+    /// isolated segments (sites in different groups cannot exchange any
+    /// packet); at `heal_at` the segments merge back.
+    ///
+    /// A partition longer than the group's failure-detector timeout drives
+    /// real view changes: the primary component (a strict majority of the
+    /// current view) excludes the unreachable sites and continues, while
+    /// non-primary segments halt rather than risk split-brain — their sites
+    /// count as crashed for the safety check. A partition shorter than the
+    /// timeout merges back without any membership change, recovering lost
+    /// traffic through NAK retransmission.
+    ///
+    /// Groups must be non-empty and pairwise disjoint; sites not listed in
+    /// any group are isolated from everyone while the partition lasts.
+    Partition {
+        /// The partition segments, as lists of site indices.
+        groups: Vec<Vec<u16>>,
+        /// Split instant.
+        at: SimTime,
+        /// Merge (heal) instant; must lie after `at`.
+        heal_at: SimTime,
+    },
+    /// Byzantine-ish duplicate delivery: each packet arriving at any site is
+    /// redelivered (1..=`max_copies` extra copies) with probability `p`.
+    /// The group-communication dedup path must absorb the copies without
+    /// burning global sequence numbers or disturbing the delivery order.
+    DuplicateDelivery {
+        /// Per-packet redelivery probability.
+        p: f64,
+        /// Maximum extra copies per duplicated packet.
+        max_copies: u8,
+    },
+    /// Correlated loss bursts: simulated time is sliced into `window`-long
+    /// slots and each slot independently becomes a total blackout with
+    /// probability `p` — *simultaneously* at every listed site (one shared
+    /// schedule), unlike the per-link [`FaultSpec::BurstyLoss`].
+    CorrelatedBurst {
+        /// The sites hit by the shared burst schedule.
+        sites: Vec<u16>,
+        /// Blackout slot length.
+        window: Duration,
+        /// Probability that any given slot is a blackout.
+        p: f64,
+    },
 }
 
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A partition needs at least two groups to split anything.
+    PartitionTooFewGroups {
+        /// Number of groups supplied.
+        groups: usize,
+    },
+    /// A partition group is empty.
+    PartitionEmptyGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// A site is listed in more than one partition group.
+    PartitionOverlap {
+        /// The doubly listed site.
+        site: u16,
+    },
+    /// A partition's heal instant does not lie after its split instant.
+    PartitionHealNotAfterSplit {
+        /// Split instant.
+        at: SimTime,
+        /// Offending heal instant.
+        heal_at: SimTime,
+    },
+    /// A site index is outside the experiment's `0..sites` range.
+    UnknownSite {
+        /// Which scenario family referenced it.
+        what: &'static str,
+        /// The out-of-range site.
+        site: u16,
+    },
+    /// A probability is outside `[0, 1]`.
+    BadProbability {
+        /// Which scenario family carried it.
+        what: &'static str,
+        /// The offending value.
+        p: f64,
+    },
+    /// A correlated burst lists no sites.
+    NoBurstSites,
+    /// A correlated burst lists the same site twice.
+    DuplicateBurstSite {
+        /// The doubly listed site.
+        site: u16,
+    },
+    /// A parameter that must be strictly positive is zero (or, for the
+    /// bursty-loss fraction, outside the open interval `(0, 1)`).
+    NotPositive {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// `DuplicateDelivery::max_copies` is zero.
+    ZeroCopies,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::PartitionTooFewGroups { groups } => {
+                write!(f, "partition needs at least two groups, got {groups}")
+            }
+            PlanError::PartitionEmptyGroup { group } => {
+                write!(f, "partition group {group} is empty")
+            }
+            PlanError::PartitionOverlap { site } => {
+                write!(f, "site {site} appears in two partition groups")
+            }
+            PlanError::PartitionHealNotAfterSplit { at, heal_at } => {
+                write!(f, "partition heal at {heal_at} does not follow the split at {at}")
+            }
+            PlanError::UnknownSite { what, site } => {
+                write!(f, "{what} references site {site} outside the experiment")
+            }
+            PlanError::BadProbability { what, p } => {
+                write!(f, "{what} probability {p} out of range")
+            }
+            PlanError::NoBurstSites => write!(f, "correlated burst lists no sites"),
+            PlanError::DuplicateBurstSite { site } => {
+                write!(f, "correlated burst lists site {site} twice")
+            }
+            PlanError::NotPositive { what } => write!(f, "{what} must be positive"),
+            PlanError::ZeroCopies => write!(f, "duplicate delivery needs max_copies >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A set of faults to inject into one experiment run.
+///
+/// # Examples
+///
+/// Compose a plan from the builder helpers and validate it against the
+/// experiment's site count before running:
+///
+/// ```
+/// use dbsm_fault::{FaultPlan, FaultSpec};
+/// use dbsm_sim::SimTime;
+///
+/// let plan = FaultPlan::partition(
+///     vec![vec![0, 1], vec![2]],
+///     SimTime::from_secs(10),
+///     SimTime::from_secs(12),
+/// )
+/// .with(FaultSpec::DuplicateDelivery { p: 0.05, max_copies: 2 });
+/// assert_eq!(plan.specs.len(), 2);
+/// plan.validate(3)?;
+/// assert!(plan.validate(2).is_err(), "site 2 does not exist in a 2-site run");
+/// # Ok::<(), dbsm_fault::PlanError>(())
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// The faults.
@@ -112,20 +286,178 @@ impl FaultPlan {
         FaultPlan::none().with(FaultSpec::SchedLatency { target: Target::All, max })
     }
 
-    /// Sites crashed by this plan at or before `t`.
+    /// A network partition into `groups` at `at`, healing (merging) at
+    /// `heal_at`.
+    ///
+    /// ```
+    /// use dbsm_fault::FaultPlan;
+    /// use dbsm_sim::SimTime;
+    ///
+    /// let plan =
+    ///     FaultPlan::partition(vec![vec![0, 1], vec![2]], SimTime::from_secs(5), SimTime::from_secs(8));
+    /// assert!(plan.has_partition());
+    /// plan.validate(3).expect("well-formed split of 3 sites");
+    /// ```
+    pub fn partition(groups: Vec<Vec<u16>>, at: SimTime, heal_at: SimTime) -> Self {
+        FaultPlan::none().with(FaultSpec::Partition { groups, at, heal_at })
+    }
+
+    /// Duplicate delivery at every site: each arriving packet is redelivered
+    /// (1..=`max_copies` extra copies) with probability `p`.
+    pub fn duplicate_delivery(p: f64, max_copies: u8) -> Self {
+        FaultPlan::none().with(FaultSpec::DuplicateDelivery { p, max_copies })
+    }
+
+    /// Correlated loss bursts on `sites`: every `window`-long slot of
+    /// simulated time blacks out all of them simultaneously with
+    /// probability `p`.
+    pub fn correlated_burst(sites: Vec<u16>, window: Duration, p: f64) -> Self {
+        FaultPlan::none().with(FaultSpec::CorrelatedBurst { sites, window, p })
+    }
+
+    /// Sites crashed by this plan at or before `t` (a crash scheduled
+    /// *exactly* at `t` counts), sorted and deduplicated — a site crashed
+    /// twice is still one crashed site.
+    ///
+    /// ```
+    /// use dbsm_fault::{FaultPlan, FaultSpec};
+    /// use dbsm_sim::SimTime;
+    ///
+    /// let plan = FaultPlan::crash(2, SimTime::from_secs(5))
+    ///     .with(FaultSpec::Crash { site: 1, at: SimTime::from_secs(9) });
+    /// assert!(plan.crashed_by(SimTime::from_secs(4)).is_empty());
+    /// assert_eq!(plan.crashed_by(SimTime::from_secs(5)), vec![2], "boundary is inclusive");
+    /// assert_eq!(plan.crashed_by(SimTime::from_secs(9)), vec![1, 2], "sorted by site");
+    /// ```
     pub fn crashed_by(&self, t: SimTime) -> Vec<u16> {
-        self.specs
+        let mut sites: Vec<u16> = self
+            .specs
             .iter()
             .filter_map(|s| match s {
                 FaultSpec::Crash { site, at } if *at <= t => Some(*site),
                 _ => None,
             })
-            .collect()
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
     }
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// True if any spec is a [`FaultSpec::Partition`] — the experiment
+    /// runner switches such runs to uniform (safe) delivery, because
+    /// optimistic delivery may speculate across a primary-component change.
+    pub fn has_partition(&self) -> bool {
+        self.specs.iter().any(|s| matches!(s, FaultSpec::Partition { .. }))
+    }
+
+    /// Checks the plan against an experiment with `sites` sites.
+    ///
+    /// Partition groups must be ≥ 2, non-empty, pairwise disjoint and made
+    /// of existing sites, with `heal_at > at`; probabilities must lie in
+    /// `[0, 1]`; correlated bursts need a non-empty duplicate-free site
+    /// list and a positive window; duplicate delivery needs at least one
+    /// allowed copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] found.
+    pub fn validate(&self, sites: usize) -> Result<(), PlanError> {
+        let known = |what: &'static str, site: u16| {
+            if (site as usize) < sites {
+                Ok(())
+            } else {
+                Err(PlanError::UnknownSite { what, site })
+            }
+        };
+        let prob = |what: &'static str, p: f64| {
+            if (0.0..=1.0).contains(&p) && p.is_finite() {
+                Ok(())
+            } else {
+                Err(PlanError::BadProbability { what, p })
+            }
+        };
+        for spec in &self.specs {
+            match spec {
+                FaultSpec::Partition { groups, at, heal_at } => {
+                    if groups.len() < 2 {
+                        return Err(PlanError::PartitionTooFewGroups { groups: groups.len() });
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for (gi, group) in groups.iter().enumerate() {
+                        if group.is_empty() {
+                            return Err(PlanError::PartitionEmptyGroup { group: gi });
+                        }
+                        for &site in group {
+                            known("partition", site)?;
+                            if !seen.insert(site) {
+                                return Err(PlanError::PartitionOverlap { site });
+                            }
+                        }
+                    }
+                    if heal_at <= at {
+                        return Err(PlanError::PartitionHealNotAfterSplit {
+                            at: *at,
+                            heal_at: *heal_at,
+                        });
+                    }
+                }
+                FaultSpec::DuplicateDelivery { p, max_copies } => {
+                    prob("duplicate delivery", *p)?;
+                    if *max_copies == 0 {
+                        return Err(PlanError::ZeroCopies);
+                    }
+                }
+                FaultSpec::CorrelatedBurst { sites: burst_sites, window, p } => {
+                    if burst_sites.is_empty() {
+                        return Err(PlanError::NoBurstSites);
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for &site in burst_sites {
+                        known("correlated burst", site)?;
+                        if !seen.insert(site) {
+                            return Err(PlanError::DuplicateBurstSite { site });
+                        }
+                    }
+                    if window.is_zero() {
+                        return Err(PlanError::NotPositive { what: "burst window" });
+                    }
+                    prob("correlated burst", *p)?;
+                }
+                FaultSpec::RandomLoss { target, p } => {
+                    prob("random loss", *p)?;
+                    if let Target::Site(site) = target {
+                        known("random loss target", *site)?;
+                    }
+                }
+                FaultSpec::BurstyLoss { target, fraction, mean_burst } => {
+                    // BurstyLoss::new panics outside the open interval.
+                    if !(fraction.is_finite() && *fraction > 0.0 && *fraction < 1.0) {
+                        return Err(PlanError::BadProbability {
+                            what: "bursty loss fraction",
+                            p: *fraction,
+                        });
+                    }
+                    if *mean_burst == 0 {
+                        return Err(PlanError::NotPositive { what: "mean burst length" });
+                    }
+                    if let Target::Site(site) = target {
+                        known("bursty loss target", *site)?;
+                    }
+                }
+                FaultSpec::Crash { site, .. } => known("crash", *site)?,
+                FaultSpec::ClockDrift { target, .. } | FaultSpec::SchedLatency { target, .. } => {
+                    if let Target::Site(site) = target {
+                        known("drift/latency target", *site)?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -156,5 +488,159 @@ mod tests {
         assert_eq!(plan.crashed_by(SimTime::from_secs(10)), vec![1]);
         assert_eq!(plan.crashed_by(SimTime::from_secs(60)), vec![1, 2]);
         assert!(plan.crashed_by(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn crash_exactly_at_t_counts_as_crashed() {
+        let plan = FaultPlan::crash(0, SimTime::from_secs(7));
+        assert!(plan.crashed_by(SimTime::from_nanos(7_000_000_000 - 1)).is_empty());
+        assert_eq!(plan.crashed_by(SimTime::from_secs(7)), vec![0], "boundary inclusive");
+    }
+
+    #[test]
+    fn multiple_crashes_of_one_site_dedup_and_sort() {
+        let plan = FaultPlan::crash(2, SimTime::from_secs(3))
+            .with(FaultSpec::Crash { site: 0, at: SimTime::from_secs(4) })
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(5) });
+        assert_eq!(plan.crashed_by(SimTime::from_secs(3)), vec![2]);
+        assert_eq!(plan.crashed_by(SimTime::from_secs(4)), vec![0, 2], "sorted by site id");
+        assert_eq!(plan.crashed_by(SimTime::from_secs(99)), vec![0, 2], "site 2 listed once");
+    }
+
+    #[test]
+    fn partition_validation_accepts_disjoint_covering_split() {
+        let plan = FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert!(plan.has_partition());
+        assert_eq!(plan.validate(3), Ok(()));
+        // Partial splits are allowed: unlisted sites are isolated.
+        let partial = FaultPlan::partition(
+            vec![vec![0], vec![1]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(partial.validate(3), Ok(()));
+    }
+
+    #[test]
+    fn partition_validation_rejects_malformed_groups() {
+        let overlap = FaultPlan::partition(
+            vec![vec![0, 1], vec![1, 2]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(overlap.validate(3), Err(PlanError::PartitionOverlap { site: 1 }));
+        let empty = FaultPlan::partition(
+            vec![vec![0, 1], vec![]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(empty.validate(3), Err(PlanError::PartitionEmptyGroup { group: 1 }));
+        let lonely =
+            FaultPlan::partition(vec![vec![0, 1, 2]], SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(lonely.validate(3), Err(PlanError::PartitionTooFewGroups { groups: 1 }));
+        let unknown = FaultPlan::partition(
+            vec![vec![0], vec![7]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(unknown.validate(3), Err(PlanError::UnknownSite { what: "partition", site: 7 }));
+        let unhealed = FaultPlan::partition(
+            vec![vec![0], vec![1]],
+            SimTime::from_secs(2),
+            SimTime::from_secs(2),
+        );
+        assert!(matches!(unhealed.validate(3), Err(PlanError::PartitionHealNotAfterSplit { .. })));
+    }
+
+    #[test]
+    fn duplicate_and_burst_validation() {
+        assert_eq!(FaultPlan::duplicate_delivery(0.1, 2).validate(3), Ok(()));
+        assert_eq!(FaultPlan::duplicate_delivery(0.1, 0).validate(3), Err(PlanError::ZeroCopies));
+        assert!(matches!(
+            FaultPlan::duplicate_delivery(1.5, 2).validate(3),
+            Err(PlanError::BadProbability { .. })
+        ));
+        let burst = FaultPlan::correlated_burst(vec![0, 1, 2], Duration::from_millis(10), 0.2);
+        assert_eq!(burst.validate(3), Ok(()));
+        assert_eq!(
+            FaultPlan::correlated_burst(vec![], Duration::from_millis(10), 0.2).validate(3),
+            Err(PlanError::NoBurstSites)
+        );
+        assert_eq!(
+            FaultPlan::correlated_burst(vec![1, 1], Duration::from_millis(10), 0.2).validate(3),
+            Err(PlanError::DuplicateBurstSite { site: 1 })
+        );
+        assert_eq!(
+            FaultPlan::correlated_burst(vec![0], Duration::ZERO, 0.2).validate(3),
+            Err(PlanError::NotPositive { what: "burst window" })
+        );
+        assert_eq!(
+            FaultPlan::correlated_burst(vec![0, 9], Duration::from_millis(1), 0.2).validate(3),
+            Err(PlanError::UnknownSite { what: "correlated burst", site: 9 })
+        );
+    }
+
+    #[test]
+    fn classic_specs_validate_too() {
+        assert_eq!(FaultPlan::random_loss(0.05).validate(3), Ok(()));
+        assert!(matches!(
+            FaultPlan::random_loss(1.2).validate(3),
+            Err(PlanError::BadProbability { .. })
+        ));
+        assert_eq!(FaultPlan::bursty_loss(0.05, 5).validate(3), Ok(()));
+        assert!(
+            matches!(
+                FaultPlan::bursty_loss(0.0, 5).validate(3),
+                Err(PlanError::BadProbability { .. })
+            ),
+            "fraction 0 would panic in BurstyLoss::new"
+        );
+        assert!(
+            matches!(
+                FaultPlan::bursty_loss(1.0, 5).validate(3),
+                Err(PlanError::BadProbability { .. })
+            ),
+            "fraction 1 would panic in BurstyLoss::new"
+        );
+        assert_eq!(
+            FaultPlan::bursty_loss(0.05, 0).validate(3),
+            Err(PlanError::NotPositive { what: "mean burst length" })
+        );
+        let far_loss =
+            FaultPlan::none().with(FaultSpec::RandomLoss { target: Target::Site(9), p: 0.1 });
+        assert_eq!(
+            far_loss.validate(3),
+            Err(PlanError::UnknownSite { what: "random loss target", site: 9 })
+        );
+        let far_burst = FaultPlan::none().with(FaultSpec::BurstyLoss {
+            target: Target::Site(9),
+            fraction: 0.1,
+            mean_burst: 5,
+        });
+        assert_eq!(
+            far_burst.validate(3),
+            Err(PlanError::UnknownSite { what: "bursty loss target", site: 9 })
+        );
+        assert_eq!(
+            FaultPlan::crash(5, SimTime::from_secs(1)).validate(3),
+            Err(PlanError::UnknownSite { what: "crash", site: 5 })
+        );
+        assert_eq!(FaultPlan::clock_drift(2, 1.05).validate(3), Ok(()));
+        assert_eq!(
+            FaultPlan::clock_drift(4, 1.05).validate(3),
+            Err(PlanError::UnknownSite { what: "drift/latency target", site: 4 })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = PlanError::PartitionOverlap { site: 3 };
+        assert!(e.to_string().contains("site 3"));
+        let e = PlanError::BadProbability { what: "duplicate delivery", p: 2.0 };
+        assert!(e.to_string().contains("duplicate delivery"));
     }
 }

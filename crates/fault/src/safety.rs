@@ -9,6 +9,18 @@ use std::fmt;
 pub type CommitLog = Vec<(u16, u64)>;
 
 /// A detected safety violation.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_fault::{check_logs, Divergence};
+///
+/// let a = vec![(0u16, 1u64), (1, 1)];
+/// let b = vec![(0u16, 1u64), (2, 1)];
+/// let err = check_logs(&[a, b], &[false, false]).unwrap_err();
+/// assert!(matches!(err, Divergence::Mismatch { position: 1, .. }));
+/// assert!(err.to_string().contains("diverge at position 1"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Divergence {
     /// Two operational sites committed different transactions at the same
@@ -64,11 +76,29 @@ impl std::error::Error for Divergence {}
 ///
 /// Operational sites must have *identical* logs; crashed sites must hold a
 /// *prefix* of the common log (they stopped, but never diverged); no site
-/// may commit a transaction twice.
+/// may commit a transaction twice. When **every** site has crashed (e.g. a
+/// partition left no primary component and all segments halted), the logs
+/// must still form one chain: each must be a prefix of the longest — two
+/// segments that committed different suffixes before halting are a
+/// split-brain, not a clean stop.
 ///
 /// # Errors
 ///
 /// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `logs` and `crashed` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_fault::check_logs;
+///
+/// let log = vec![(0u16, 1u64), (1, 1)];
+/// check_logs(&[log.clone(), log], &[false, false])?;
+/// # Ok::<(), dbsm_fault::Divergence>(())
+/// ```
 pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence> {
     assert_eq!(logs.len(), crashed.len(), "one crash flag per site");
     // Duplicates first.
@@ -99,16 +129,25 @@ pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence
                 }
             }
         }
-        // Crashed sites: prefix of the survivors' log.
-        let reference = &logs[first];
-        for (site, log) in logs.iter().enumerate() {
-            if !crashed[site] {
-                continue;
-            }
-            for (pos, txn) in log.iter().enumerate() {
-                if reference.get(pos) != Some(txn) {
-                    return Err(Divergence::CrashedNotPrefix { site: site as u16, position: pos });
-                }
+    }
+    // Crashed sites: prefix of the reference log. With survivors the
+    // reference is their common log; with none, the longest log stands in —
+    // the prefix property then still orders every halted segment's history
+    // on one chain.
+    let reference = match operational.first() {
+        Some(&first) => &logs[first],
+        None => match logs.iter().max_by_key(|l| l.len()) {
+            Some(longest) => longest,
+            None => return Ok(()),
+        },
+    };
+    for (site, log) in logs.iter().enumerate() {
+        if !crashed[site] {
+            continue;
+        }
+        for (pos, txn) in log.iter().enumerate() {
+            if reference.get(pos) != Some(txn) {
+                return Err(Divergence::CrashedNotPrefix { site: site as u16, position: pos });
             }
         }
     }
@@ -171,5 +210,24 @@ mod tests {
     #[test]
     fn empty_logs_pass() {
         assert_eq!(check_logs(&[vec![], vec![]], &[false, false]), Ok(()));
+    }
+
+    #[test]
+    fn all_crashed_sites_must_form_one_chain() {
+        // Every segment of a no-primary partition halted at a different
+        // point: fine as long as the logs are prefixes of one chain.
+        let long = log(&[(0, 1), (1, 1), (0, 2)]);
+        let mid = log(&[(0, 1), (1, 1)]);
+        let short = log(&[(0, 1)]);
+        assert_eq!(check_logs(&[mid, long, short], &[true, true, true]), Ok(()));
+    }
+
+    #[test]
+    fn all_crashed_split_brain_is_detected() {
+        // Two halted segments committed different suffixes: split-brain.
+        let a = log(&[(0, 1), (1, 7)]);
+        let b = log(&[(0, 1), (2, 9), (2, 10)]);
+        let err = check_logs(&[a, b], &[true, true]).expect_err("split-brain");
+        assert_eq!(err, Divergence::CrashedNotPrefix { site: 0, position: 1 });
     }
 }

@@ -1,7 +1,7 @@
 //! The group-communication stack (§3.4): view-synchronous reliable multicast
 //! with window-based receiver-initiated recovery, scalable stability
 //! detection, rate+window flow control, membership with flush/consensus view
-//! changes, and fixed-sequencer total order.
+//! changes under a primary-component rule, and fixed-sequencer total order.
 //!
 //! [`Gcs`] is a single-threaded state machine driven through
 //! [`ProtocolRuntime`]; it is the *real code* the testbed exists to test.
@@ -13,6 +13,16 @@
 //!   therefore consume the sequencer's share;
 //! * stability (and hence garbage collection) advances only over the
 //!   *contiguous* prefix received by *all* operational processes.
+//!
+//! Membership follows the **primary-component** rule: only a strict
+//! majority of the current view may install the next one. A node that loses
+//! contact with a majority (the small side of a partition, an isolated
+//! sequencer) halts via [`Upcall::Excluded`] rather than forming a rump
+//! view — the split-brain alternative would commit divergent histories. In
+//! uniform-delivery mode the delivery gate covers the *order* too: a
+//! message delivers only when both its content and the fragment that
+//! carried its sequence assignment are stable, so no minority can act on an
+//! ordering the primary component may re-make.
 
 use crate::config::GcsConfig;
 use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
@@ -199,10 +209,26 @@ impl SendState {
     }
 }
 
+/// An applied sequencer assignment awaiting delivery, remembering which
+/// fragment carried it: uniform delivery must wait until the *order* is
+/// stable too — an assignment known only to a minority (e.g. the sequencer
+/// alone across a partition) may be re-made differently by the primary
+/// component's next sequencer.
+#[derive(Debug, Clone, Copy)]
+struct AppliedAssign {
+    origin: NodeId,
+    msg_seq: u64,
+    /// Stream that carried the assignment (the sequencer's `SeqAnn`
+    /// fragment or the application fragment it piggybacked on).
+    carrier: NodeId,
+    /// The carrier's fragment sequence number within that stream.
+    carrier_seq: u64,
+}
+
 #[derive(Debug)]
 struct TotalOrder {
     /// Applied assignments for not-yet-delivered messages.
-    by_gseq: BTreeMap<u64, (NodeId, u64)>,
+    by_gseq: BTreeMap<u64, AppliedAssign>,
     /// Reverse index of `by_gseq`.
     assigned: HashSet<(u16, u64)>,
     /// Reliably delivered application messages awaiting total-order delivery.
@@ -640,7 +666,7 @@ impl Gcs {
         let j = from.0 as usize;
         let is_self = from == self.me;
         let mut completed: Vec<(u64, PayloadKind, Bytes)> = Vec::new();
-        let mut anns: Vec<SeqAssign> = Vec::new();
+        let mut anns: Vec<(SeqAssign, u64)> = Vec::new();
         {
             let stream = &mut self.recv[j];
             loop {
@@ -659,7 +685,7 @@ impl Gcs {
                 // the same flush/cut discipline `SeqAnn` messages obey, so a
                 // beyond-cut straggler can never apply assignments at some
                 // survivors and not others across a view change.
-                anns.extend_from_slice(&rec.ann);
+                anns.extend(rec.ann.iter().map(|a| (*a, next)));
                 if let Some(msg) = stream.asm.feed(next, &rec) {
                     completed.push(msg);
                 }
@@ -675,8 +701,8 @@ impl Gcs {
             }
         }
         if !anns.is_empty() {
-            for a in anns {
-                self.apply_assignment(a);
+            for (a, carrier_seq) in anns {
+                self.apply_assignment(a, from, carrier_seq);
             }
             self.try_deliver(rt);
         }
@@ -706,9 +732,12 @@ impl Gcs {
                 self.try_deliver(rt);
             }
             PayloadKind::SeqAnn => {
+                // The announcement's own last fragment is the order carrier:
+                // uniform delivery waits for it to be stable as well.
+                let carrier_seq = msg_seq + self.frags_needed(payload.len()) - 1;
                 if let Ok(assigns) = decode_seq_ann(payload) {
                     for a in assigns {
-                        self.apply_assignment(a);
+                        self.apply_assignment(a, origin, carrier_seq);
                     }
                     self.try_deliver(rt);
                 }
@@ -716,14 +745,17 @@ impl Gcs {
         }
     }
 
-    fn apply_assignment(&mut self, a: SeqAssign) {
+    fn apply_assignment(&mut self, a: SeqAssign, carrier: NodeId, carrier_seq: u64) {
         if self.to.assigned.contains(&(a.sender.0, a.msg_seq))
             || a.global_seq < self.to.next_deliver
         {
             return;
         }
         self.to.assigned.insert((a.sender.0, a.msg_seq));
-        self.to.by_gseq.insert(a.global_seq, (a.sender, a.msg_seq));
+        self.to.by_gseq.insert(
+            a.global_seq,
+            AppliedAssign { origin: a.sender, msg_seq: a.msg_seq, carrier, carrier_seq },
+        );
         self.to.max_applied = self.to.max_applied.max(a.global_seq);
         self.to.assign_counter = self.to.assign_counter.max(a.global_seq + 1);
     }
@@ -811,13 +843,22 @@ impl Gcs {
                 self.to.next_deliver += 1;
                 continue;
             }
-            let Some(&(origin, msg_seq)) = self.to.by_gseq.get(&g) else { break };
+            let Some(&AppliedAssign { origin, msg_seq, carrier, carrier_seq }) =
+                self.to.by_gseq.get(&g)
+            else {
+                break;
+            };
             let Some(stored) = self.to.store.get(&(origin.0, msg_seq)) else { break };
             if self.cfg.uniform_delivery {
-                // Uniform mode: deliver only once the message is stable
-                // (received by all operational members).
-                let stable = self.stab.stable()[origin.0 as usize];
-                if stable < stored.last_frag {
+                // Uniform mode: deliver only once both the message *and its
+                // ordering* are stable (received by all operational
+                // members). Gating on the carrier keeps an isolated
+                // sequencer from delivering an order the primary component
+                // never saw and will re-make differently.
+                let stable = self.stab.stable();
+                if stable[origin.0 as usize] < stored.last_frag
+                    || stable[carrier.0 as usize] < carrier_seq
+                {
                     break;
                 }
             }
@@ -964,6 +1005,31 @@ impl Gcs {
 
     // ----- failure detection & view changes ------------------------------
 
+    /// Primary-component rule: a membership may carry the group forward only
+    /// if it is a strict majority of the current view. Minority components
+    /// (e.g. the small side of a partition, or an isolated sequencer) halt
+    /// instead of installing a view — two disjoint components that both kept
+    /// committing would be a split-brain the safety check rightly flags.
+    ///
+    /// The majority is judged against this node's *local* view, which can be
+    /// stale if it missed an intermediate install: such a node may halt on a
+    /// proposal that is in fact a legitimate majority of the newer view. The
+    /// rule deliberately errs on that side — halting is always safe (the
+    /// halted node's commits stay a prefix), while proceeding on a stale
+    /// denominator could admit two disjoint "majorities".
+    fn is_primary(&self, members: NodeSet) -> bool {
+        members.len() * 2 > self.view.members.len()
+    }
+
+    /// Halts this node — excluded by a view proposal, or a survivor that
+    /// cannot prove it is in the primary component. Either way the
+    /// application treats it as crashed; its commits stay a prefix of the
+    /// primary component's.
+    fn halt_excluded(&mut self) {
+        self.halted = true;
+        self.upcalls.push_back(Upcall::Excluded);
+    }
+
     fn failure_scan(&mut self, rt: &mut dyn ProtocolRuntime) {
         let now = rt.now_nanos();
         let timeout = self.cfg.failure_timeout.as_nanos() as u64;
@@ -978,6 +1044,13 @@ impl Gcs {
             }
         }
         if newly {
+            let alive = self.view.members.difference(self.suspected);
+            if !self.is_primary(alive) {
+                // We lost contact with a majority of the view: we are (at
+                // best) in a minority partition segment. Halt.
+                self.halt_excluded();
+                return;
+            }
             self.maybe_coordinate_flush(rt);
         }
     }
@@ -1045,9 +1118,8 @@ impl Gcs {
                 return;
             }
         }
-        if !members.contains(self.me) {
-            self.halted = true;
-            self.upcalls.push_back(Upcall::Excluded);
+        if !members.contains(self.me) || !self.is_primary(members) {
+            self.halt_excluded();
             return;
         }
         self.freeze_excluded(members);
@@ -1130,9 +1202,8 @@ impl Gcs {
         if new_view <= self.view.id || cut.len() != self.cfg.n_nodes {
             return;
         }
-        if !members.contains(self.me) {
-            self.halted = true;
-            self.upcalls.push_back(Upcall::Excluded);
+        if !members.contains(self.me) || !self.is_primary(members) {
+            self.halt_excluded();
             return;
         }
         // Adopt the install (possibly without having seen the FlushReq).
@@ -1209,14 +1280,17 @@ impl Gcs {
         // content died with its sender can never be delivered — skip their
         // global sequence numbers (identically at every survivor).
         let mut orphans: Vec<u64> = Vec::new();
-        for (&g, &(origin, msg_seq)) in &self.to.by_gseq {
-            if !members.contains(origin) && origin != self.me && msg_seq > cut[origin.0 as usize] {
+        for (&g, aa) in &self.to.by_gseq {
+            if !members.contains(aa.origin)
+                && aa.origin != self.me
+                && aa.msg_seq > cut[aa.origin.0 as usize]
+            {
                 orphans.push(g);
             }
         }
         for g in orphans {
-            let (origin, msg_seq) = self.to.by_gseq.remove(&g).expect("listed above");
-            self.to.assigned.remove(&(origin.0, msg_seq));
+            let aa = self.to.by_gseq.remove(&g).expect("listed above");
+            self.to.assigned.remove(&(aa.origin.0, aa.msg_seq));
             self.to.skipped.insert(g);
         }
         // Announcements never sent can be re-assigned from scratch (with a
@@ -1455,6 +1529,96 @@ mod tests {
             })
             .collect();
         assert_eq!(delivered, vec![(NodeId(1), 1)]);
+    }
+
+    #[test]
+    fn losing_the_majority_halts_instead_of_forming_a_rump_view() {
+        // Primary-component rule: a node that suspects a majority of its
+        // view (the small side of a partition) must halt, not install a
+        // singleton view and keep sequencing — that is the split-brain that
+        // would diverge commit logs.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(1)));
+        g.on_start(&mut rt);
+        // Silence from both peers for longer than the failure timeout.
+        rt.now = 10 * g.cfg.failure_timeout.as_nanos() as u64;
+        g.on_timer(&mut rt, TimerKind::FailureCheck);
+        assert!(g.is_halted(), "minority survivor must halt");
+        assert!(
+            g.drain_upcalls().iter().any(|u| matches!(u, Upcall::Excluded)),
+            "halt surfaces as Excluded"
+        );
+        assert_eq!(g.view().id, 0, "no rump view was installed");
+    }
+
+    #[test]
+    fn majority_suspicion_still_reconfigures() {
+        // Suspecting one node of three leaves a majority: the survivor
+        // coordinates a flush instead of halting.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(1)));
+        g.on_start(&mut rt);
+        let t = 10 * g.cfg.failure_timeout.as_nanos() as u64;
+        rt.now = t;
+        // Node 1 keeps talking, node 2 stays silent.
+        g.last_heard[1] = t;
+        g.on_timer(&mut rt, TimerKind::FailureCheck);
+        assert!(!g.is_halted());
+        assert!(matches!(g.phase, Phase::Flushing { .. }), "flush towards {{0,1}} started");
+    }
+
+    #[test]
+    fn minority_view_proposals_are_refused_by_halting() {
+        // Defense in depth: even a received FlushReq / ViewInstall proposing
+        // a non-primary membership (including us) halts the node.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(4, Duration::from_millis(1)));
+        g.on_start(&mut rt);
+        let members: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
+        let req = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::FlushReq { new_view: 1, members },
+        };
+        g.on_packet(&mut rt, req.encode());
+        assert!(g.is_halted(), "2 of 4 is not a primary component");
+    }
+
+    #[test]
+    fn uniform_delivery_waits_for_the_order_to_be_stable() {
+        // Uniform mode gates on the carrier fragment of the assignment, not
+        // just the message content: an assignment only this node has seen
+        // must not deliver.
+        let mut cfg = fixed_cfg(3, Duration::from_millis(5));
+        cfg.uniform_delivery = true;
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(2), cfg);
+        g.on_start(&mut rt);
+        // Content: node 1's message, fragment 1.
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 1, b"m"));
+        // Order: sequencer node 0's fragment 1 carries the assignment.
+        let ann = Envelope {
+            sender: NodeId(0),
+            view: 0,
+            msg: Message::Data {
+                seq: 1,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 1, global_seq: 1 }],
+                payload: Bytes::from_static(b"carrier"),
+                retrans: false,
+            },
+        };
+        g.on_packet(&mut rt, ann.encode());
+        assert!(
+            !g.drain_upcalls().iter().any(|u| matches!(u, Upcall::Deliver { .. })),
+            "nothing may deliver before content AND carrier are stable"
+        );
+        assert_eq!(g.to.by_gseq.len(), 1, "assignment applied, delivery gated");
+        let aa = g.to.by_gseq[&1];
+        assert_eq!((aa.origin, aa.msg_seq), (NodeId(1), 1));
+        assert_eq!((aa.carrier, aa.carrier_seq), (NodeId(0), 1), "carrier recorded for the gate");
     }
 
     #[test]

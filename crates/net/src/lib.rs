@@ -49,7 +49,9 @@ mod packet;
 
 pub use addr::{Addr, GroupId, HostId, Port};
 pub use builder::{NetworkBuilder, SegmentHandle};
-pub use loss::{measure_loss_rate, BurstyLoss, DropAfter, LossModel, NoLoss, RandomLoss};
+pub use loss::{
+    measure_loss_rate, BurstyLoss, DropAfter, LossModel, NoLoss, RandomLoss, WindowedBurst,
+};
 pub use monitor::{DropCause, HostTraffic, TrafficStats};
 pub use network::{BindError, Network, SegmentConfig};
 pub use packet::{wire_bytes, Datagram, Dest, HEADER_BYTES, MIN_FRAME_BYTES};
@@ -197,6 +199,105 @@ mod tests {
         sim.run();
         assert_eq!(got.borrow().len(), 0);
         assert!(net.is_host_down(h0));
+    }
+
+    #[test]
+    fn stacked_loss_models_compose_and_all_observe_traffic() {
+        let (sim, net, h0, h1) = two_host_lan();
+        let got = collector(&net, Addr::new(h1, Port(9)));
+        // A drop-everything model stacked on a drop-nothing model: the
+        // union drops everything; set_loss afterwards replaces the stack.
+        net.add_loss(h1, Box::new(RandomLoss::new(0.0, 1)));
+        net.add_loss(h1, Box::new(RandomLoss::new(1.0, 2)));
+        net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::new());
+        sim.run();
+        assert_eq!(got.borrow().len(), 0, "any stacked model may drop");
+        assert_eq!(net.stats().drops(DropCause::LossModel), 1);
+        net.set_loss(h1, Box::new(RandomLoss::new(0.0, 3)));
+        net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::new());
+        sim.run();
+        assert_eq!(got.borrow().len(), 1, "set_loss replaced the stack");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_healed() {
+        let sim = Sim::new();
+        let mut b = NetworkBuilder::new(&sim);
+        let lan = b.lan(SegmentConfig::fast_ethernet());
+        let hosts: Vec<HostId> = (0..3).map(|_| b.host(lan)).collect();
+        let net = b.build();
+        let got1 = collector(&net, Addr::new(hosts[1], Port(9)));
+        let got2 = collector(&net, Addr::new(hosts[2], Port(9)));
+        net.set_partition(&[vec![hosts[0], hosts[1]], vec![hosts[2]]]);
+        assert!(!net.is_partitioned(hosts[0], hosts[1]));
+        assert!(net.is_partitioned(hosts[0], hosts[2]));
+        let from = Addr::new(hosts[0], Port(1));
+        net.send(from, Dest::Unicast(Addr::new(hosts[1], Port(9))), Bytes::from_static(b"in"));
+        net.send(from, Dest::Unicast(Addr::new(hosts[2], Port(9))), Bytes::from_static(b"out"));
+        sim.run();
+        assert_eq!(got1.borrow().len(), 1, "same segment delivers");
+        assert_eq!(got2.borrow().len(), 0, "cross-segment dropped");
+        assert_eq!(net.stats().drops(DropCause::Partition), 1);
+        net.clear_partition();
+        net.send(from, Dest::Unicast(Addr::new(hosts[2], Port(9))), Bytes::from_static(b"heal"));
+        sim.run();
+        assert_eq!(got2.borrow().len(), 1, "healed network delivers again");
+    }
+
+    #[test]
+    fn partition_drops_packets_in_flight_at_the_split() {
+        let (sim, net, h0, h1) = two_host_lan();
+        let got = collector(&net, Addr::new(h1, Port(9)));
+        // Sent pre-split, arriving (130us later) after the split lands.
+        net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::new());
+        let net2 = net.clone();
+        sim.schedule_at(SimTime::from_micros(10), move || {
+            net2.set_partition(&[vec![h0], vec![h1]]);
+        });
+        sim.run();
+        assert_eq!(got.borrow().len(), 0);
+        assert_eq!(net.stats().drops(DropCause::Partition), 1);
+    }
+
+    #[test]
+    fn unlisted_hosts_are_isolated_by_a_partition() {
+        let sim = Sim::new();
+        let mut b = NetworkBuilder::new(&sim);
+        let lan = b.lan(SegmentConfig::fast_ethernet());
+        let hosts: Vec<HostId> = (0..3).map(|_| b.host(lan)).collect();
+        let net = b.build();
+        net.set_partition(&[vec![hosts[0], hosts[1]]]);
+        assert!(net.is_partitioned(hosts[0], hosts[2]));
+        assert!(net.is_partitioned(hosts[2], hosts[1]));
+        assert!(!net.is_partitioned(hosts[0], hosts[1]));
+    }
+
+    #[test]
+    fn duplicate_delivery_injects_extra_copies() {
+        let (sim, net, h0, h1) = two_host_lan();
+        let got = collector(&net, Addr::new(h1, Port(9)));
+        net.set_duplication(h1, 1.0, 2, 42);
+        net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::new());
+        sim.run();
+        let n = got.borrow().len();
+        assert!((2..=3).contains(&n), "original + 1..=2 copies, got {n}");
+        assert_eq!(net.stats().duplicates_injected(), n as u64 - 1);
+        // Copies arrive after the original, 50us apart.
+        let times: Vec<SimTime> = got.borrow().iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn duplicates_do_not_multiply_and_zero_p_is_silent() {
+        let (sim, net, h0, h1) = two_host_lan();
+        let got = collector(&net, Addr::new(h1, Port(9)));
+        net.set_duplication(h1, 0.0, 3, 1);
+        for _ in 0..20 {
+            net.send(Addr::new(h0, Port(1)), Dest::Unicast(Addr::new(h1, Port(9))), Bytes::new());
+        }
+        sim.run();
+        assert_eq!(got.borrow().len(), 20, "p=0 injects nothing");
+        assert_eq!(net.stats().duplicates_injected(), 0);
     }
 
     #[test]

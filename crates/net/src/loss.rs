@@ -115,6 +115,75 @@ impl LossModel for BurstyLoss {
     }
 }
 
+/// Drops everything inside pseudo-randomly chosen *time windows* — the
+/// building block of the correlated-burst fault: simulated time is sliced
+/// into `window`-long slots and each slot independently becomes a blackout
+/// with probability `p`, during which **every** arriving packet is dropped.
+///
+/// Unlike [`BurstyLoss`], whose burst schedule advances with each packet
+/// (and therefore decorrelates across receivers), the blackout decision here
+/// is a pure function of `(seed, slot index)`: two models constructed with
+/// the *same seed* black out in the *same windows*, no matter how much
+/// traffic each one sees. Installing same-seed clones on several hosts
+/// yields loss bursts that hit all of them simultaneously — the correlated
+/// congestion events that stall stability detection at every site at once.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_net::{LossModel, WindowedBurst};
+/// use dbsm_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let mut a = WindowedBurst::new(Duration::from_millis(10), 0.2, 7);
+/// let mut b = WindowedBurst::new(Duration::from_millis(10), 0.2, 7);
+/// for ms in 0..200 {
+///     let now = SimTime::from_millis(ms);
+///     // Same seed => identical blackout schedule at both receivers.
+///     assert_eq!(a.should_drop(now, 100), b.should_drop(now, 100));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedBurst {
+    window_ns: u64,
+    /// Blackout probability scaled to a 64-bit threshold.
+    threshold: u64,
+    seed: u64,
+}
+
+impl WindowedBurst {
+    /// Creates a windowed-burst model: each `window`-long slot of simulated
+    /// time is a total blackout with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `window` is zero.
+    pub fn new(window: Duration, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "burst probability out of range: {p}");
+        assert!(!window.is_zero(), "burst window must be positive");
+        let threshold = if p >= 1.0 { u64::MAX } else { (p * u64::MAX as f64) as u64 };
+        WindowedBurst { window_ns: window.as_nanos() as u64, threshold, seed }
+    }
+
+    /// True if the slot containing `now` is a blackout window.
+    pub fn in_burst(&self, now: SimTime) -> bool {
+        let slot = now.as_nanos() / self.window_ns;
+        // SplitMix64 finalizer over (seed, slot): deterministic, stateless,
+        // and identical for every same-seed clone.
+        let mut z = self.seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z <= self.threshold && self.threshold > 0
+    }
+}
+
+impl LossModel for WindowedBurst {
+    fn should_drop(&mut self, now: SimTime, _wire_bytes: usize) -> bool {
+        self.in_burst(now)
+    }
+}
+
 /// Drops everything after a given instant — building block for crash faults
 /// (a crashed node stops interacting entirely; the fault crate also halts
 /// its outgoing traffic and timers).
@@ -212,6 +281,56 @@ mod tests {
         // Under independent 5% loss p(drop | drop) ~= 0.05; bursts of mean 5
         // give ~0.8.
         assert!(p_pair > 0.5, "drop->drop fraction {p_pair}");
+    }
+
+    #[test]
+    fn windowed_burst_long_run_rate_tracks_p() {
+        let mut m = WindowedBurst::new(Duration::from_micros(100), 0.2, 3);
+        let rate = measure_loss_rate(&mut m, 100_000, Duration::from_micros(7));
+        assert!((rate - 0.2).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn windowed_burst_is_all_or_nothing_per_window() {
+        let m = WindowedBurst::new(Duration::from_millis(1), 0.3, 11);
+        for w in 0..200u64 {
+            let burst = m.in_burst(SimTime::from_millis(w));
+            // Every instant inside the same window agrees with its start.
+            for off in [1u64, 499, 999] {
+                let t = SimTime::from_nanos(w * 1_000_000 + off * 1_000);
+                assert_eq!(m.clone().should_drop(t, 64), burst, "window {w} offset {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_burst_correlates_across_same_seed_clones() {
+        let mut a = WindowedBurst::new(Duration::from_millis(5), 0.25, 9);
+        let mut b = a;
+        let mut differs_from_other_seed = false;
+        let c = WindowedBurst::new(Duration::from_millis(5), 0.25, 10);
+        for ms in 0..2000u64 {
+            let now = SimTime::from_millis(ms);
+            assert_eq!(a.should_drop(now, 1), b.should_drop(now, 1), "same seed, same fate");
+            if a.in_burst(now) != c.in_burst(now) {
+                differs_from_other_seed = true;
+            }
+        }
+        assert!(differs_from_other_seed, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn windowed_burst_extremes() {
+        let mut never = WindowedBurst::new(Duration::from_millis(1), 0.0, 1);
+        assert_eq!(measure_loss_rate(&mut never, 1000, Duration::from_micros(10)), 0.0);
+        let mut always = WindowedBurst::new(Duration::from_millis(1), 1.0, 1);
+        assert_eq!(measure_loss_rate(&mut always, 1000, Duration::from_micros(10)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn windowed_burst_rejects_bad_probability() {
+        let _ = WindowedBurst::new(Duration::from_millis(1), 1.1, 0);
     }
 
     #[test]

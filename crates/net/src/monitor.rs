@@ -18,6 +18,9 @@ pub enum DropCause {
     NoSocket,
     /// No common segment between the two hosts.
     NoRoute,
+    /// Sender and receiver are in different partition segments (the
+    /// partition fault splits the network until it heals).
+    Partition,
 }
 
 /// Per-host byte/packet counters.
@@ -38,12 +41,17 @@ pub struct HostTraffic {
 pub struct TrafficStats {
     per_host: Vec<HostTraffic>,
     drops: HashMap<DropCause, u64>,
+    dup_injected: u64,
 }
 
 impl TrafficStats {
     /// Creates counters for `n` hosts.
     pub fn new(n: usize) -> Self {
-        TrafficStats { per_host: vec![HostTraffic::default(); n], drops: HashMap::new() }
+        TrafficStats {
+            per_host: vec![HostTraffic::default(); n],
+            drops: HashMap::new(),
+            dup_injected: 0,
+        }
     }
 
     pub(crate) fn on_tx(&mut self, host: usize, wire_bytes: usize) {
@@ -60,6 +68,15 @@ impl TrafficStats {
 
     pub(crate) fn on_drop(&mut self, cause: DropCause) {
         *self.drops.entry(cause).or_insert(0) += 1;
+    }
+
+    pub(crate) fn on_dup(&mut self, copies: u64) {
+        self.dup_injected += copies;
+    }
+
+    /// Duplicate packet copies injected by the duplicate-delivery fault.
+    pub fn duplicates_injected(&self) -> u64 {
+        self.dup_injected
     }
 
     /// Counters for one host.

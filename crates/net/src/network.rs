@@ -17,11 +17,13 @@
 //! loudly in the same way the real system would.
 
 use crate::addr::{Addr, GroupId, HostId, Port};
-use crate::loss::{LossModel, NoLoss};
+use crate::loss::LossModel;
 use crate::monitor::{DropCause, TrafficStats};
 use crate::packet::{wire_bytes, Datagram, Dest};
 use bytes::Bytes;
 use dbsm_sim::{Sim, SimTime, Trace, TraceKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -94,9 +96,22 @@ impl Segment {
 
 type Handler = Rc<RefCell<dyn FnMut(Datagram)>>;
 
+/// Receive-side duplicate-delivery fault: each arriving packet is
+/// redelivered (1..=`max_copies` extra copies) with probability `p`.
+struct DupModel {
+    p: f64,
+    max_copies: u8,
+    rng: SmallRng,
+}
+
 struct HostState {
     down: bool,
-    loss: Box<dyn LossModel>,
+    /// Stacked receive-side loss models: a packet is dropped if *any* of
+    /// them says so. Every model sees every arrival (no short-circuit), so
+    /// stateful schedules advance identically whether or not another model
+    /// already dropped the packet.
+    losses: Vec<Box<dyn LossModel>>,
+    dup: Option<DupModel>,
     sockets: HashMap<Port, Handler>,
     groups: HashSet<GroupId>,
     /// Segments this host is attached to, in attachment order.
@@ -107,6 +122,9 @@ struct NetState {
     segments: Vec<Segment>,
     hosts: Vec<HostState>,
     stats: TrafficStats,
+    /// Active partition: host id → segment group. Hosts absent from the map
+    /// (or in different groups) cannot reach each other. `None` = healed.
+    partition: Option<HashMap<u16, u32>>,
 }
 
 /// Error binding a socket.
@@ -149,7 +167,8 @@ impl Network {
         let mut hosts: Vec<HostState> = (0..n_hosts)
             .map(|_| HostState {
                 down: false,
-                loss: Box::new(NoLoss),
+                losses: Vec::new(),
+                dup: None,
                 sockets: HashMap::new(),
                 groups: HashSet::new(),
                 segments: Vec::new(),
@@ -168,7 +187,8 @@ impl Network {
             };
             segs.push(Segment { config, kind, busy_until: [SimTime::ZERO; 2] });
         }
-        let state = NetState { segments: segs, hosts, stats: TrafficStats::new(n_hosts) };
+        let state =
+            NetState { segments: segs, hosts, stats: TrafficStats::new(n_hosts), partition: None };
         Network { sim, state: Rc::new(RefCell::new(state)), trace }
     }
 
@@ -222,9 +242,73 @@ impl Network {
         self.state.borrow_mut().hosts[host.0 as usize].groups.remove(&group);
     }
 
-    /// Installs a receive-side loss model on a host (fault injection).
+    /// Installs a receive-side loss model on a host (fault injection),
+    /// replacing any previously installed models. Use
+    /// [`Network::add_loss`] to stack models instead.
     pub fn set_loss(&self, host: HostId, model: Box<dyn LossModel>) {
-        self.state.borrow_mut().hosts[host.0 as usize].loss = model;
+        self.state.borrow_mut().hosts[host.0 as usize].losses = vec![model];
+    }
+
+    /// Stacks an additional receive-side loss model on a host: a packet is
+    /// dropped if *any* installed model drops it, and every model observes
+    /// every arrival (stateful burst schedules advance regardless of the
+    /// other models' verdicts). This is how composed fault plans — e.g.
+    /// random loss on top of a correlated burst — coexist on one site.
+    pub fn add_loss(&self, host: HostId, model: Box<dyn LossModel>) {
+        self.state.borrow_mut().hosts[host.0 as usize].losses.push(model);
+    }
+
+    /// Installs the duplicate-delivery fault on a host: each packet arriving
+    /// at `host` is redelivered — 1..=`max_copies` extra copies, spaced
+    /// 50 µs apart — with probability `p`. Copies traverse the receive path
+    /// like any packet (the loss model applies to each independently), so
+    /// the protocol above must absorb them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `max_copies` is zero.
+    pub fn set_duplication(&self, host: HostId, p: f64, max_copies: u8, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "duplication probability out of range: {p}");
+        assert!(max_copies >= 1, "max_copies must be at least 1");
+        self.state.borrow_mut().hosts[host.0 as usize].dup =
+            Some(DupModel { p, max_copies, rng: SmallRng::seed_from_u64(seed) });
+    }
+
+    /// Splits the network into isolated partition segments: two hosts can
+    /// exchange packets only if they are in the same group. Hosts listed in
+    /// no group are isolated from everyone. Packets still in flight across a
+    /// new partition boundary are dropped at delivery time, modelling the
+    /// switch cutting over. Replaces any earlier partition.
+    pub fn set_partition(&self, groups: &[Vec<HostId>]) {
+        let mut map = HashMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for h in group {
+                let prev = map.insert(h.0, gi as u32);
+                assert!(prev.is_none(), "host {h} listed in two partition groups");
+            }
+        }
+        self.state.borrow_mut().partition = Some(map);
+    }
+
+    /// Heals an active partition: all hosts can reach each other again.
+    pub fn clear_partition(&self) {
+        self.state.borrow_mut().partition = None;
+    }
+
+    /// True if an active partition separates `a` from `b`.
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        Self::split(&self.state.borrow(), a, b)
+    }
+
+    fn split(st: &NetState, a: HostId, b: HostId) -> bool {
+        match &st.partition {
+            None => false,
+            Some(map) => match (map.get(&a.0), map.get(&b.0)) {
+                (Some(ga), Some(gb)) => ga != gb,
+                // An unlisted host sits in no segment: unreachable.
+                _ => true,
+            },
+        }
     }
 
     /// Marks a host up or down. A down host neither sends nor receives.
@@ -313,7 +397,8 @@ impl Network {
         for (to, group, arrive) in deliveries {
             let this = self.clone();
             let payload = payload.clone();
-            self.sim.schedule_at(arrive, move || this.deliver(from, to, group, payload, wire));
+            self.sim
+                .schedule_at(arrive, move || this.deliver(from, to, group, payload, wire, false));
         }
     }
 
@@ -333,37 +418,80 @@ impl Network {
         }
     }
 
-    fn deliver(&self, from: Addr, to: Addr, group: Option<GroupId>, payload: Bytes, wire: usize) {
+    fn deliver(
+        &self,
+        from: Addr,
+        to: Addr,
+        group: Option<GroupId>,
+        payload: Bytes,
+        wire: usize,
+        dup: bool,
+    ) {
         let now = self.sim.now();
-        let handler: Option<Handler> = {
+        let (handler, copies): (Option<Handler>, u32) = {
             let mut st = self.state.borrow_mut();
+            if Self::split(&st, from.host, to.host) {
+                st.stats.on_drop(DropCause::Partition);
+                self.trace.record_with(now, TraceKind::PacketDropped, || {
+                    format!("{from}->{to}: partition")
+                });
+                return;
+            }
             let host = &mut st.hosts[to.host.0 as usize];
             if host.down {
                 st.stats.on_drop(DropCause::HostDown);
                 return;
             }
-            if host.loss.should_drop(now, wire) {
+            // Duplicate draw happens *before* the loss model and only for
+            // originals: the network redelivers regardless of whether this
+            // copy is then lost, but copies do not multiply further.
+            let draw = |d: &mut DupModel| {
+                if d.rng.gen_bool(d.p) {
+                    u32::from(d.rng.gen_range(1..=d.max_copies))
+                } else {
+                    0
+                }
+            };
+            let copies = if dup { 0 } else { host.dup.as_mut().map_or(0, draw) };
+            if copies > 0 {
+                st.stats.on_dup(u64::from(copies));
+            }
+            let host = &mut st.hosts[to.host.0 as usize];
+            let mut lost = false;
+            for model in &mut host.losses {
+                // No short-circuit: every model sees every packet.
+                lost |= model.should_drop(now, wire);
+            }
+            if lost {
                 st.stats.on_drop(DropCause::LossModel);
                 self.trace.record_with(now, TraceKind::PacketDropped, || {
                     format!("{from}->{to}: loss model")
                 });
-                return;
-            }
-            match host.sockets.get(&to.port) {
-                Some(h) => {
-                    let h = h.clone();
-                    st.stats.on_rx(to.host.0 as usize, wire);
-                    self.trace.record_with(now, TraceKind::PacketDelivered, || {
-                        format!("{from}->{to} {wire}B")
-                    });
-                    Some(h)
-                }
-                None => {
-                    st.stats.on_drop(DropCause::NoSocket);
-                    None
+                (None, copies)
+            } else {
+                match host.sockets.get(&to.port) {
+                    Some(h) => {
+                        let h = h.clone();
+                        st.stats.on_rx(to.host.0 as usize, wire);
+                        self.trace.record_with(now, TraceKind::PacketDelivered, || {
+                            format!("{from}->{to} {wire}B{}", if dup { " (dup)" } else { "" })
+                        });
+                        (Some(h), copies)
+                    }
+                    None => {
+                        st.stats.on_drop(DropCause::NoSocket);
+                        (None, copies)
+                    }
                 }
             }
         };
+        for c in 1..=copies {
+            let this = self.clone();
+            let payload = payload.clone();
+            self.sim.schedule_in(Duration::from_micros(50 * u64::from(c)), move || {
+                this.deliver(from, to, group, payload, wire, true)
+            });
+        }
         if let Some(h) = handler {
             let dg = Datagram { from, to, group, payload };
             (h.borrow_mut())(dg);

@@ -1,13 +1,19 @@
-//! Fault injection (paper §5.3): subject a replicated database to the
-//! paper's fault catalogue — random loss, bursty loss, a crash, clock drift
-//! and scheduling latency — and verify both the performance impact and the
-//! safety condition after every scenario.
+//! Fault injection (paper §5.3 and beyond): subject a replicated database
+//! to the full scenario catalogue — random loss, bursty loss, a crash,
+//! clock drift, scheduling latency, a partition-then-merge, duplicate
+//! delivery, and correlated loss bursts — and verify both the performance
+//! impact and the safety condition after every scenario.
+//!
+//! Every scenario prints the `summary_line` work ledger (tpm, latency,
+//! certification work, announcement work, view installs, duplicates), so
+//! this example doubles as the executable companion to
+//! `docs/EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run --release --example fault_injection
 //! ```
 
-use dbsm_testbed::core::{run_experiment, ExperimentConfig, RunMetrics};
+use dbsm_testbed::core::{report, run_experiment, ExperimentConfig, RunMetrics};
 use dbsm_testbed::fault::{check_logs, FaultPlan};
 use dbsm_testbed::sim::SimTime;
 use std::time::Duration;
@@ -17,14 +23,7 @@ fn run(label: &str, faults: FaultPlan) -> RunMetrics {
     let metrics = run_experiment(cfg);
     let crashed: Vec<bool> = (0..3u16).map(|s| metrics.crashed_sites.contains(&s)).collect();
     check_logs(&metrics.commit_logs, &crashed).expect("safety violated");
-    let mut lat = metrics.pooled_latencies_ms();
-    println!(
-        "{label:<22} tpm={:>6.0} aborts={:>5.2}%  p50={:>7.1}ms p99={:>8.1}ms  (safety ok)",
-        metrics.tpm(),
-        metrics.abort_rate(),
-        lat.percentile(50.0).unwrap_or(0.0),
-        lat.percentile(99.0).unwrap_or(0.0),
-    );
+    println!("{}  (safety ok)", report::summary_line(&format!("{label:<22}"), &metrics));
     metrics
 }
 
@@ -36,6 +35,35 @@ fn main() {
     run("clock drift x1.05", FaultPlan::clock_drift(1, 1.05));
     run("sched latency 2ms", FaultPlan::sched_latency(Duration::from_millis(2)));
     let crash = run("crash site 2 @20s", FaultPlan::crash(2, SimTime::from_secs(20)));
+    // The partition splits {0,1} from {2} at 20s for 2s: longer than the
+    // 500ms failure timeout, so the primary component {0,1} excludes site 2
+    // through a real view change while site 2 halts as a non-primary
+    // survivor. The heal at 22s merges the network back; the halted site
+    // stays down (safety counts it as crashed, holding a prefix). Partition
+    // plans automatically run with uniform (safe) delivery.
+    let partition = run(
+        "partition {01}|{2} 2s",
+        FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(20),
+            SimTime::from_secs(22),
+        ),
+    );
+    // A short split heals below the failure-detector radar: no view change,
+    // NAK recovery patches the gap after the merge.
+    let short_split = run(
+        "partition 300ms",
+        FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(20),
+            SimTime::from_millis(20_300),
+        ),
+    );
+    let dup = run("duplicates 25%x3", FaultPlan::duplicate_delivery(0.25, 3));
+    run(
+        "correlated burst 15%",
+        FaultPlan::correlated_burst(vec![0, 1, 2], Duration::from_millis(10), 0.15),
+    );
 
     println!();
     println!(
@@ -51,5 +79,21 @@ fn main() {
     println!(
         "after the crash the survivors kept committing: {} commits at site 0",
         crash.commit_logs[0].len()
+    );
+    println!(
+        "partition: {} view installs, {} packets died at the boundary, survivors committed {} \
+         vs {} at the halted site",
+        partition.fault_work.view_installs,
+        partition.fault_work.partition_drops,
+        partition.commit_logs[0].len(),
+        partition.commit_logs[2].len(),
+    );
+    println!(
+        "short partition merged back with no view change ({} installs) and no casualties",
+        short_split.fault_work.view_installs
+    );
+    println!(
+        "duplicate delivery: {} copies injected, {} absorbed by the dedup path, logs identical",
+        dup.fault_work.dup_injected, dup.fault_work.dup_discarded
     );
 }

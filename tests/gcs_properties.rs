@@ -72,6 +72,41 @@ proptest! {
     }
 
     #[test]
+    fn partition_at_any_point_keeps_primary_component_consistent(
+        split_after_ms in 1u64..200,
+        msgs in 4usize..20,
+    ) {
+        // Partition {0,1} | {2} at an arbitrary instant: the majority side
+        // must reconfigure and stay consistent, the minority node must halt
+        // (never forming a rump view), and its deliveries must be a prefix
+        // of the survivors'.
+        let mut net = TestNet::new(GcsConfig::lan(3));
+        for i in 0..msgs {
+            net.broadcast(NodeId((i % 3) as u16), Bytes::from(i.to_le_bytes().to_vec()));
+            net.run_for(Duration::from_millis(4));
+        }
+        net.run_until(split_after_ms * 1_000_000);
+        net.set_drop_fn(|from, to, _| (to == NodeId(2)) != (from == NodeId(2)));
+        net.run_for(Duration::from_secs(25));
+        let d0 = net.deliveries(NodeId(0));
+        let d1 = net.deliveries(NodeId(1));
+        prop_assert_eq!(&d0, &d1, "primary component agrees");
+        let d2 = net.deliveries(NodeId(2));
+        prop_assert!(d2.len() <= d0.len());
+        prop_assert_eq!(&d0[..d2.len()], &d2[..], "minority node holds a prefix");
+        prop_assert!(net.nodes[2].borrow().is_halted(), "minority node halted");
+        prop_assert_eq!(net.nodes[0].borrow().view().members.len(), 2);
+        // Heal: the halted node stays down (no rejoin protocol), the
+        // primary component stays live.
+        net.set_drop_fn(|_, _, _| false);
+        net.broadcast(NodeId(0), Bytes::from_static(b"post-merge"));
+        net.run_for(Duration::from_secs(5));
+        prop_assert_eq!(net.deliveries(NodeId(0)).len(), net.deliveries(NodeId(1)).len());
+        prop_assert!(net.deliveries(NodeId(0)).len() > d0.len(), "group still live after heal");
+        prop_assert_eq!(net.deliveries(NodeId(2)).len(), d2.len(), "halted node stays halted");
+    }
+
+    #[test]
     fn fragmentation_roundtrips_any_size(size in 0usize..8000) {
         let mut net = TestNet::new(GcsConfig::lan(2));
         let payload = Bytes::from(vec![0xC3u8; size]);

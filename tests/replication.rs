@@ -153,6 +153,76 @@ fn crash_leaves_survivors_consistent_and_live() {
 }
 
 #[test]
+fn partition_then_merge_drives_real_view_changes_and_stays_safe() {
+    // The tentpole scenario: a partition longer than the failure-detector
+    // timeout splits {0,1} from {2}. The primary component excludes site 2
+    // through a real flush/install round and keeps committing; site 2 halts
+    // as a non-primary survivor (counted as crashed); the heal merges the
+    // network back without resurrecting it. Safety must hold throughout.
+    let plan = FaultPlan::partition(
+        vec![vec![0, 1], vec![2]],
+        SimTime::from_secs(10),
+        SimTime::from_secs(12),
+    );
+    let m = run_experiment(ExperimentConfig::replicated(3, 45).with_target(400).with_faults(plan));
+    assert_eq!(m.crashed_sites, vec![2], "the minority segment halted");
+    check_logs(&m.commit_logs, &[false, false, true]).expect("safety across the partition");
+    assert!(m.committed() > 300, "primary component kept committing: {}", m.committed());
+    assert!(
+        m.commit_logs[0].len() > m.commit_logs[2].len(),
+        "survivors moved past the halted site"
+    );
+    assert!(
+        m.fault_work.view_installs >= 2,
+        "both survivors installed the post-partition view: {:?}",
+        m.fault_work
+    );
+    assert!(m.fault_work.partition_drops > 0, "traffic died at the partition boundary");
+}
+
+#[test]
+fn short_partition_merges_back_without_membership_change() {
+    // A partition shorter than the failure timeout: nobody is suspected, the
+    // merge re-joins the segments, and NAK recovery patches the gap — no
+    // view change, no casualties, identical logs.
+    let plan = FaultPlan::partition(
+        vec![vec![0, 1], vec![2]],
+        SimTime::from_secs(10),
+        SimTime::from_millis(10_300),
+    );
+    let m = run_experiment(ExperimentConfig::replicated(3, 45).with_target(300).with_faults(plan));
+    assert!(m.crashed_sites.is_empty(), "no site halted: {:?}", m.crashed_sites);
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety across the short split");
+    assert_eq!(m.fault_work.view_installs, 0, "merge happened below the membership radar");
+    assert!(m.committed() > 200);
+}
+
+#[test]
+fn duplicate_delivery_is_absorbed_without_burning_sequence_numbers() {
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(300)
+            .with_faults(FaultPlan::duplicate_delivery(0.25, 3)),
+    );
+    assert!(m.fault_work.dup_injected > 0, "the fault actually fired: {:?}", m.fault_work);
+    assert!(m.fault_work.dup_discarded > 0, "the GCS dedup path absorbed copies");
+    // Identical logs at every site prove no duplicate stole a global
+    // sequence number or delivered twice.
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety under duplicate delivery");
+    assert!(m.committed() > 200);
+}
+
+#[test]
+fn correlated_bursts_are_safe_and_recovered() {
+    let m =
+        run_experiment(ExperimentConfig::replicated(3, 45).with_target(300).with_faults(
+            FaultPlan::correlated_burst(vec![0, 1, 2], Duration::from_millis(10), 0.15),
+        ));
+    check_logs(&m.commit_logs, &[false; 3]).expect("safety under correlated bursts");
+    assert!(m.committed() > 200, "committed {}", m.committed());
+}
+
+#[test]
 fn random_loss_inflates_the_latency_tail() {
     let base = run_experiment(ExperimentConfig::replicated(3, 45).with_target(400));
     let lossy = run_experiment(
