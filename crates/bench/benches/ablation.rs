@@ -7,11 +7,13 @@
 //! the system-level metric of interest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dbsm_bench::cert_json::{write_rows, CertBenchRow};
 use dbsm_core::{run_experiment, AnnBatchPolicy, CertBackendKind, ExperimentConfig};
 use dbsm_db::CcPolicy;
 use dbsm_fault::FaultPlan;
 use dbsm_gcs::GcsConfig;
 use dbsm_sim::SimTime;
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -209,6 +211,77 @@ fn bench_cert_backend(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cert_sharding(c: &mut Criterion) {
+    // The post-PR-2 question: once the conflict check is indexed, the
+    // serial certifier is the remaining wall — where does throughput
+    // saturate when certification itself goes N-way parallel? The sweep
+    // crosses every backend (linear scan, indexed, sharded at 2/4/8/16
+    // home-warehouse shards) with client counts from the paper's 2000 up to
+    // 10000. Decisions are bit-identical everywhere; what moves is the
+    // certification *critical path* (most-loaded shard + merge), reported
+    // per row in the summary line and persisted as machine-readable
+    // BENCH_cert.json so the perf trajectory survives across PRs.
+    let rows: RefCell<Vec<CertBenchRow>> = RefCell::new(Vec::new());
+    {
+        let mut g = c.benchmark_group("ablation_cert_sharding");
+        g.sample_size(10);
+        let backends: Vec<(String, CertBackendKind, usize)> = [
+            ("linear".to_string(), CertBackendKind::Linear, 1),
+            ("indexed".to_string(), CertBackendKind::Indexed, 1),
+        ]
+        .into_iter()
+        .chain(
+            [2usize, 4, 8, 16]
+                .into_iter()
+                .map(|n| (format!("sharded{n}"), CertBackendKind::Sharded { shards: n }, n)),
+        )
+        .collect();
+        for clients in [2000usize, 5000, 10000] {
+            for (name, kind, shards) in &backends {
+                let id = format!("clients_{clients}_{name}");
+                let mut recorded = false;
+                g.bench_function(&id, |b| {
+                    b.iter(|| {
+                        let cfg = ExperimentConfig::replicated(3, clients)
+                            .with_target(600)
+                            .with_cert_backend(*kind);
+                        let m = run_experiment(cfg);
+                        if !recorded {
+                            recorded = true;
+                            println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                            rows.borrow_mut()
+                                .push(CertBenchRow::from_metrics(name, *shards, clients, &m));
+                        }
+                        black_box((
+                            m.tpm(),
+                            m.cert_work.probes,
+                            m.cert_work.critical_probes,
+                            m.cert_work.mean_shards_touched(),
+                        ))
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+    let rows = rows.into_inner();
+    // Overwrite the across-PR artifact only when the FULL sweep ran: a
+    // narrowed filter (one backend, one client count) must not clobber the
+    // committed 18-row record with a partial one, and a filtered-out group
+    // (zero rows) must not write at all.
+    let full_sweep = 6 * 3;
+    if rows.len() == full_sweep {
+        // A formatting bug fails the bench run loudly.
+        let path = write_rows("ablation_cert_sharding", &rows).expect("write BENCH_cert.json");
+        println!("wrote {} rows to {}", rows.len(), path.display());
+    } else if !rows.is_empty() {
+        println!(
+            "partial sweep ({} of {full_sweep} rows): BENCH_cert.json not overwritten",
+            rows.len()
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_locking_policy,
@@ -217,5 +290,6 @@ criterion_group!(
     bench_uniform_delivery,
     bench_fault_plans,
     bench_cert_backend,
+    bench_cert_sharding,
 );
 criterion_main!(benches);

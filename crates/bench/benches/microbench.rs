@@ -36,8 +36,13 @@ fn bench_certification(c: &mut Criterion) {
     // scan's cost grows with the conflict window (the benchmark's `history`
     // axis), the indexed backend's stays flat — compare
     // `certify_history_linear_1024` against `certify_history_indexed_1024`.
+    // The sharded backend (8 row-keyed shards) adds the per-shard
+    // bookkeeping on the same flat probes and must stay in the indexed
+    // backend's ballpark: its scratch buffers are reused, not reallocated.
     let mut g = c.benchmark_group("certification");
-    for kind in [CertBackendKind::Linear, CertBackendKind::Indexed] {
+    for kind in
+        [CertBackendKind::Linear, CertBackendKind::Indexed, CertBackendKind::Sharded { shards: 8 }]
+    {
         for history in [16usize, 128, 1024] {
             g.bench_function(format!("certify_history_{}_{history}", kind.name()), |b| {
                 let mut certifier = kind.new_backend();

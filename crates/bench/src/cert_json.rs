@@ -1,0 +1,482 @@
+//! Machine-readable certification-bench results: `BENCH_cert.json`.
+//!
+//! The `ablation_cert_sharding` sweep writes one JSON document per run so
+//! the certification perf trajectory — throughput and the total vs
+//! critical-path work split per backend and client count — is tracked as an
+//! artifact across PRs instead of living only in terminal output. The
+//! workspace is offline (no serde), so this module hand-writes the small,
+//! stable schema and ships a minimal validating parser that CI and the unit
+//! tests use to guarantee the artifact stays well-formed JSON.
+//!
+//! Schema (one object):
+//!
+//! ```json
+//! {
+//!   "group": "ablation_cert_sharding",
+//!   "rows": [
+//!     {
+//!       "backend": "sharded", "shards": 8, "clients": 10000,
+//!       "tpm": 35966.0, "mean_latency_ms": 61.8, "abort_pct": 2.1,
+//!       "certifications": 900, "comparisons": 0, "probes": 181150,
+//!       "critical_probes": 60231, "mean_shards_touched": 3.1,
+//!       "parallel_speedup": 3.0, "shard_imbalance": 1.03,
+//!       "total_work_ns": 34303500.0, "critical_path_ns": 23420700.0
+//!     }
+//!   ]
+//! }
+//! ```
+
+use dbsm_core::{CertCostModel, RunMetrics};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One row of the certification sweep: a backend at a client count, with
+/// the throughput and the work-ledger split the sweep exists to track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertBenchRow {
+    /// Backend name (`linear`, `indexed`, `sharded`).
+    pub backend: String,
+    /// Keyed shard count (1 for the unsharded backends).
+    pub shards: usize,
+    /// Emulated clients.
+    pub clients: usize,
+    /// Committed transactions per minute.
+    pub tpm: f64,
+    /// Mean end-to-end latency of committed transactions, ms.
+    pub mean_latency_ms: f64,
+    /// Abort rate, percent.
+    pub abort_pct: f64,
+    /// Certifications performed.
+    pub certifications: u64,
+    /// Linear-scan merge comparisons.
+    pub comparisons: u64,
+    /// Index probes, all shards.
+    pub probes: u64,
+    /// Critical-path probes (most-loaded shard per request).
+    pub critical_probes: u64,
+    /// Mean shards touched per certification.
+    pub mean_shards_touched: f64,
+    /// Total probes / critical-path probes.
+    pub parallel_speedup: f64,
+    /// Mean fan-out / speedup (1.0 = perfectly balanced shards).
+    pub shard_imbalance: f64,
+    /// Serial certification cost of the run, nanoseconds.
+    pub total_work_ns: f64,
+    /// Critical-path certification cost of the run, nanoseconds.
+    pub critical_path_ns: f64,
+}
+
+impl CertBenchRow {
+    /// Builds a row from one experiment's metrics, pricing the work ledger
+    /// with the default cost model (the one the simulation charged).
+    pub fn from_metrics(backend: &str, shards: usize, clients: usize, m: &RunMetrics) -> Self {
+        let costs = CertCostModel::default();
+        CertBenchRow {
+            backend: backend.to_string(),
+            shards,
+            clients,
+            tpm: m.tpm(),
+            mean_latency_ms: m.mean_latency_ms(),
+            abort_pct: m.abort_rate(),
+            certifications: m.cert_work.certifications,
+            comparisons: m.cert_work.comparisons,
+            probes: m.cert_work.probes,
+            critical_probes: m.cert_work.critical_probes,
+            mean_shards_touched: m.cert_work.mean_shards_touched(),
+            parallel_speedup: m.cert_work.parallel_speedup(),
+            shard_imbalance: m.cert_work.shard_imbalance(),
+            total_work_ns: costs.total_work_ns(&m.cert_work),
+            critical_path_ns: costs.critical_path_ns(&m.cert_work),
+        }
+    }
+}
+
+/// A JSON number from an `f64`: finite values print with enough precision
+/// to round-trip the metrics; non-finite values (which JSON cannot carry)
+/// degrade to 0 rather than corrupting the document.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A JSON string literal with the escapes the schema can produce (backend
+/// names are ASCII identifiers, but stay safe anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the sweep as the `BENCH_cert.json` document.
+pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"group\": {},", json_str(group));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"backend\": {}, \"shards\": {}, \"clients\": {}, \"tpm\": {}, \
+             \"mean_latency_ms\": {}, \"abort_pct\": {}, \"certifications\": {}, \
+             \"comparisons\": {}, \"probes\": {}, \"critical_probes\": {}, \
+             \"mean_shards_touched\": {}, \"parallel_speedup\": {}, \"shard_imbalance\": {}, \
+             \"total_work_ns\": {}, \"critical_path_ns\": {}}}",
+            json_str(&r.backend),
+            r.shards,
+            r.clients,
+            json_num(r.tpm),
+            json_num(r.mean_latency_ms),
+            json_num(r.abort_pct),
+            r.certifications,
+            r.comparisons,
+            r.probes,
+            r.critical_probes,
+            json_num(r.mean_shards_touched),
+            json_num(r.parallel_speedup),
+            json_num(r.shard_imbalance),
+            json_num(r.total_work_ns),
+            json_num(r.critical_path_ns),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Where the artifact lands: `$DBSM_BENCH_CERT_JSON` if set, otherwise
+/// `BENCH_cert.json` at the workspace root (benches run with the package
+/// directory as cwd, so a relative path would bury the file).
+pub fn default_output_path() -> PathBuf {
+    if let Ok(p) = std::env::var("DBSM_BENCH_CERT_JSON") {
+        return PathBuf::from(p);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_cert.json")
+}
+
+/// Validates and writes the document, returning the path written.
+///
+/// # Errors
+///
+/// Returns any filesystem error, or `InvalidData` if the rendered document
+/// fails the self-check parse — a formatting bug must fail the bench run
+/// loudly, not poison the artifact.
+pub fn write_rows(group: &str, rows: &[CertBenchRow]) -> std::io::Result<PathBuf> {
+    let doc = rows_to_json(group, rows);
+    validate_json(&doc).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let path = default_output_path();
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
+// ---- minimal JSON validator -------------------------------------------
+//
+// Full RFC 8259 value grammar, no semantics: enough for CI and the tests to
+// assert "this artifact parses" without a JSON dependency.
+
+/// Checks that `s` is one well-formed JSON value (with surrounding
+/// whitespace). Returns a byte offset + message on the first error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(format!("expected a value at byte {}", *pos)),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control character at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> Result<(), String> {
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("expected a digit at byte {}", *pos));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        Ok(())
+    };
+    // Integer part: a lone 0 or a nonzero-led run.
+    if b.get(*pos) == Some(&b'0') {
+        *pos += 1;
+    } else {
+        digits(b, pos)?;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        digits(b, pos)?;
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        digits(b, pos)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> CertBenchRow {
+        CertBenchRow {
+            backend: "sharded".to_string(),
+            shards: 8,
+            clients: 10000,
+            tpm: 35966.4,
+            mean_latency_ms: 61.75,
+            abort_pct: 2.13,
+            certifications: 912,
+            comparisons: 0,
+            probes: 181150,
+            critical_probes: 60231,
+            mean_shards_touched: 3.08,
+            parallel_speedup: 3.01,
+            shard_imbalance: 1.02,
+            total_work_ns: 3.43e7,
+            critical_path_ns: 2.34e7,
+        }
+    }
+
+    #[test]
+    fn rendered_document_passes_the_validator() {
+        let doc = rows_to_json("ablation_cert_sharding", &[sample_row(), sample_row()]);
+        validate_json(&doc).expect("well-formed");
+        // Every schema field appears.
+        for key in [
+            "group",
+            "rows",
+            "backend",
+            "shards",
+            "clients",
+            "tpm",
+            "mean_latency_ms",
+            "abort_pct",
+            "certifications",
+            "comparisons",
+            "probes",
+            "critical_probes",
+            "mean_shards_touched",
+            "parallel_speedup",
+            "shard_imbalance",
+            "total_work_ns",
+            "critical_path_ns",
+        ] {
+            assert!(doc.contains(&format!("\"{key}\"")), "missing {key}:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_still_valid_json() {
+        let doc = rows_to_json("ablation_cert_sharding", &[]);
+        validate_json(&doc).expect("well-formed");
+        assert!(doc.contains("\"rows\": [\n  ]"));
+    }
+
+    #[test]
+    fn non_finite_metrics_degrade_to_zero_not_invalid_json() {
+        let mut row = sample_row();
+        row.tpm = f64::NAN;
+        row.parallel_speedup = f64::INFINITY;
+        let doc = rows_to_json("g", &[row]);
+        validate_json(&doc).expect("NaN/inf must not leak into the artifact");
+        assert!(doc.contains("\"tpm\": 0,"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut row = sample_row();
+        row.backend = "we\"ird\\name\n".to_string();
+        let doc = rows_to_json("g", &[row]);
+        validate_json(&doc).expect("escaped");
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "0",
+            r#"{"a": [1, 2.5, "x", {"b": null}], "c": false}"#,
+            "  { \"k\" : \"v\\u00e9\" }  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "{'a': 1}",
+            "{\"a\": 01}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "{\"a\": nul}",
+            "[1 2]",
+            "{\"a\" 1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted malformed: {bad}");
+        }
+    }
+
+    #[test]
+    fn row_from_metrics_prices_both_views() {
+        use dbsm_core::{run_experiment, CertBackendKind, ExperimentConfig};
+        let m = run_experiment(
+            ExperimentConfig::replicated(3, 20)
+                .with_target(40)
+                .with_cert_backend(CertBackendKind::Sharded { shards: 4 }),
+        );
+        let row = CertBenchRow::from_metrics("sharded", 4, 20, &m);
+        assert!(row.probes > 0, "sharded run probes");
+        assert!(row.critical_probes > 0 && row.critical_probes <= row.probes);
+        assert!(row.critical_path_ns <= row.total_work_ns);
+        assert!(row.parallel_speedup >= 1.0);
+        let doc = rows_to_json("ablation_cert_sharding", &[row]);
+        validate_json(&doc).expect("well-formed from live metrics");
+    }
+}

@@ -17,8 +17,13 @@
 //! | `fig7_faults` | Fig. 7a–c: latency ECDFs + protocol CPU under loss |
 //! | `table1_aborts` | Table 1: abort rates per class and configuration |
 //! | `table2_fault_aborts` | Table 2: abort rates under loss faults |
+//!
+//! The `ablation_cert_sharding` bench group additionally writes its results
+//! as a machine-readable `BENCH_cert.json` artifact — see [`cert_json`].
 
 use dbsm_core::{run_experiment, ExperimentConfig, RunMetrics};
+
+pub mod cert_json;
 
 /// Scale of a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,10 +10,12 @@
 //!
 //! Certification is pluggable behind the [`CertBackend`] trait:
 //! [`LinearCertifier`] is the paper-faithful ordered-merge scan (re-exported
-//! as [`Certifier`], its historical name), and [`IndexedCertifier`] answers
-//! the same conflict check from a per-table write-history index in
-//! O(request) probes. Both produce bit-identical decisions; select one with
-//! [`CertBackendKind`].
+//! as [`Certifier`], its historical name), [`IndexedCertifier`] — the
+//! default — answers the same conflict check from a per-table write-history
+//! index in O(request) probes, and [`ShardedCertifier`] partitions that
+//! index into N shards by a [`ShardKeyFn`] and reports critical-path cost
+//! for parallel certification. All three produce bit-identical decisions;
+//! select one with [`CertBackendKind`].
 //!
 //! This crate is deliberately free of any simulation dependency: it is the
 //! code "under test", driven identically by the simulation bridge and by
@@ -45,6 +47,7 @@ mod certifier;
 mod marshal;
 mod request;
 mod rwset;
+mod sharded;
 mod tuple;
 
 pub use backend::{CertBackend, CertBackendKind, IndexedCertifier};
@@ -52,6 +55,7 @@ pub use certifier::{CertWork, Certifier, HistoryTruncated, LinearCertifier, Outc
 pub use marshal::{marshal, marshalled_len, unmarshal, UnmarshalError, HEADER_LEN};
 pub use request::CertRequest;
 pub use rwset::RwSet;
+pub use sharded::{row_shard_key, ShardKeyFn, ShardedCertifier};
 pub use tuple::{TableId, TupleId, ROW_BITS, ROW_MASK};
 
 /// Identifier of a database site (replica).

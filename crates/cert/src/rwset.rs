@@ -115,6 +115,12 @@ impl RwSet {
         if self.ids.len() <= threshold {
             return 0;
         }
+        // First pass: detect whether any table actually exceeds the
+        // threshold. Certification runs this per request, and most requests
+        // upgrade nothing — deciding that must not allocate.
+        if !self.has_table_run_longer_than(threshold) {
+            return 0;
+        }
         let mut out: Vec<TupleId> = Vec::with_capacity(self.ids.len());
         let mut upgraded = 0usize;
         let mut i = 0;
@@ -134,6 +140,22 @@ impl RwSet {
         }
         self.ids = out;
         upgraded
+    }
+
+    /// True when some table contributes more than `threshold` entries — the
+    /// allocation-free pre-check of [`RwSet::upgrade_large_tables`] (ids are
+    /// sorted, so each table is one contiguous run).
+    fn has_table_run_longer_than(&self, threshold: usize) -> bool {
+        let mut run_start = 0usize;
+        for i in 1..=self.ids.len() {
+            if i == self.ids.len() || self.ids[i].table() != self.ids[run_start].table() {
+                if i - run_start > threshold {
+                    return true;
+                }
+                run_start = i;
+            }
+        }
+        false
     }
 
     /// Iterates over the distinct tables present in the set.
@@ -272,6 +294,24 @@ mod tests {
         let mut t: RwSet = (1..=3).map(|r| id(1, r)).collect();
         assert_eq!(t.upgrade_large_tables(5), 0);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn upgrade_fast_path_skips_sets_with_no_oversized_table() {
+        // Total size above the threshold but no single table over it: the
+        // allocation-free pre-check must decline without rebuilding.
+        let mut s: RwSet = (1u16..=3).flat_map(|t| (1..=3).map(move |r| id(t, r))).collect();
+        assert_eq!(s.len(), 9);
+        let before = s.clone();
+        assert_eq!(s.upgrade_large_tables(5), 0);
+        assert_eq!(s, before, "set untouched when nothing upgrades");
+        // And the boundary: exactly threshold entries in one table does not
+        // upgrade, threshold+1 does.
+        let mut at: RwSet = (1..=5).map(|r| id(7, r)).chain([id(8, 1)]).collect();
+        assert_eq!(at.upgrade_large_tables(5), 0);
+        let mut over: RwSet = (1..=6).map(|r| id(7, r)).chain([id(8, 1)]).collect();
+        assert_eq!(over.upgrade_large_tables(5), 1);
+        assert_eq!(over.ids()[0], wild(7));
     }
 
     #[test]

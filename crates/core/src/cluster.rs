@@ -5,7 +5,10 @@
 
 use crate::experiment::{CertCostModel, ExperimentConfig};
 use crate::metrics::{RunMetrics, SiteUsage};
-use dbsm_cert::{marshal, unmarshal, CertBackend, CertRequest, Outcome as CertOutcome, SiteId};
+use dbsm_cert::{
+    marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, Outcome as CertOutcome,
+    ShardedCertifier, SiteId,
+};
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
 use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall};
@@ -47,6 +50,23 @@ struct SiteHandles {
     engine: DbEngine,
     bridge: Option<SimBridge>,
     host: HostId,
+}
+
+/// Instantiates the configured certification backend for one site. The
+/// sharded backend is keyed by the TPC-C `(table, home warehouse)` pair
+/// (rather than the generic row key) so shards align with the workload's
+/// locality axis *and* one request's per-table probe runs spread over
+/// distinct shards — the intra-request parallelism the critical-path price
+/// rewards. Tuples without a home warehouse — the shared item catalogue,
+/// the append-only history table — spill.
+fn site_backend(kind: CertBackendKind) -> Box<dyn CertBackend> {
+    match kind {
+        CertBackendKind::Sharded { shards } => Box::new(ShardedCertifier::with_key(
+            shards,
+            dbsm_tpcc::schema::table_warehouse_shard_key,
+        )),
+        other => other.new_backend(),
+    }
 }
 
 /// The assembled system under test: `sites` replicas on a simulated LAN,
@@ -132,7 +152,7 @@ impl Cluster {
             };
             site_handles.push(SiteHandles { cpu, engine, bridge, host: *host });
             site_states.push(SiteState {
-                certifier: cfg.cert_backend.new_backend(),
+                certifier: site_backend(cfg.cert_backend),
                 txn_seq: 0,
                 pending: HashMap::new(),
                 crashed: false,

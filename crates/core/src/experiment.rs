@@ -41,9 +41,10 @@ pub struct ExperimentConfig {
     /// Committed write-sets retained by the certifier before garbage
     /// collection.
     pub history_window: u64,
-    /// Which certification backend every site runs: the paper-faithful
-    /// linear scan (default) or the indexed write history. Both reach
-    /// bit-identical decisions; they differ only in certification cost.
+    /// Which certification backend every site runs: the indexed write
+    /// history (default), the paper-faithful linear scan, or the sharded
+    /// index keyed by the TPC-C home warehouse. All reach bit-identical
+    /// decisions; they differ only in certification cost.
     pub cert_backend: CertBackendKind,
     /// Relative CPU speed (the CSRT's processor-speed scaling, §2.3);
     /// both simulated processing and real-code costs scale by it.
@@ -71,7 +72,7 @@ impl ExperimentConfig {
             certify_read_only: true,
             table_lock_threshold: 256,
             history_window: 4096,
-            cert_backend: CertBackendKind::Linear,
+            cert_backend: CertBackendKind::Indexed,
             cpu_speed: 1.0,
             wan_latency: None,
         }
@@ -149,11 +150,18 @@ impl ExperimentConfig {
 /// profiling (the wall-clock mode measures instead). Calibrated so protocol
 /// CPU lands in the paper's ≈1–2 % band (Fig. 7c).
 ///
-/// Both backends are priced from the same [`CertWork`] record: the linear
+/// Every backend is priced from the same [`CertWork`] record: the linear
 /// scan reports merge `comparisons`, the indexed backend reports index
 /// `probes`, and each dimension carries its own per-unit cost — a hash probe
 /// plus binary search is dearer than one merge step, but the indexed backend
 /// performs O(request) of them instead of O(window).
+///
+/// The sharded backend is priced as a **critical path**: its shards probe
+/// concurrently, so a certification costs the *most-loaded* shard's probes
+/// (`CertWork::critical_probes`) plus `merge_ns` per touched shard for
+/// joining the per-shard verdicts — `max + merge`, not the serial sum. The
+/// single-threaded backends report no shard fan-out and keep their exact
+/// pre-sharding prices.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CertCostModel {
     /// Fixed cost of building + marshalling a request.
@@ -165,8 +173,16 @@ pub struct CertCostModel {
     /// Cost per ordered-merge comparison step (linear backend).
     pub per_comparison_ns: f64,
     /// Cost per index probe — hash lookup plus interval binary search
-    /// (indexed backend).
+    /// (indexed and sharded backends).
     pub per_probe_ns: f64,
+    /// Cost per touched shard of merging that shard's verdict into the
+    /// request's outcome — the join step of an N-way parallel certification
+    /// (sharded backend only). A shard's verdict is one word (the earliest
+    /// conflicting sequence number it found, if any), so the merge is a
+    /// cache-line read plus a min fold: cheap relative to a hash probe, but
+    /// linear in the fan-out — the term that keeps "shard everything
+    /// row-by-row" from pricing as free parallelism.
+    pub merge_ns: f64,
 }
 
 impl Default for CertCostModel {
@@ -177,6 +193,7 @@ impl Default for CertCostModel {
             certify_fixed: Duration::from_micros(20),
             per_comparison_ns: 60.0,
             per_probe_ns: 90.0,
+            merge_ns: 25.0,
         }
     }
 }
@@ -187,12 +204,45 @@ impl CertCostModel {
         self.marshal_fixed + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
     }
 
-    /// Cost of one certification that performed `work`, pricing the merge
-    /// comparisons and the index probes it actually executed.
+    /// Cost of one certification that performed `work`: the merge
+    /// comparisons and index probes it actually executed — critical-path
+    /// probes plus the per-shard merge term when the work was sharded
+    /// (`shards_touched > 0`), total probes otherwise.
     pub fn certify(&self, work: CertWork) -> Duration {
+        let probes = if work.shards_touched > 0 { work.critical_probes } else { work.probes };
         self.certify_fixed
             + Duration::from_nanos((self.per_comparison_ns * work.comparisons as f64) as u64)
-            + Duration::from_nanos((self.per_probe_ns * work.probes as f64) as u64)
+            + Duration::from_nanos((self.per_probe_ns * probes as f64) as u64)
+            + Duration::from_nanos((self.merge_ns * work.shards_touched as f64) as u64)
+    }
+
+    /// Total conflict-check nanoseconds a run's [`CertWorkTotals`]
+    /// represent if every probe executed serially — the data-dependent work
+    /// a single-threaded certifier would have to perform. The fixed
+    /// per-request unmarshal cost is identical across backends and is
+    /// deliberately excluded: this pair of views exists to compare backends,
+    /// and a constant both sides pay would only dilute the comparison.
+    ///
+    /// [`CertWorkTotals`]: crate::CertWorkTotals
+    pub fn total_work_ns(&self, t: &crate::CertWorkTotals) -> f64 {
+        self.per_comparison_ns * t.comparisons as f64
+            + self.per_probe_ns * t.probes as f64
+            + self.merge_ns * t.shard_touches as f64
+    }
+
+    /// Critical-path conflict-check nanoseconds of a run's
+    /// [`CertWorkTotals`]: what the certification stage actually costs when
+    /// each request's shards probe in parallel — most-loaded-shard probes
+    /// plus the merge term. Falls back to the serial total for unsharded
+    /// runs (no fan-out recorded). Same exclusion of the fixed per-request
+    /// cost as [`CertCostModel::total_work_ns`].
+    ///
+    /// [`CertWorkTotals`]: crate::CertWorkTotals
+    pub fn critical_path_ns(&self, t: &crate::CertWorkTotals) -> f64 {
+        let probes = if t.shard_touches > 0 { t.critical_probes } else { t.probes };
+        self.per_comparison_ns * t.comparisons as f64
+            + self.per_probe_ns * probes as f64
+            + self.merge_ns * t.shard_touches as f64
     }
 }
 
@@ -216,13 +266,61 @@ mod tests {
     fn cost_model_scales() {
         let m = CertCostModel::default();
         assert!(m.marshal(1000) > m.marshal(10));
-        let comparisons = |n| CertWork { history_scanned: 0, comparisons: n, probes: 0 };
-        let probes = |n| CertWork { history_scanned: 0, comparisons: 0, probes: n };
+        let comparisons = |n| CertWork { comparisons: n, ..CertWork::default() };
+        let probes = |n| CertWork { probes: n, ..CertWork::default() };
         assert!(m.certify(comparisons(500)) > m.certify(comparisons(0)));
         assert!(m.certify(probes(500)) > m.certify(probes(0)));
         // A handful of probes is far cheaper than a long scan: the honest
         // pricing that makes the indexed backend pay off under load.
         assert!(m.certify(probes(24)) < m.certify(comparisons(1000)));
+    }
+
+    #[test]
+    fn sharded_work_is_priced_by_its_critical_path() {
+        let m = CertCostModel::default();
+        // 48 probes spread over 4 shards, worst shard 16: the parallel
+        // certification pays for 16 probes + 4 merges, not for 48 probes.
+        let sharded =
+            CertWork { probes: 48, critical_probes: 16, shards_touched: 4, ..CertWork::default() };
+        let serial = CertWork { probes: 48, ..CertWork::default() };
+        let critical = CertWork { probes: 16, ..CertWork::default() };
+        assert!(m.certify(sharded) < m.certify(serial), "parallelism must pay off");
+        let merge = Duration::from_nanos((m.merge_ns * 4.0) as u64);
+        assert_eq!(m.certify(sharded), m.certify(critical) + merge);
+        // Perfectly serial sharded work (one shard) prices like the index.
+        let one_shard =
+            CertWork { probes: 16, critical_probes: 16, shards_touched: 1, ..CertWork::default() };
+        let one_merge = Duration::from_nanos(m.merge_ns as u64);
+        assert_eq!(m.certify(one_shard), m.certify(critical) + one_merge);
+    }
+
+    #[test]
+    fn run_totals_split_serial_from_critical_path_ns() {
+        use crate::CertWorkTotals;
+        let m = CertCostModel::default();
+        let mut t = CertWorkTotals::default();
+        t.record(CertWork {
+            probes: 40,
+            critical_probes: 10,
+            shards_touched: 4,
+            ..CertWork::default()
+        });
+        t.record(CertWork {
+            probes: 6,
+            critical_probes: 3,
+            shards_touched: 2,
+            ..CertWork::default()
+        });
+        let (total, critical) = (m.total_work_ns(&t), m.critical_path_ns(&t));
+        assert!(critical < total, "critical {critical} vs total {total}");
+        // The difference is exactly the probes hidden by parallelism.
+        let hidden = (40 + 6 - 10 - 3) as f64 * m.per_probe_ns;
+        assert!((total - critical - hidden).abs() < 1e-9);
+        // Unsharded totals report no split: both views agree.
+        let mut flat = CertWorkTotals::default();
+        flat.record(CertWork { probes: 25, ..CertWork::default() });
+        flat.record(CertWork { comparisons: 400, ..CertWork::default() });
+        assert_eq!(m.total_work_ns(&flat), m.critical_path_ns(&flat));
     }
 
     #[test]
@@ -265,10 +363,15 @@ mod tests {
     }
 
     #[test]
-    fn backend_selector_defaults_to_paper_faithful_linear() {
+    fn backend_selector_defaults_to_indexed() {
+        // Flipped from Linear in the sharding PR, after re-validating the
+        // deterministic smoke test and paper-scale ablations under the
+        // index. The paper-faithful scan stays selectable.
         let c = ExperimentConfig::centralized(1, 10);
-        assert_eq!(c.cert_backend, CertBackendKind::Linear);
-        let c = c.with_cert_backend(CertBackendKind::Indexed);
         assert_eq!(c.cert_backend, CertBackendKind::Indexed);
+        let c = c.with_cert_backend(CertBackendKind::Linear);
+        assert_eq!(c.cert_backend, CertBackendKind::Linear);
+        let c = c.with_cert_backend(CertBackendKind::Sharded { shards: 8 });
+        assert_eq!(c.cert_backend, CertBackendKind::Sharded { shards: 8 });
     }
 }

@@ -55,7 +55,15 @@ impl ClassStats {
 /// Total certification work performed across all sites in one run — the
 /// observable that distinguishes the backends: the linear scan accumulates
 /// `history_scanned`/`comparisons`, the indexed backend accumulates
-/// `probes`. Decisions are identical either way; this is the cost ledger.
+/// `probes`, and the sharded backend splits its probes into the serial
+/// total (`probes`) and the critical path (`critical_probes`, the
+/// most-loaded shard of each request) with the shard fan-out
+/// (`shard_touches`). Decisions are identical either way; this is the cost
+/// ledger. Price the two views in nanoseconds with
+/// [`CertCostModel::total_work_ns`] and [`CertCostModel::critical_path_ns`].
+///
+/// [`CertCostModel::total_work_ns`]: crate::CertCostModel::total_work_ns
+/// [`CertCostModel::critical_path_ns`]: crate::CertCostModel::critical_path_ns
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CertWorkTotals {
     /// Certifications performed (update + local read-only validations).
@@ -64,8 +72,14 @@ pub struct CertWorkTotals {
     pub history_scanned: u64,
     /// Ordered-merge comparison steps by linear scans.
     pub comparisons: u64,
-    /// Index lookups by the indexed backend.
+    /// Index lookups by the indexed and sharded backends (all shards).
     pub probes: u64,
+    /// Critical-path index lookups: each request contributes its
+    /// most-loaded shard's probes (sharded backend; zero otherwise).
+    pub critical_probes: u64,
+    /// Shards touched, summed over certifications (sharded backend; zero
+    /// otherwise).
+    pub shard_touches: u64,
 }
 
 impl CertWorkTotals {
@@ -74,6 +88,8 @@ impl CertWorkTotals {
         self.history_scanned += work.history_scanned as u64;
         self.comparisons += work.comparisons as u64;
         self.probes += work.probes as u64;
+        self.critical_probes += work.critical_probes as u64;
+        self.shard_touches += work.shards_touched as u64;
     }
 
     /// Mean linear-scan comparisons per certification.
@@ -91,6 +107,47 @@ impl CertWorkTotals {
             0.0
         } else {
             self.probes as f64 / self.certifications as f64
+        }
+    }
+
+    /// Mean critical-path probes per certification (sharded runs).
+    pub fn mean_critical_probes(&self) -> f64 {
+        if self.certifications == 0 {
+            0.0
+        } else {
+            self.critical_probes as f64 / self.certifications as f64
+        }
+    }
+
+    /// Mean shards touched per certification (0 for unsharded backends).
+    pub fn mean_shards_touched(&self) -> f64 {
+        if self.certifications == 0 {
+            0.0
+        } else {
+            self.shard_touches as f64 / self.certifications as f64
+        }
+    }
+
+    /// Effective parallel speedup of the probe work: total probes over
+    /// critical-path probes. 1.0 means serial (including every unsharded
+    /// run); the ceiling is the mean shard fan-out.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.critical_probes == 0 {
+            1.0
+        } else {
+            self.probes as f64 / self.critical_probes as f64
+        }
+    }
+
+    /// Per-shard load imbalance: the mean shard fan-out divided by the
+    /// achieved speedup. 1.0 means every touched shard carried equal probe
+    /// load; larger values mean skew concentrated the work (0.0 when no
+    /// sharding was recorded).
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.critical_probes == 0 || self.shard_touches == 0 {
+            0.0
+        } else {
+            self.mean_shards_touched() / self.parallel_speedup()
         }
     }
 }
@@ -379,13 +436,45 @@ mod tests {
     #[test]
     fn cert_work_totals_accumulate_and_average() {
         let mut t = CertWorkTotals::default();
-        t.record(CertWork { history_scanned: 3, comparisons: 12, probes: 0 });
-        t.record(CertWork { history_scanned: 0, comparisons: 0, probes: 8 });
+        t.record(CertWork { history_scanned: 3, comparisons: 12, ..CertWork::default() });
+        t.record(CertWork { probes: 8, ..CertWork::default() });
         assert_eq!(t.certifications, 2);
         assert_eq!(t.history_scanned, 3);
         assert_eq!(t.comparisons, 12);
         assert_eq!(t.probes, 8);
         assert!((t.mean_comparisons() - 6.0).abs() < 1e-12);
         assert!((t.mean_probes() - 4.0).abs() < 1e-12);
+        // Unsharded work reports serial parallelism and no imbalance.
+        assert_eq!(t.parallel_speedup(), 1.0);
+        assert_eq!(t.shard_imbalance(), 0.0);
+        assert_eq!(t.mean_shards_touched(), 0.0);
+    }
+
+    #[test]
+    fn sharded_work_totals_report_speedup_and_imbalance() {
+        let mut t = CertWorkTotals::default();
+        // Request 1: 30 probes over 3 shards, worst 10 (balanced).
+        t.record(CertWork {
+            probes: 30,
+            critical_probes: 10,
+            shards_touched: 3,
+            ..CertWork::default()
+        });
+        // Request 2: 20 probes over 2 shards, worst 18 (skewed).
+        t.record(CertWork {
+            probes: 20,
+            critical_probes: 18,
+            shards_touched: 2,
+            ..CertWork::default()
+        });
+        assert_eq!(t.critical_probes, 28);
+        assert_eq!(t.shard_touches, 5);
+        assert!((t.mean_critical_probes() - 14.0).abs() < 1e-12);
+        assert!((t.mean_shards_touched() - 2.5).abs() < 1e-12);
+        let speedup = t.parallel_speedup();
+        assert!((speedup - 50.0 / 28.0).abs() < 1e-12);
+        let imbalance = t.shard_imbalance();
+        assert!(imbalance > 1.0, "skew shows up as imbalance {imbalance}");
+        assert!((imbalance - 2.5 / speedup).abs() < 1e-12);
     }
 }

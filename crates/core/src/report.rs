@@ -55,10 +55,13 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
     out
 }
 
-/// One-line run summary.
+/// One-line run summary. The `cert=` section reads
+/// `comparisons/probes/critical-path probes` (all means per certification)
+/// and `sh=` is the mean shard fan-out — 0 for unsharded backends, where
+/// the critical path equals the total.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe ann={}x{:.1}+{}pb vc={} dup={}/{}",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} ann={}x{:.1}+{}pb vc={} dup={}/{}",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -68,6 +71,8 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.network_kbps(),
         m.cert_work.mean_comparisons(),
         m.cert_work.mean_probes(),
+        m.cert_work.mean_critical_probes(),
+        m.cert_work.mean_shards_touched(),
         m.ann_work.announcements,
         m.ann_work.mean_batch(),
         m.ann_work.piggybacked,
@@ -117,6 +122,16 @@ mod tests {
         m.ann_work.assigns_carried = 20;
         m.ann_work.piggybacked = 3;
         assert!(summary_line("x", &m).contains("ann=5x4.0+3pb"));
+    }
+
+    #[test]
+    fn summary_line_reports_certification_critical_path() {
+        let mut m = RunMetrics::new(1);
+        m.cert_work.certifications = 10;
+        m.cert_work.probes = 120;
+        m.cert_work.critical_probes = 40;
+        m.cert_work.shard_touches = 25;
+        assert!(summary_line("x", &m).contains("cert=0.0cmp/12.0probe/4.0crit sh=2.50"));
     }
 
     #[test]

@@ -18,6 +18,8 @@ fn small_run_with(seed: u64, backend: CertBackendKind) -> RunMetrics {
     )
 }
 
+// The Linear pin is deliberate: the paper-faithful scan stays exercised
+// even though the experiment default flipped to Indexed.
 fn small_run(seed: u64) -> RunMetrics {
     small_run_with(seed, CertBackendKind::Linear)
 }
@@ -82,6 +84,40 @@ fn same_seed_runs_are_bit_identical_with_indexed_backend() {
     // The backend's work ledger is the indexed one: probes, not scans.
     assert!(a.cert_work.probes > 0, "indexed backend reports probe work");
     assert_eq!(a.cert_work.comparisons, 0, "indexed backend performs no merge comparisons");
+}
+
+#[test]
+fn default_backend_is_indexed_and_bit_reproducible() {
+    // The default certification backend flipped from Linear to Indexed; a
+    // config that never names a backend must get the index and stay exactly
+    // as deterministic as before.
+    let default_cfg = || ExperimentConfig::replicated(3, 20).with_target(60).with_seed(1234);
+    assert_eq!(default_cfg().cert_backend, CertBackendKind::Indexed);
+    let a = run_experiment(default_cfg());
+    let b = run_experiment(default_cfg());
+    assert!(a.committed() > 0, "smoke run commits work");
+    assert_identical(&a, &b);
+    assert!(a.cert_work.probes > 0, "the default run certifies through the index");
+    assert_eq!(a.cert_work.comparisons, 0, "no linear scans under the default");
+}
+
+#[test]
+fn sharded_backend_is_deterministic_with_a_critical_path_ledger() {
+    // The sharded certifier must be exactly as deterministic as the
+    // single-threaded backends (its shard map is a pure function), all
+    // replicas must commit the identical sequence, and its work ledger must
+    // actually split total from critical-path probes.
+    let a = small_run_with(1234, CertBackendKind::Sharded { shards: 4 });
+    let b = small_run_with(1234, CertBackendKind::Sharded { shards: 4 });
+    assert!(a.committed() > 0, "smoke run commits work");
+    assert_identical(&a, &b);
+    dbsm_testbed::fault::check_logs(&a.commit_logs, &[false; 3]).expect("identical sequences");
+    assert!(a.cert_work.probes > 0, "sharded backend reports probe work");
+    assert!(a.cert_work.critical_probes > 0, "critical path recorded");
+    assert!(a.cert_work.critical_probes <= a.cert_work.probes, "critical <= total");
+    assert!(a.cert_work.shard_touches > 0, "shard fan-out recorded");
+    assert!(a.cert_work.parallel_speedup() >= 1.0);
+    assert_eq!(a.cert_work.comparisons, 0, "sharded backend performs no merge comparisons");
 }
 
 #[test]
