@@ -16,19 +16,38 @@
 //!   "rows": [
 //!     {
 //!       "backend": "sharded", "shards": 8, "clients": 10000,
-//!       "tpm": 35966.0, "mean_latency_ms": 61.8, "abort_pct": 2.1,
+//!       "commit_path": "pipelined", "tpm": 35966.0,
+//!       "mean_latency_ms": 61.8, "abort_pct": 2.1,
 //!       "certifications": 900, "comparisons": 0, "probes": 181150,
 //!       "critical_probes": 60231, "mean_shards_touched": 3.1,
 //!       "parallel_speedup": 3.0, "shard_imbalance": 1.03,
-//!       "total_work_ns": 34303500.0, "critical_path_ns": 23420700.0
+//!       "total_work_ns": 34303500.0, "critical_path_ns": 23420700.0,
+//!       "queue_ns": 120000, "service_ns": 830000, "merge_ns": 9000,
+//!       "stall_ns": 4000, "spec_hits": 870, "spec_revalidated": 25,
+//!       "spec_rollbacks": 2, "spec_misses": 3,
+//!       "config_hash": "f2a90c4d13b7e6a1"
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! Rows are keyed by `(backend, shards, clients, commit_path)`. The
+//! `config_hash` fingerprints everything else a row's numbers depend on
+//! (schema version, sites, CPUs per site, target transactions, history
+//! window, seed):
+//! [`merge_rows`]
+//! preserves rows a partial sweep didn't re-run, but refuses to mix rows
+//! whose hashes disagree for the same key — a silent half-updated artifact
+//! would be worse than no artifact.
 
-use dbsm_core::{CertCostModel, RunMetrics};
+use dbsm_core::{CertCostModel, ExperimentConfig, RunMetrics};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Bumped whenever a schema or pricing change makes old rows incomparable
+/// with fresh ones; feeds [`config_hash`], so a bump forces a full re-sweep
+/// instead of a silent mixed-schema merge.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One row of the certification sweep: a backend at a client count, with
 /// the throughput and the work-ledger split the sweep exists to track.
@@ -40,6 +59,8 @@ pub struct CertBenchRow {
     pub shards: usize,
     /// Emulated clients.
     pub clients: usize,
+    /// Commit path (`sync` or `pipelined`).
+    pub commit_path: String,
     /// Committed transactions per minute.
     pub tpm: f64,
     /// Mean end-to-end latency of committed transactions, ms.
@@ -64,17 +85,97 @@ pub struct CertBenchRow {
     pub total_work_ns: f64,
     /// Critical-path certification cost of the run, nanoseconds.
     pub critical_path_ns: f64,
+    /// Nanoseconds speculative probe work queued on shard servers.
+    pub queue_ns: u64,
+    /// Nanoseconds of critical-server probe service (pipelined runs).
+    pub service_ns: u64,
+    /// Nanoseconds merging per-shard verdicts (pipelined runs).
+    pub merge_ns: u64,
+    /// Data-dependent certification nanoseconds stalling the delivery loop.
+    pub stall_ns: u64,
+    /// Confirmations resolved with zero delta work.
+    pub spec_hits: u64,
+    /// Overtaken speculations upheld by the delta re-probe.
+    pub spec_revalidated: u64,
+    /// Speculative passes overturned into aborts.
+    pub spec_rollbacks: u64,
+    /// Confirmations that found no speculation.
+    pub spec_misses: u64,
+    /// Hex fingerprint of the row's configuration (see [`config_hash`]).
+    pub config_hash: String,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fingerprints everything a row's numbers depend on besides its key:
+/// schema version, sites, CPUs per site, target transactions,
+/// certification history window and seed (SplitMix64 fold). Two rows with
+/// the same key but different hashes came from incomparable sweeps and
+/// must not be merged into one artifact.
+#[allow(clippy::too_many_arguments)]
+pub fn config_hash(
+    backend: &str,
+    shards: usize,
+    clients: usize,
+    commit_path: &str,
+    sites: usize,
+    cpus_per_site: usize,
+    target_txns: u64,
+    history_window: u64,
+    seed: u64,
+) -> String {
+    let mut h = SCHEMA_VERSION as u64;
+    for byte in backend.bytes().chain([0u8]).chain(commit_path.bytes()) {
+        h = splitmix64(h ^ byte as u64);
+    }
+    let nums = [
+        shards as u64,
+        clients as u64,
+        sites as u64,
+        cpus_per_site as u64,
+        target_txns,
+        history_window,
+        seed,
+    ];
+    for v in nums {
+        h = splitmix64(h ^ v);
+    }
+    format!("{h:016x}")
 }
 
 impl CertBenchRow {
     /// Builds a row from one experiment's metrics, pricing the work ledger
-    /// with the default cost model (the one the simulation charged).
-    pub fn from_metrics(backend: &str, shards: usize, clients: usize, m: &RunMetrics) -> Self {
+    /// with the default cost model (the one the simulation charged) and
+    /// fingerprinting the configuration that produced it.
+    pub fn from_metrics(
+        backend: &str,
+        shards: usize,
+        cfg: &ExperimentConfig,
+        m: &RunMetrics,
+    ) -> Self {
         let costs = CertCostModel::default();
+        let commit_path = cfg.commit_path.name().to_string();
+        let config_hash = config_hash(
+            backend,
+            shards,
+            cfg.clients,
+            &commit_path,
+            cfg.sites,
+            cfg.cpus_per_site,
+            cfg.target_txns,
+            cfg.history_window,
+            cfg.seed,
+        );
         CertBenchRow {
             backend: backend.to_string(),
             shards,
-            clients,
+            clients: cfg.clients,
+            commit_path,
             tpm: m.tpm(),
             mean_latency_ms: m.mean_latency_ms(),
             abort_pct: m.abort_rate(),
@@ -87,7 +188,22 @@ impl CertBenchRow {
             shard_imbalance: m.cert_work.shard_imbalance(),
             total_work_ns: costs.total_work_ns(&m.cert_work),
             critical_path_ns: costs.critical_path_ns(&m.cert_work),
+            queue_ns: m.cert_work.queue_ns,
+            service_ns: m.cert_work.service_ns,
+            merge_ns: m.cert_work.merge_ns,
+            stall_ns: m.cert_work.stall_ns,
+            spec_hits: m.cert_work.spec_hits,
+            spec_revalidated: m.cert_work.spec_revalidated,
+            spec_rollbacks: m.cert_work.spec_rollbacks,
+            spec_misses: m.cert_work.spec_misses,
+            config_hash,
         }
+    }
+
+    /// The merge key: one artifact row exists per backend × shard count ×
+    /// client count × commit path.
+    pub fn key(&self) -> (String, usize, usize, String) {
+        (self.backend.clone(), self.shards, self.clients, self.commit_path.clone())
     }
 }
 
@@ -130,14 +246,18 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"backend\": {}, \"shards\": {}, \"clients\": {}, \"tpm\": {}, \
-             \"mean_latency_ms\": {}, \"abort_pct\": {}, \"certifications\": {}, \
+            "    {{\"backend\": {}, \"shards\": {}, \"clients\": {}, \"commit_path\": {}, \
+             \"tpm\": {}, \"mean_latency_ms\": {}, \"abort_pct\": {}, \"certifications\": {}, \
              \"comparisons\": {}, \"probes\": {}, \"critical_probes\": {}, \
              \"mean_shards_touched\": {}, \"parallel_speedup\": {}, \"shard_imbalance\": {}, \
-             \"total_work_ns\": {}, \"critical_path_ns\": {}}}",
+             \"total_work_ns\": {}, \"critical_path_ns\": {}, \"queue_ns\": {}, \
+             \"service_ns\": {}, \"merge_ns\": {}, \"stall_ns\": {}, \"spec_hits\": {}, \
+             \"spec_revalidated\": {}, \"spec_rollbacks\": {}, \"spec_misses\": {}, \
+             \"config_hash\": {}}}",
             json_str(&r.backend),
             r.shards,
             r.clients,
+            json_str(&r.commit_path),
             json_num(r.tpm),
             json_num(r.mean_latency_ms),
             json_num(r.abort_pct),
@@ -150,6 +270,15 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
             json_num(r.shard_imbalance),
             json_num(r.total_work_ns),
             json_num(r.critical_path_ns),
+            r.queue_ns,
+            r.service_ns,
+            r.merge_ns,
+            r.stall_ns,
+            r.spec_hits,
+            r.spec_revalidated,
+            r.spec_rollbacks,
+            r.spec_misses,
+            json_str(&r.config_hash),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -182,23 +311,40 @@ pub fn write_rows(group: &str, rows: &[CertBenchRow]) -> std::io::Result<PathBuf
     Ok(path)
 }
 
-// ---- minimal JSON validator -------------------------------------------
+// ---- minimal JSON parser ----------------------------------------------
 //
-// Full RFC 8259 value grammar, no semantics: enough for CI and the tests to
-// assert "this artifact parses" without a JSON dependency.
+// Full RFC 8259 value grammar without a JSON dependency (the workspace is
+// offline): enough for CI and the tests to assert "this artifact parses",
+// and for the partial-sweep merge to read rows back out of the committed
+// document.
+
+/// A parsed JSON value — just enough structure to read the artifact back.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
 
 /// Checks that `s` is one well-formed JSON value (with surrounding
 /// whitespace). Returns a byte offset + message on the first error.
 pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
     let b = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(b, &mut pos);
-    value(b, &mut pos)?;
+    let v = value(b, &mut pos)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err(format!("trailing content at byte {pos}"));
     }
-    Ok(())
+    Ok(v)
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -216,93 +362,121 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
-        Some(b'"') => string(b, pos),
-        Some(b't') => literal(b, pos, b"true"),
-        Some(b'f') => literal(b, pos, b"false"),
-        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'"') => string(b, pos).map(Json::Str),
+        Some(b't') => literal(b, pos, b"true").map(|_| Json::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|_| Json::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|_| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
         _ => Err(format!("expected a value at byte {}", *pos)),
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     skip_ws(b, pos);
+    let mut entries = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Obj(entries));
     }
     loop {
         skip_ws(b, pos);
-        string(b, pos)?;
+        let key = string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
         skip_ws(b, pos);
-        value(b, pos)?;
+        let val = value(b, pos)?;
+        entries.push((key, val));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Obj(entries));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Arr(items));
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        items.push(value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Arr(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
         }
     }
 }
 
-fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        *pos += 1;
+                        let mut cp = 0u32;
                         for _ in 0..4 {
-                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
-                                return Err(format!("bad \\u escape at byte {}", *pos));
-                            }
                             *pos += 1;
+                            let Some(d) = b.get(*pos).and_then(|c| (*c as char).to_digit(16))
+                            else {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            };
+                            cp = cp * 16 + d;
                         }
+                        // Surrogates only arise from escaped non-BMP text,
+                        // which the writer never emits; degrade, don't fail.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
+                *pos += 1;
             }
             0x00..=0x1f => return Err(format!("raw control character at byte {}", *pos)),
-            _ => *pos += 1,
+            _ => {
+                // Copy the raw UTF-8 byte run for this char.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+                );
+            }
         }
     }
     Err("unterminated string".to_string())
@@ -317,7 +491,8 @@ fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
@@ -347,7 +522,162 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
         }
         digits(b, pos)?;
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+// ---- typed document reading and partial-sweep merge -------------------
+
+impl Json {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing required key \"{key}\"")),
+            _ => Err(format!("expected an object looking up \"{key}\"")),
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<String, String> {
+        match self.field(key)? {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("key \"{key}\" must be a string, got {other:?}")),
+        }
+    }
+
+    fn num_field(&self, key: &str) -> Result<f64, String> {
+        match self.field(key)? {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("key \"{key}\" must be a number, got {other:?}")),
+        }
+    }
+
+    fn uint_field(&self, key: &str) -> Result<u64, String> {
+        let n = self.num_field(key)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("key \"{key}\" must be a non-negative integer, got {n}"));
+        }
+        Ok(n as u64)
+    }
+}
+
+/// The parsed artifact: the sweep group label plus its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertBenchDoc {
+    /// Sweep group label, e.g. `ablation_cert_sharding`.
+    pub group: String,
+    /// All rows present in the document.
+    pub rows: Vec<CertBenchRow>,
+}
+
+fn row_from_json(v: &Json) -> Result<CertBenchRow, String> {
+    Ok(CertBenchRow {
+        backend: v.str_field("backend")?,
+        shards: v.uint_field("shards")? as usize,
+        clients: v.uint_field("clients")? as usize,
+        commit_path: v.str_field("commit_path")?,
+        tpm: v.num_field("tpm")?,
+        mean_latency_ms: v.num_field("mean_latency_ms")?,
+        abort_pct: v.num_field("abort_pct")?,
+        certifications: v.uint_field("certifications")?,
+        comparisons: v.uint_field("comparisons")?,
+        probes: v.uint_field("probes")?,
+        critical_probes: v.uint_field("critical_probes")?,
+        mean_shards_touched: v.num_field("mean_shards_touched")?,
+        parallel_speedup: v.num_field("parallel_speedup")?,
+        shard_imbalance: v.num_field("shard_imbalance")?,
+        total_work_ns: v.num_field("total_work_ns")?,
+        critical_path_ns: v.num_field("critical_path_ns")?,
+        queue_ns: v.uint_field("queue_ns")?,
+        service_ns: v.uint_field("service_ns")?,
+        merge_ns: v.uint_field("merge_ns")?,
+        stall_ns: v.uint_field("stall_ns")?,
+        spec_hits: v.uint_field("spec_hits")?,
+        spec_revalidated: v.uint_field("spec_revalidated")?,
+        spec_rollbacks: v.uint_field("spec_rollbacks")?,
+        spec_misses: v.uint_field("spec_misses")?,
+        config_hash: v.str_field("config_hash")?,
+    })
+}
+
+/// Parses a `BENCH_cert.json` document and enforces the schema contract:
+/// every row must carry every required key with the right type. This is
+/// what the CI schema gate runs — a well-formed-but-wrong-shape artifact
+/// fails here, not three PRs later when a consumer chokes on it.
+pub fn parse_document(s: &str) -> Result<CertBenchDoc, String> {
+    let root = parse_json(s)?;
+    let group = root.str_field("group")?;
+    let rows_json = match root.field("rows")? {
+        Json::Arr(items) => items,
+        other => Err(format!("key \"rows\" must be an array, got {other:?}"))?,
+    };
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, item) in rows_json.iter().enumerate() {
+        rows.push(row_from_json(item).map_err(|e| format!("row {i}: {e}"))?);
+    }
+    Ok(CertBenchDoc { group, rows })
+}
+
+/// Merges a partial sweep into an existing artifact. Rows the fresh sweep
+/// re-ran replace their old versions; rows it didn't run are preserved.
+///
+/// # Errors
+///
+/// If an existing row and a fresh row share a key but disagree on
+/// `config_hash`, the sweeps are incomparable (schema bump, different
+/// seed/sites/target) and the merge refuses rather than emit a document
+/// that silently mixes them. Re-run the full sweep instead.
+pub fn merge_rows(
+    existing: &[CertBenchRow],
+    fresh: &[CertBenchRow],
+) -> Result<Vec<CertBenchRow>, String> {
+    for old in existing {
+        if let Some(new) = fresh.iter().find(|r| r.key() == old.key()) {
+            if new.config_hash != old.config_hash {
+                let (backend, shards, clients, path) = old.key();
+                return Err(format!(
+                    "config hash mismatch for row ({backend}, shards={shards}, \
+                     clients={clients}, {path}): existing {} vs fresh {} — \
+                     the artifact holds an incomparable sweep; re-run it in full",
+                    old.config_hash, new.config_hash
+                ));
+            }
+        }
+    }
+    let mut merged: Vec<CertBenchRow> = existing
+        .iter()
+        .filter(|old| !fresh.iter().any(|new| new.key() == old.key()))
+        .cloned()
+        .collect();
+    merged.extend(fresh.iter().cloned());
+    merged.sort_by_key(|r| (r.clients, r.backend.clone(), r.shards, r.commit_path.clone()));
+    Ok(merged)
+}
+
+/// Merges `fresh` into the artifact on disk (if any) and writes the result.
+/// An unreadable or unparsable existing artifact is replaced with a warning
+/// — the bench must not be bricked by a corrupt file — but a config-hash
+/// mismatch against a *valid* artifact is a hard error (see [`merge_rows`]).
+pub fn merge_and_write(group: &str, fresh: &[CertBenchRow]) -> std::io::Result<PathBuf> {
+    let path = default_output_path();
+    let existing = match std::fs::read_to_string(&path) {
+        Ok(text) => match parse_document(&text) {
+            Ok(doc) => doc.rows,
+            Err(e) => {
+                eprintln!(
+                    "warning: existing {} does not match the schema ({e}); starting fresh",
+                    path.display()
+                );
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let merged = merge_rows(&existing, fresh)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    write_rows(group, &merged)
 }
 
 #[cfg(test)]
@@ -359,6 +689,7 @@ mod tests {
             backend: "sharded".to_string(),
             shards: 8,
             clients: 10000,
+            commit_path: "pipelined".to_string(),
             tpm: 35966.4,
             mean_latency_ms: 61.75,
             abort_pct: 2.13,
@@ -371,6 +702,15 @@ mod tests {
             shard_imbalance: 1.02,
             total_work_ns: 3.43e7,
             critical_path_ns: 2.34e7,
+            queue_ns: 120_000,
+            service_ns: 830_000,
+            merge_ns: 9_000,
+            stall_ns: 4_000,
+            spec_hits: 870,
+            spec_revalidated: 25,
+            spec_rollbacks: 2,
+            spec_misses: 3,
+            config_hash: config_hash("sharded", 8, 10000, "pipelined", 3, 1, 600, 4096, 42),
         }
     }
 
@@ -397,6 +737,16 @@ mod tests {
             "shard_imbalance",
             "total_work_ns",
             "critical_path_ns",
+            "commit_path",
+            "queue_ns",
+            "service_ns",
+            "merge_ns",
+            "stall_ns",
+            "spec_hits",
+            "spec_revalidated",
+            "spec_rollbacks",
+            "spec_misses",
+            "config_hash",
         ] {
             assert!(doc.contains(&format!("\"{key}\"")), "missing {key}:\n{doc}");
         }
@@ -465,18 +815,87 @@ mod tests {
 
     #[test]
     fn row_from_metrics_prices_both_views() {
-        use dbsm_core::{run_experiment, CertBackendKind, ExperimentConfig};
-        let m = run_experiment(
-            ExperimentConfig::replicated(3, 20)
-                .with_target(40)
-                .with_cert_backend(CertBackendKind::Sharded { shards: 4 }),
-        );
-        let row = CertBenchRow::from_metrics("sharded", 4, 20, &m);
+        use dbsm_core::{run_experiment, CertBackendKind};
+        let cfg = ExperimentConfig::replicated(3, 20)
+            .with_target(40)
+            .with_cert_backend(CertBackendKind::Sharded { shards: 4 });
+        let m = run_experiment(cfg.clone());
+        let row = CertBenchRow::from_metrics("sharded", 4, &cfg, &m);
         assert!(row.probes > 0, "sharded run probes");
         assert!(row.critical_probes > 0 && row.critical_probes <= row.probes);
         assert!(row.critical_path_ns <= row.total_work_ns);
         assert!(row.parallel_speedup >= 1.0);
+        assert_eq!(row.commit_path, "sync");
+        assert_eq!(row.config_hash.len(), 16);
         let doc = rows_to_json("ablation_cert_sharding", &[row]);
         validate_json(&doc).expect("well-formed from live metrics");
+    }
+
+    #[test]
+    fn document_round_trips_through_the_typed_parser() {
+        let mut other = sample_row();
+        other.clients = 20000;
+        other.commit_path = "sync".to_string();
+        let rows = vec![sample_row(), other];
+        let doc = rows_to_json("ablation_cert_sharding", &rows);
+        let parsed = parse_document(&doc).expect("typed parse");
+        assert_eq!(parsed.group, "ablation_cert_sharding");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].key(), rows[0].key());
+        assert_eq!(parsed.rows[0].config_hash, rows[0].config_hash);
+        assert_eq!(parsed.rows[1].spec_hits, 870);
+        // Float fields survive the writer's 3-decimal precision.
+        assert!((parsed.rows[0].tpm - rows[0].tpm).abs() < 1e-3);
+    }
+
+    #[test]
+    fn typed_parser_rejects_rows_missing_required_keys() {
+        let doc = r#"{"group": "g", "rows": [{"backend": "linear", "shards": 1}]}"#;
+        let err = parse_document(doc).unwrap_err();
+        assert!(err.contains("missing required key"), "{err}");
+        // Wrong type is also an error, not a silent coercion.
+        let doc = r#"{"group": "g", "rows": [{"backend": 7}]}"#;
+        assert!(parse_document(doc).unwrap_err().contains("must be a string"));
+        // Negative or fractional counters are rejected.
+        let full = rows_to_json("g", &[sample_row()]).replace("\"shards\": 8", "\"shards\": 8.5");
+        assert!(parse_document(&full).unwrap_err().contains("non-negative integer"));
+    }
+
+    #[test]
+    fn merge_preserves_rows_a_partial_sweep_did_not_rerun() {
+        let kept = sample_row();
+        let mut rerun_old = sample_row();
+        rerun_old.clients = 20000;
+        rerun_old.config_hash = config_hash("sharded", 8, 20000, "pipelined", 3, 1, 600, 4096, 42);
+        rerun_old.tpm = 1.0;
+        let mut rerun_new = rerun_old.clone();
+        rerun_new.tpm = 99.0;
+        let merged = merge_rows(&[kept.clone(), rerun_old], &[rerun_new.clone()]).expect("merge");
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&kept), "non-rerun row must survive");
+        let updated = merged.iter().find(|r| r.clients == 20000).unwrap();
+        assert_eq!(updated.tpm, 99.0, "re-run row must be replaced");
+    }
+
+    #[test]
+    fn merge_rejects_config_hash_mismatch_for_the_same_key() {
+        let old = sample_row();
+        let mut fresh = sample_row();
+        // Same (backend, shards, clients, commit_path) key, but the sweep
+        // was run against a different seed → different fingerprint.
+        fresh.config_hash = config_hash("sharded", 8, 10000, "pipelined", 3, 1, 600, 4096, 43);
+        let err = merge_rows(&[old], &[fresh]).unwrap_err();
+        assert!(err.contains("config hash mismatch"), "{err}");
+        assert!(err.contains("clients=10000"), "{err}");
+    }
+
+    #[test]
+    fn config_hash_separates_backend_and_commit_path_bytes() {
+        // The 0-byte separator means ("ab", "c") and ("a", "bc") differ.
+        let a = config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1);
+        let b = config_hash("a", 1, 1, "bc", 1, 1, 1, 1, 1);
+        assert_ne!(a, b);
+        // And the hash is stable across calls.
+        assert_eq!(a, config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1));
     }
 }

@@ -19,18 +19,25 @@
 //!   its read-set lands, and priced by the most-loaded shard (critical
 //!   path) instead of the serial sum.
 //!
-//! Both maintain the same low-water/garbage-collection semantics, so they
-//! are interchangeable under the replication protocol; a property test
-//! (`tests/properties.rs`) and this module's equivalence tests hold them to
-//! identical outcome streams on the same totally ordered input, and the
-//! smoke test runs each backend's 3-replica experiment bit-reproducibly.
+//! The indexed and sharded backends are one generic
+//! [`HistoryCertifier`](crate::HistoryCertifier) instantiated at different
+//! [`IndexPlacement`](crate::IndexPlacement)s, so they share the history
+//! window, gc semantics and the speculative certify/confirm pipeline; a
+//! property test (`tests/properties.rs`) and this module's equivalence
+//! tests hold every backend to identical outcome streams on the same
+//! totally ordered input, and the smoke test runs each backend's 3-replica
+//! experiment bit-reproducibly.
 
 use crate::certifier::{CertWork, HistoryTruncated, LinearCertifier, Outcome};
+use crate::placement::{
+    evict_front, first_above, HistoryCertifier, IndexPlacement, ShardLoads, SpecProbe,
+    SpecResolution, TableIndex,
+};
 use crate::request::CertRequest;
 use crate::rwset::RwSet;
 use crate::sharded::ShardedCertifier;
 use crate::tuple::TableId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// The operations the replication layer needs from a certifier, independent
 /// of how the write history is organized.
@@ -67,6 +74,39 @@ pub trait CertBackend {
     /// Oldest garbage-collected sequence number; snapshots below it cannot
     /// be certified.
     fn low_water(&self) -> u64;
+
+    /// Number of parallel index servers certification probes are spread
+    /// over — what a queueing simulation provisions as shard servers.
+    /// Backends without parallel placement report 1.
+    fn servers(&self) -> usize {
+        1
+    }
+
+    /// Speculatively certifies a tentatively delivered request (pipelined
+    /// commit path); see
+    /// [`HistoryCertifier::speculate`](crate::HistoryCertifier::speculate).
+    /// The default performs no speculation, so
+    /// [`CertBackend::confirm`] degenerates to a full synchronous certify.
+    fn speculate(&mut self, _req: &CertRequest) -> SpecProbe {
+        SpecProbe::default()
+    }
+
+    /// Resolves a request at total-order delivery time against its
+    /// speculation, with the bit-identical outcome of a synchronous
+    /// [`CertBackend::certify`]; see
+    /// [`HistoryCertifier::confirm`](crate::HistoryCertifier::confirm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
+    /// collection low-water mark.
+    fn confirm(
+        &mut self,
+        req: &CertRequest,
+    ) -> Result<(Outcome, CertWork, SpecResolution), HistoryTruncated> {
+        let (outcome, work) = self.certify(req)?;
+        Ok((outcome, work, SpecResolution::Miss))
+    }
 }
 
 impl CertBackend for LinearCertifier {
@@ -92,6 +132,47 @@ impl CertBackend for LinearCertifier {
 
     fn low_water(&self) -> u64 {
         LinearCertifier::low_water(self)
+    }
+}
+
+impl<P: IndexPlacement> CertBackend for HistoryCertifier<P> {
+    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
+        HistoryCertifier::certify(self, req)
+    }
+
+    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
+        HistoryCertifier::certify_read_only(self, read_set, start_seq)
+    }
+
+    fn gc(&mut self, stable_seq: u64) {
+        HistoryCertifier::gc(self, stable_seq)
+    }
+
+    fn last_committed(&self) -> u64 {
+        HistoryCertifier::last_committed(self)
+    }
+
+    fn history_len(&self) -> usize {
+        HistoryCertifier::history_len(self)
+    }
+
+    fn low_water(&self) -> u64 {
+        HistoryCertifier::low_water(self)
+    }
+
+    fn servers(&self) -> usize {
+        HistoryCertifier::servers(self)
+    }
+
+    fn speculate(&mut self, req: &CertRequest) -> SpecProbe {
+        HistoryCertifier::speculate(self, req)
+    }
+
+    fn confirm(
+        &mut self,
+        req: &CertRequest,
+    ) -> Result<(Outcome, CertWork, SpecResolution), HistoryTruncated> {
+        HistoryCertifier::confirm(self, req)
     }
 }
 
@@ -135,108 +216,27 @@ impl CertBackendKind {
     }
 }
 
-/// Per-table slice of the write-history index.
-///
-/// All three containers hold *ascending* sequence numbers: commits arrive in
-/// total order, so insertion is a push to the back, and garbage collection —
-/// which retires the globally oldest history entry first — is a pop from the
-/// front. A conflict probe is then a single `partition_point` for the first
-/// sequence number above the request's snapshot.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct TableIndex {
-    /// Row number → sequence numbers of committed transactions that wrote it.
-    pub(crate) rows: HashMap<u64, VecDeque<u64>>,
-    /// Sequence numbers of table-level (wildcard) writes to this table.
-    pub(crate) wildcard: VecDeque<u64>,
-    /// Sequence numbers of *any* write touching this table (row or
-    /// wildcard), deduplicated — the list a wildcard *read* probes.
-    pub(crate) any_writer: VecDeque<u64>,
-}
-
-impl TableIndex {
-    pub(crate) fn is_empty(&self) -> bool {
-        self.rows.is_empty() && self.wildcard.is_empty() && self.any_writer.is_empty()
-    }
-}
-
-/// Smallest sequence number in `seqs` strictly above `start_seq`.
-pub(crate) fn first_above(seqs: &VecDeque<u64>, start_seq: u64) -> Option<u64> {
-    let i = seqs.partition_point(|s| *s <= start_seq);
-    seqs.get(i).copied()
-}
-
-/// Pops the front of `seqs` when it equals the sequence number being
-/// garbage-collected; eviction follows history order, so the retired
-/// sequence number is always the oldest one present.
-pub(crate) fn evict_front(seqs: &mut VecDeque<u64>, seq: u64) {
-    debug_assert!(seqs.front().is_none_or(|s| *s >= seq), "eviction out of order");
-    if seqs.front() == Some(&seq) {
-        seqs.pop_front();
-    }
-}
-
-/// A certifier that answers the DBSM conflict check from a per-table index
-/// of the write history instead of scanning it.
+/// The unified (single-server) index placement: one per-table probe
+/// structure holding every committed write, exactly the layout
+/// [`IndexedCertifier`] has always used.
 ///
 /// For every read-set entry the probe is: the row's writer list (was this
 /// tuple overwritten concurrently?), the table's wildcard list (did a
 /// table-level write cover it?), and — for wildcard reads — the table's
 /// any-writer list. Each is a hash lookup plus one binary search, so the
-/// total cost is proportional to the *request*, not to the conflict window;
-/// [`CertWork::probes`] counts those lookups. The index is maintained
-/// incrementally: commits append, [`IndexedCertifier::gc`] evicts exactly
-/// the entries of the history rows it retires.
-#[derive(Debug, Clone)]
-pub struct IndexedCertifier {
-    /// Committed `(seq, write_set)` pairs, oldest first — retained only to
-    /// drive incremental index eviction on gc.
-    history: VecDeque<(u64, RwSet)>,
+/// total cost is proportional to the *request*, not to the conflict window.
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedPlacement {
     /// The per-table probe structures.
-    tables: HashMap<TableId, TableIndex>,
-    /// Next global sequence number to assign.
-    next_seq: u64,
-    /// All sequence numbers `<= low_water` have been garbage collected.
-    low_water: u64,
+    pub(crate) tables: HashMap<TableId, TableIndex>,
 }
 
-impl Default for IndexedCertifier {
-    fn default() -> Self {
-        IndexedCertifier::new()
-    }
-}
-
-impl IndexedCertifier {
-    /// Creates an indexed certifier with an empty history; the first
-    /// committed transaction receives sequence number 1.
-    pub fn new() -> Self {
-        IndexedCertifier {
-            history: VecDeque::new(),
-            tables: HashMap::new(),
-            next_seq: 1,
-            low_water: 0,
-        }
+impl IndexPlacement for UnifiedPlacement {
+    fn servers(&self) -> usize {
+        1
     }
 
-    /// Sequence number of the last committed transaction (0 if none).
-    pub fn last_committed(&self) -> u64 {
-        self.next_seq - 1
-    }
-
-    /// Number of write-sets retained.
-    pub fn history_len(&self) -> usize {
-        self.history.len()
-    }
-
-    /// Oldest garbage-collected sequence number.
-    pub fn low_water(&self) -> u64 {
-        self.low_water
-    }
-
-    /// Probes the index for the lowest sequence number above `start_seq`
-    /// whose write-set intersects `read_set` — the same answer the linear
-    /// scan's first hit gives, found in O(|read_set|) lookups.
-    fn probe_conflicts(&self, read_set: &RwSet, start_seq: u64) -> (Option<u64>, CertWork) {
-        let mut work = CertWork::default();
+    fn probe(&self, read_set: &RwSet, start_seq: u64, loads: &mut ShardLoads) -> Option<u64> {
         let mut earliest: Option<u64> = None;
         let mut note = |seq: Option<u64>| {
             if let Some(s) = seq {
@@ -245,27 +245,26 @@ impl IndexedCertifier {
         };
         for id in read_set.ids() {
             // The table lookup itself is one probe.
-            work.probes += 1;
+            loads.bump(0, 1);
             let Some(table) = self.tables.get(&id.table()) else { continue };
             if id.is_table_level() {
                 // A wildcard read conflicts with any concurrent write to the
                 // table.
-                work.probes += 1;
+                loads.bump(0, 1);
                 note(first_above(&table.any_writer, start_seq));
             } else {
                 // A row read conflicts with concurrent writes to that row or
                 // with a concurrent table-level write.
-                work.probes += 2;
+                loads.bump(0, 2);
                 note(first_above(&table.wildcard, start_seq));
                 if let Some(rows) = table.rows.get(&id.row()) {
                     note(first_above(rows, start_seq));
                 }
             }
         }
-        (earliest, work)
+        earliest
     }
 
-    /// Inserts a committed write-set into the index under `seq`.
     fn index_writes(&mut self, seq: u64, writes: &RwSet) {
         for id in writes.ids() {
             let table = self.tables.entry(id.table()).or_default();
@@ -282,7 +281,6 @@ impl IndexedCertifier {
         }
     }
 
-    /// Removes one retired history entry's contributions from the index.
     fn unindex_writes(&mut self, seq: u64, writes: &RwSet) {
         for id in writes.ids() {
             let Some(table) = self.tables.get_mut(&id.table()) else { continue };
@@ -304,103 +302,26 @@ impl IndexedCertifier {
             }
         }
     }
+}
 
-    /// Certifies a request delivered in total order; same contract and same
-    /// decisions as [`LinearCertifier::certify`], at O(request) cost.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
-    /// collection low-water mark.
-    pub fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
-        if req.start_seq < self.low_water {
-            return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
-        }
-        let (conflict, work) = self.probe_conflicts(&req.read_set, req.start_seq);
-        if let Some(conflict_seq) = conflict {
-            return Ok((Outcome::Abort { conflict_seq }, work));
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if !req.write_set.is_empty() {
-            self.index_writes(seq, &req.write_set);
-            self.history.push_back((seq, req.write_set.clone()));
-        }
-        Ok((Outcome::Commit(seq), work))
-    }
+/// A certifier that answers the DBSM conflict check from a per-table index
+/// of the write history instead of scanning it: the generic
+/// [`HistoryCertifier`] at the [`UnifiedPlacement`]. The index is
+/// maintained incrementally: commits append, gc evicts exactly the entries
+/// of the history rows it retires.
+pub type IndexedCertifier = HistoryCertifier<UnifiedPlacement>;
 
-    /// Local read-only validation; same contract as
-    /// [`LinearCertifier::certify_read_only`].
-    pub fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
-        let (conflict, work) = self.probe_conflicts(read_set, start_seq);
-        (conflict.is_none(), work)
-    }
-
-    /// Discards history at or below `stable_seq` (clamped to
-    /// [`IndexedCertifier::last_committed`]), incrementally evicting the
-    /// retired entries from the index.
-    pub fn gc(&mut self, stable_seq: u64) {
-        let stable_seq = stable_seq.min(self.last_committed());
-        while let Some((seq, _)) = self.history.front() {
-            if *seq > stable_seq {
-                break;
-            }
-            let (seq, writes) = self.history.pop_front().expect("front just checked");
-            self.unindex_writes(seq, &writes);
-        }
-        self.low_water = self.low_water.max(stable_seq);
+impl IndexedCertifier {
+    /// Creates an indexed certifier with an empty history; the first
+    /// committed transaction receives sequence number 1.
+    pub fn new() -> Self {
+        HistoryCertifier::from_placement(UnifiedPlacement::default())
     }
 }
 
-impl CertBackend for IndexedCertifier {
-    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
-        IndexedCertifier::certify(self, req)
-    }
-
-    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
-        IndexedCertifier::certify_read_only(self, read_set, start_seq)
-    }
-
-    fn gc(&mut self, stable_seq: u64) {
-        IndexedCertifier::gc(self, stable_seq)
-    }
-
-    fn last_committed(&self) -> u64 {
-        IndexedCertifier::last_committed(self)
-    }
-
-    fn history_len(&self) -> usize {
-        IndexedCertifier::history_len(self)
-    }
-
-    fn low_water(&self) -> u64 {
-        IndexedCertifier::low_water(self)
-    }
-}
-
-impl CertBackend for ShardedCertifier {
-    fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
-        ShardedCertifier::certify(self, req)
-    }
-
-    fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
-        ShardedCertifier::certify_read_only(self, read_set, start_seq)
-    }
-
-    fn gc(&mut self, stable_seq: u64) {
-        ShardedCertifier::gc(self, stable_seq)
-    }
-
-    fn last_committed(&self) -> u64 {
-        ShardedCertifier::last_committed(self)
-    }
-
-    fn history_len(&self) -> usize {
-        ShardedCertifier::history_len(self)
-    }
-
-    fn low_water(&self) -> u64 {
-        ShardedCertifier::low_water(self)
+impl Default for IndexedCertifier {
+    fn default() -> Self {
+        IndexedCertifier::new()
     }
 }
 
@@ -549,16 +470,16 @@ mod tests {
             c.certify(&req(0, i, i, &[], &[id(1, i % 4 + 1), wild(2)])).expect("fill");
         }
         assert_eq!(c.history_len(), 32);
-        assert_eq!(c.tables.len(), 2);
+        assert_eq!(c.place.tables.len(), 2);
         c.gc(30);
         assert_eq!(c.history_len(), 2);
-        let t1 = c.tables.get(&TableId(1)).expect("table 1 live");
+        let t1 = c.place.tables.get(&TableId(1)).expect("table 1 live");
         let total_row_seqs: usize = t1.rows.values().map(|v| v.len()).sum();
         assert_eq!(total_row_seqs, 2, "only uncollected writers remain indexed");
-        assert_eq!(c.tables.get(&TableId(2)).expect("table 2 live").wildcard.len(), 2);
+        assert_eq!(c.place.tables.get(&TableId(2)).expect("table 2 live").wildcard.len(), 2);
         // Full collection drops the tables entirely.
         c.gc(32);
-        assert!(c.tables.is_empty());
+        assert!(c.place.tables.is_empty());
         assert_eq!(c.history_len(), 0);
         // The emptied certifier still certifies fresh snapshots.
         let (o, _) = c.certify(&req(1, 99, 32, &[id(1, 1)], &[])).expect("fresh");
@@ -592,6 +513,21 @@ mod tests {
     }
 
     #[test]
+    fn unified_placement_reports_single_server_accounting() {
+        // The unified index is one server: plain probe counts, no
+        // critical-path or fan-out fields — those belong to parallel
+        // placements (and to the shard-server queueing model built on them).
+        let mut c = IndexedCertifier::new();
+        assert_eq!(CertBackend::servers(&c), 1);
+        c.certify(&req(0, 1, 0, &[], &[id(1, 1)])).expect("write");
+        let (o, w) = c.certify(&req(1, 2, 0, &[id(1, 1)], &[])).expect("read");
+        assert_eq!(o, Outcome::Abort { conflict_seq: 1 });
+        assert!(w.probes > 0);
+        assert_eq!(w.critical_probes, 0);
+        assert_eq!(w.shards_touched, 0);
+    }
+
+    #[test]
     fn default_constructed_certifiers_are_valid() {
         // Regression: a derived Default would zero next_seq and make
         // last_committed() underflow; Default must agree with new().
@@ -621,6 +557,28 @@ mod tests {
             b.gc(1);
             assert_eq!(b.history_len(), 0);
             assert_eq!(b.low_water(), 1);
+        }
+    }
+
+    #[test]
+    fn trait_speculation_matches_synchronous_outcomes_per_kind() {
+        // Through the trait object — the way the cluster drives it — every
+        // kind resolves speculations to the synchronous answer, including
+        // the Linear default which simply misses into a full certify.
+        for kind in [
+            CertBackendKind::Linear,
+            CertBackendKind::Indexed,
+            CertBackendKind::Sharded { shards: 4 },
+        ] {
+            let mut sync = kind.new_backend();
+            let mut pipe = kind.new_backend();
+            for r in &stream(200) {
+                pipe.speculate(r);
+                let a = sync.certify(r).expect("sync").0;
+                let (b, _, _) = pipe.confirm(r).expect("pipe");
+                assert_eq!(a, b, "kind {:?} txn {} diverged", kind.name(), r.txn);
+            }
+            assert_eq!(sync.last_committed(), pipe.last_committed());
         }
     }
 }

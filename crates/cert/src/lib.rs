@@ -17,6 +17,13 @@
 //! for parallel certification. All three produce bit-identical decisions;
 //! select one with [`CertBackendKind`].
 //!
+//! The indexed and sharded backends are one generic [`HistoryCertifier`]
+//! instantiated at different [`IndexPlacement`] strategies
+//! ([`UnifiedPlacement`] / [`ShardedPlacement`]), which also hosts the
+//! speculative certify/confirm pipeline ([`HistoryCertifier::speculate`] /
+//! [`HistoryCertifier::confirm`]) used by the pipelined commit path to
+//! overlap certification with the total-order broadcast.
+//!
 //! This crate is deliberately free of any simulation dependency: it is the
 //! code "under test", driven identically by the simulation bridge and by
 //! native deployments.
@@ -45,17 +52,19 @@
 mod backend;
 mod certifier;
 mod marshal;
+mod placement;
 mod request;
 mod rwset;
 mod sharded;
 mod tuple;
 
-pub use backend::{CertBackend, CertBackendKind, IndexedCertifier};
+pub use backend::{CertBackend, CertBackendKind, IndexedCertifier, UnifiedPlacement};
 pub use certifier::{CertWork, Certifier, HistoryTruncated, LinearCertifier, Outcome};
 pub use marshal::{marshal, marshalled_len, unmarshal, UnmarshalError, HEADER_LEN};
+pub use placement::{HistoryCertifier, IndexPlacement, ShardLoads, SpecProbe, SpecResolution};
 pub use request::CertRequest;
 pub use rwset::RwSet;
-pub use sharded::{row_shard_key, ShardKeyFn, ShardedCertifier};
+pub use sharded::{row_shard_key, ShardKeyFn, ShardedCertifier, ShardedPlacement};
 pub use tuple::{TableId, TupleId, ROW_BITS, ROW_MASK};
 
 /// Identifier of a database site (replica).

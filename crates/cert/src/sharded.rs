@@ -25,7 +25,12 @@
 //! an N-way parallel certification) and `shards_touched` counts the fan-out
 //! that a merge step must join. The simulation prices a sharded
 //! certification as `max(per-shard probe cost) + merge × shards touched`
-//! instead of the serial sum.
+//! instead of the serial sum — or, with first-class shard servers, queues
+//! each shard's probes on its own FIFO server.
+//!
+//! Since the placement refactor the certifier itself is the generic
+//! [`HistoryCertifier`](crate::HistoryCertifier); this module contributes
+//! only [`ShardedPlacement`], the index-placement strategy.
 //!
 //! # Index placement
 //!
@@ -40,14 +45,16 @@
 //! * A **table-level read** conflicts with any write to the table, wherever
 //!   it was indexed, so it probes every shard's any-writer list — the
 //!   cross-shard case the spill/merge pricing accounts for.
+//!
+//! [`LinearCertifier`]: crate::LinearCertifier
+//! [`CertWork`]: crate::CertWork
 
-use crate::backend::{evict_front, first_above, TableIndex};
-use crate::certifier::{CertWork, HistoryTruncated, Outcome};
-use crate::request::CertRequest;
+use crate::placement::{
+    evict_front, first_above, HistoryCertifier, IndexPlacement, ShardLoads, TableIndex,
+};
 use crate::rwset::RwSet;
 use crate::tuple::{TableId, TupleId};
-use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// Maps a row-level tuple to its partition key, or `None` for tuples that
 /// have no extractable key (routed to the spill shard).
@@ -75,111 +82,31 @@ struct Shard {
     tables: HashMap<TableId, TableIndex>,
 }
 
-/// Reusable per-request probe accounting: per-shard probe counters plus the
-/// list of shards touched, reset after every request instead of reallocated
-/// — the certification hot path performs no per-request allocations.
-#[derive(Debug, Clone, Default)]
-struct ProbeScratch {
-    /// Probe count per shard for the request in flight (len = shards + 1).
-    probes: Vec<usize>,
-    /// Shards with a non-zero counter, so resetting is O(touched).
-    touched: Vec<usize>,
-}
-
-impl ProbeScratch {
-    fn bump(&mut self, shard: usize, n: usize) {
-        if self.probes[shard] == 0 {
-            self.touched.push(shard);
-        }
-        self.probes[shard] += n;
-    }
-
-    /// Folds the counters into a [`CertWork`] and resets for the next
-    /// request.
-    fn drain(&mut self) -> CertWork {
-        let mut work = CertWork::default();
-        for &s in &self.touched {
-            work.probes += self.probes[s];
-            work.critical_probes = work.critical_probes.max(self.probes[s]);
-            self.probes[s] = 0;
-        }
-        work.shards_touched = self.touched.len();
-        self.touched.clear();
-        work
-    }
-}
-
-/// A certifier that answers the DBSM conflict check from an N-way sharded
-/// write-history index, reporting critical-path cost. See the module
+/// The N-way sharded index placement: keyed shards `0..n` plus the spill
+/// shard at index `n`, each an independent index server. See the module
 /// documentation for the placement rules and the equivalence guarantee.
 #[derive(Debug, Clone)]
-pub struct ShardedCertifier {
+pub struct ShardedPlacement {
     /// Keyed shards `0..n` plus the spill shard at index `n`.
     shards: Vec<Shard>,
-    /// Committed `(seq, write_set)` pairs, oldest first — retained only to
-    /// drive incremental index eviction on gc.
-    history: VecDeque<(u64, RwSet)>,
-    /// Next global sequence number to assign.
-    next_seq: u64,
-    /// All sequence numbers `<= low_water` have been garbage collected.
-    low_water: u64,
     /// The partition key for row-level tuples.
     key: ShardKeyFn,
-    /// Reused probe accounting (interior mutability because read-only
-    /// validation certifies through `&self`).
-    scratch: RefCell<ProbeScratch>,
 }
 
-impl ShardedCertifier {
-    /// Creates a sharded certifier with `shards` keyed shards and the
-    /// generic [`row_shard_key`].
+impl ShardedPlacement {
+    /// Creates a placement with `shards` keyed shards plus the spill shard.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn new(shards: usize) -> Self {
-        ShardedCertifier::with_key(shards, row_shard_key)
-    }
-
-    /// Creates a sharded certifier with `shards` keyed shards and a custom
-    /// partition key (e.g. the TPC-C home warehouse).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards` is zero.
-    pub fn with_key(shards: usize, key: ShardKeyFn) -> Self {
+    pub fn new(shards: usize, key: ShardKeyFn) -> Self {
         assert!(shards >= 1, "at least one shard");
-        ShardedCertifier {
-            shards: vec![Shard::default(); shards + 1],
-            history: VecDeque::new(),
-            next_seq: 1,
-            low_water: 0,
-            key,
-            scratch: RefCell::new(ProbeScratch {
-                probes: vec![0; shards + 1],
-                touched: Vec::with_capacity(shards + 1),
-            }),
-        }
+        ShardedPlacement { shards: vec![Shard::default(); shards + 1], key }
     }
 
     /// Number of keyed shards (the spill shard is extra).
     pub fn shard_count(&self) -> usize {
         self.shards.len() - 1
-    }
-
-    /// Sequence number of the last committed transaction (0 if none).
-    pub fn last_committed(&self) -> u64 {
-        self.next_seq - 1
-    }
-
-    /// Number of write-sets retained.
-    pub fn history_len(&self) -> usize {
-        self.history.len()
-    }
-
-    /// Oldest garbage-collected sequence number.
-    pub fn low_water(&self) -> u64 {
-        self.low_water
     }
 
     /// Index of the spill shard.
@@ -195,13 +122,18 @@ impl ShardedCertifier {
             None => self.spill(),
         }
     }
+}
+
+impl IndexPlacement for ShardedPlacement {
+    fn servers(&self) -> usize {
+        self.shards.len()
+    }
 
     /// Probes the sharded index for the lowest sequence number above
     /// `start_seq` whose write-set intersects `read_set` — the same answer
     /// the linear scan's first hit gives — while accounting probes per
     /// shard so the fold can report the critical path.
-    fn probe_conflicts(&self, read_set: &RwSet, start_seq: u64) -> (Option<u64>, CertWork) {
-        let mut scratch = self.scratch.borrow_mut();
+    fn probe(&self, read_set: &RwSet, start_seq: u64, loads: &mut ShardLoads) -> Option<u64> {
         let mut earliest: Option<u64> = None;
         let mut note = |seq: Option<u64>| {
             if let Some(s) = seq {
@@ -213,9 +145,9 @@ impl ShardedCertifier {
                 // A wildcard read conflicts with any concurrent write to the
                 // table, wherever its shard: probe every any-writer list.
                 for (s, shard) in self.shards.iter().enumerate() {
-                    scratch.bump(s, 1);
+                    loads.bump(s, 1);
                     let Some(table) = shard.tables.get(&id.table()) else { continue };
-                    scratch.bump(s, 1);
+                    loads.bump(s, 1);
                     note(first_above(&table.any_writer, start_seq));
                 }
             } else {
@@ -224,19 +156,18 @@ impl ShardedCertifier {
                 // row's home shard (wildcards are replicated into every
                 // shard).
                 let s = self.shard_of(*id);
-                scratch.bump(s, 1);
+                loads.bump(s, 1);
                 let Some(table) = self.shards[s].tables.get(&id.table()) else { continue };
-                scratch.bump(s, 2);
+                loads.bump(s, 2);
                 note(first_above(&table.wildcard, start_seq));
                 if let Some(rows) = table.rows.get(&id.row()) {
                     note(first_above(rows, start_seq));
                 }
             }
         }
-        (earliest, scratch.drain())
+        earliest
     }
 
-    /// Inserts a committed write-set into the sharded index under `seq`.
     fn index_writes(&mut self, seq: u64, writes: &RwSet) {
         for id in writes.ids() {
             if id.is_table_level() {
@@ -300,63 +231,46 @@ impl ShardedCertifier {
             }
         }
     }
+}
 
-    /// Certifies a request delivered in total order; same contract and same
-    /// decisions as [`LinearCertifier::certify`], with per-shard cost
-    /// accounting.
+/// A certifier that answers the DBSM conflict check from an N-way sharded
+/// write-history index, reporting critical-path cost: the generic
+/// [`HistoryCertifier`] at a [`ShardedPlacement`]. See the module
+/// documentation for the placement rules and the equivalence guarantee.
+pub type ShardedCertifier = HistoryCertifier<ShardedPlacement>;
+
+impl ShardedCertifier {
+    /// Creates a sharded certifier with `shards` keyed shards and the
+    /// generic [`row_shard_key`].
     ///
-    /// [`LinearCertifier::certify`]: crate::LinearCertifier::certify
+    /// # Panics
     ///
-    /// # Errors
-    ///
-    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
-    /// collection low-water mark.
-    pub fn certify(&mut self, req: &CertRequest) -> Result<(Outcome, CertWork), HistoryTruncated> {
-        if req.start_seq < self.low_water {
-            return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
-        }
-        let (conflict, work) = self.probe_conflicts(&req.read_set, req.start_seq);
-        if let Some(conflict_seq) = conflict {
-            return Ok((Outcome::Abort { conflict_seq }, work));
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if !req.write_set.is_empty() {
-            self.index_writes(seq, &req.write_set);
-            self.history.push_back((seq, req.write_set.clone()));
-        }
-        Ok((Outcome::Commit(seq), work))
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        ShardedCertifier::with_key(shards, row_shard_key)
     }
 
-    /// Local read-only validation; same contract as
-    /// [`LinearCertifier::certify_read_only`].
+    /// Creates a sharded certifier with `shards` keyed shards and a custom
+    /// partition key (e.g. the TPC-C home warehouse).
     ///
-    /// [`LinearCertifier::certify_read_only`]: crate::LinearCertifier::certify_read_only
-    pub fn certify_read_only(&self, read_set: &RwSet, start_seq: u64) -> (bool, CertWork) {
-        let (conflict, work) = self.probe_conflicts(read_set, start_seq);
-        (conflict.is_none(), work)
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_key(shards: usize, key: ShardKeyFn) -> Self {
+        HistoryCertifier::from_placement(ShardedPlacement::new(shards, key))
     }
 
-    /// Discards history at or below `stable_seq` (clamped to
-    /// [`ShardedCertifier::last_committed`]), incrementally evicting the
-    /// retired entries from every shard they were indexed in.
-    pub fn gc(&mut self, stable_seq: u64) {
-        let stable_seq = stable_seq.min(self.last_committed());
-        while let Some((seq, _)) = self.history.front() {
-            if *seq > stable_seq {
-                break;
-            }
-            let (seq, writes) = self.history.pop_front().expect("front just checked");
-            self.unindex_writes(seq, &writes);
-        }
-        self.low_water = self.low_water.max(stable_seq);
+    /// Number of keyed shards (the spill shard is extra).
+    pub fn shard_count(&self) -> usize {
+        self.place.shard_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::certifier::LinearCertifier;
+    use crate::certifier::{CertWork, HistoryTruncated, LinearCertifier, Outcome};
+    use crate::request::CertRequest;
     use crate::SiteId;
 
     fn id(t: u16, r: u64) -> TupleId {
@@ -514,6 +428,23 @@ mod tests {
     }
 
     #[test]
+    fn speculation_reports_per_shard_loads() {
+        // The pipelined path feeds each shard's probe count to its own FIFO
+        // server; the loads must agree with the folded CertWork.
+        let mut c = ShardedCertifier::new(2);
+        for (i, r) in [2u64, 4, 6, 1].iter().enumerate() {
+            c.certify(&req(0, i as u64, i as u64, &[], &[id(1, *r)])).expect("write");
+        }
+        let reads = [id(1, 2), id(1, 4), id(1, 6), id(1, 1)];
+        let probe = c.speculate(&req(1, 50, 0, &reads, &[]));
+        assert_eq!(probe.work.probes, 12);
+        assert_eq!(probe.work.critical_probes, 9);
+        let mut loads = probe.loads.clone();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![(0, 9), (1, 3)]);
+    }
+
+    #[test]
     fn gc_then_certify_reports_truncation_per_shard() {
         // The HistoryTruncated edge must behave identically no matter which
         // shard a stale snapshot's reads would probe: the low-water check
@@ -559,7 +490,7 @@ mod tests {
         let (o, _) = c.certify(&req(1, 100, 28, &[id(1, (28 % 9) + 1)], &[])).expect("probe");
         assert_eq!(o, Outcome::Abort { conflict_seq: 29 });
         c.gc(30);
-        for shard in &c.shards {
+        for shard in &c.place.shards {
             assert!(shard.tables.is_empty(), "full gc empties every shard");
         }
     }
@@ -583,6 +514,7 @@ mod tests {
         let kind = CertBackendKind::Sharded { shards: 4 };
         assert_eq!(kind.name(), "sharded");
         let mut b = kind.new_backend();
+        assert_eq!(b.servers(), 5, "four keyed shards plus spill");
         let (o, w) = b.certify(&req(0, 1, 0, &[], &[id(1, 1)])).expect("first");
         assert_eq!(o, Outcome::Commit(1));
         assert_eq!(w.shards_touched, 0, "empty read-set probes nothing");

@@ -3,7 +3,7 @@
 //! communication prototypes, TPC-C clients, and the simulated network —
 //! all under the centralized simulation runtime.
 
-use crate::experiment::{CertCostModel, ExperimentConfig};
+use crate::experiment::{CertCostModel, CommitPath, ExperimentConfig};
 use crate::metrics::{RunMetrics, SiteUsage};
 use dbsm_cert::{
     marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, Outcome as CertOutcome,
@@ -16,7 +16,7 @@ use dbsm_net::{
     Addr, BurstyLoss, GroupId, HostId, Network, NetworkBuilder, Port, RandomLoss, SegmentConfig,
     WindowedBurst,
 };
-use dbsm_sim::{derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, Sim, SimTime};
+use dbsm_sim::{derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, ServerBank, Sim, SimTime};
 use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -30,6 +30,13 @@ struct PendingCert {
 
 struct SiteState {
     certifier: Box<dyn CertBackend>,
+    /// One FIFO shard server per certifier placement server: speculative
+    /// probe work queues here, so same-shard requests serialize and shard
+    /// imbalance shows up as queueing latency (pipelined commit path).
+    servers: ServerBank,
+    /// When each speculation's shard-server fan-out completes, keyed by
+    /// `(origin site, txn)` — consulted at total-order confirmation.
+    spec_ready: HashMap<(u16, u64), SimTime>,
     txn_seq: u64,
     pending: HashMap<u64, PendingCert>,
     crashed: bool,
@@ -151,8 +158,12 @@ impl Cluster {
                 None
             };
             site_handles.push(SiteHandles { cpu, engine, bridge, host: *host });
+            let certifier = site_backend(cfg.cert_backend);
+            let servers = ServerBank::new(certifier.servers());
             site_states.push(SiteState {
-                certifier: site_backend(cfg.cert_backend),
+                certifier,
+                servers,
+                spec_ready: HashMap::new(),
                 txn_seq: 0,
                 pending: HashMap::new(),
                 crashed: false,
@@ -208,22 +219,88 @@ impl Cluster {
             let Some(bridge) = &s.bridge else { continue };
             let this = self.clone();
             bridge.set_handler(Box::new(move |ctx, upcall| match upcall {
-                Upcall::Deliver { payload, .. } => {
-                    // Real code: unmarshal + certify, charging its CPU cost.
+                Upcall::Tentative { payload, .. } => {
+                    // Pipelined commit path: certify speculatively the moment
+                    // the reliable layer completes the message, queueing the
+                    // probe work on the per-site shard servers so it overlaps
+                    // the total-order broadcast.
+                    if this.cfg.commit_path != CommitPath::Pipelined {
+                        return;
+                    }
                     let Ok(req) = unmarshal(payload) else { return };
-                    let (outcome, work) = {
-                        let mut sh = this.shared.borrow_mut();
-                        let res =
-                            sh.sites[i].certifier.certify(&req).expect("history window exceeded");
-                        sh.metrics.cert_work.record(res.1);
-                        res
-                    };
-                    ctx.charge(this.costs.certify(work));
-                    let this2 = this.clone();
-                    // Re-enter the simulated domain at start + Δ (Fig. 1b).
-                    ctx.schedule(Duration::ZERO, move || {
-                        this2.deliver_decision(i, req, outcome);
-                    });
+                    // Real code: unmarshal + dispatch of the speculative
+                    // probe — outside the certifier's serial section, so
+                    // cheaper than a synchronous certification entry.
+                    ctx.charge(this.costs.speculate_fixed);
+                    let now = ctx.now();
+                    let mut sh = this.shared.borrow_mut();
+                    let sh = &mut *sh;
+                    let st = &mut sh.sites[i];
+                    let probe = st.certifier.speculate(&req);
+                    let fanout = st.servers.submit_fanout(
+                        now,
+                        probe.loads.iter().map(|&(srv, p)| (srv, this.costs.probe_service(p))),
+                    );
+                    let merge = this.costs.merge(fanout.servers);
+                    sh.metrics.cert_work.record_spec_probe(probe.work);
+                    sh.metrics.cert_work.record_queueing(fanout.queued, fanout.service, merge);
+                    st.spec_ready.insert((req.site.0, req.txn), fanout.ready_at + merge);
+                }
+                Upcall::Deliver { payload, .. } => {
+                    let Ok(req) = unmarshal(payload) else { return };
+                    match this.cfg.commit_path {
+                        CommitPath::Synchronous => {
+                            // Real code: unmarshal + certify, charging its CPU
+                            // cost — the full conflict check stalls the
+                            // delivery loop.
+                            let (outcome, work) = {
+                                let mut sh = this.shared.borrow_mut();
+                                let res = sh.sites[i]
+                                    .certifier
+                                    .certify(&req)
+                                    .expect("history window exceeded");
+                                sh.metrics.cert_work.record(res.1);
+                                sh.metrics.cert_work.stall_ns +=
+                                    this.costs.certify_data(res.1).as_nanos() as u64;
+                                res
+                            };
+                            ctx.charge(this.costs.certify(work));
+                            let this2 = this.clone();
+                            // Re-enter the simulated domain at start + Δ (Fig. 1b).
+                            ctx.schedule(Duration::ZERO, move || {
+                                this2.deliver_decision(i, req, outcome);
+                            });
+                        }
+                        CommitPath::Pipelined => {
+                            // Confirm against the speculation. The certifier
+                            // mutation, commit log and gc cadence must happen
+                            // here, in the global sequence — tentative order
+                            // differs per site — while the engine-side
+                            // decision waits for the shard servers to finish
+                            // the speculative probe work.
+                            let (outcome, work, pending, ready_at) = {
+                                let mut sh = this.shared.borrow_mut();
+                                let sh = &mut *sh;
+                                let st = &mut sh.sites[i];
+                                let (outcome, work, res) =
+                                    st.certifier.confirm(&req).expect("history window exceeded");
+                                let ready_at = st.spec_ready.remove(&(req.site.0, req.txn));
+                                sh.metrics.cert_work.record(work);
+                                sh.metrics.cert_work.record_spec(res);
+                                sh.metrics.cert_work.stall_ns +=
+                                    this.costs.certify_data(work).as_nanos() as u64;
+                                let pending = this.decision_bookkeeping(sh, i, &req, outcome);
+                                (outcome, work, pending, ready_at)
+                            };
+                            ctx.charge(this.costs.confirm(work));
+                            let delay = ready_at
+                                .map_or(Duration::ZERO, |t| t.saturating_duration_since(ctx.now()));
+                            let this2 = this.clone();
+                            ctx.schedule(delay, move || {
+                                this2.apply_decision(i, req, outcome, pending);
+                            });
+                        }
+                    }
                 }
                 Upcall::ViewChange(_) => {}
                 Upcall::Excluded => {
@@ -513,6 +590,8 @@ impl Cluster {
                     let res =
                         sh.sites[site].certifier.certify(&req).expect("history window exceeded");
                     sh.metrics.cert_work.record(res.1);
+                    sh.metrics.cert_work.stall_ns +=
+                        this.costs.certify_data(res.1).as_nanos() as u64;
                     res
                 };
                 ctx.charge(this.costs.certify(work));
@@ -527,24 +606,52 @@ impl Cluster {
 
     /// Applies a certification decision at `site` (already totally ordered).
     fn deliver_decision(&self, site: usize, req: CertRequest, outcome: CertOutcome) {
-        let origin = req.site.0 as usize == site;
         let pending = {
             let mut sh = self.shared.borrow_mut();
-            let st = &mut sh.sites[site];
-            if outcome.is_commit() {
-                st.commits_since_gc += 1;
-                if st.commits_since_gc >= 512 {
-                    st.commits_since_gc = 0;
-                    let last = st.certifier.last_committed();
-                    st.certifier.gc(last.saturating_sub(self.cfg.history_window));
-                }
-            }
-            let pending = if origin { st.pending.remove(&req.txn) } else { None };
-            if outcome.is_commit() {
-                sh.metrics.commit_logs[site].push((req.site.0, req.txn));
-            }
-            pending
+            self.decision_bookkeeping(&mut sh, site, &req, outcome)
         };
+        self.apply_decision(site, req, outcome, pending);
+    }
+
+    /// The order-sensitive half of a delivery: gc cadence, pending lookup
+    /// and the per-site commit log. Must run in the global sequence — the
+    /// pipelined path calls it at total-order confirmation even though the
+    /// engine-side decision may still be waiting on the shard servers.
+    fn decision_bookkeeping(
+        &self,
+        sh: &mut Shared,
+        site: usize,
+        req: &CertRequest,
+        outcome: CertOutcome,
+    ) -> Option<PendingCert> {
+        let origin = req.site.0 as usize == site;
+        let st = &mut sh.sites[site];
+        if outcome.is_commit() {
+            st.commits_since_gc += 1;
+            if st.commits_since_gc >= 512 {
+                st.commits_since_gc = 0;
+                let last = st.certifier.last_committed();
+                st.certifier.gc(last.saturating_sub(self.cfg.history_window));
+            }
+        }
+        let pending = if origin { st.pending.remove(&req.txn) } else { None };
+        if outcome.is_commit() {
+            sh.metrics.commit_logs[site].push((req.site.0, req.txn));
+        }
+        pending
+    }
+
+    /// The engine-side half of a delivery: resolve the origin's transaction
+    /// or apply the remote write-set. Order-insensitive — the certifier and
+    /// commit log already recorded the decision.
+    fn apply_decision(
+        &self,
+        site: usize,
+        req: CertRequest,
+        outcome: CertOutcome,
+        pending: Option<PendingCert>,
+    ) {
+        let origin = req.site.0 as usize == site;
         let engine = &self.sites[site].engine;
         match (origin, outcome.is_commit()) {
             (true, commit) => {

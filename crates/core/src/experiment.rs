@@ -6,6 +6,35 @@ use dbsm_fault::FaultPlan;
 use dbsm_gcs::{AnnBatchPolicy, GcsConfig};
 use std::time::Duration;
 
+/// How a site orders certification relative to total-order delivery.
+///
+/// The synchronous path is the seed behaviour: every delivered request
+/// certifies inline, so the delivery loop stalls for the full conflict
+/// check. The pipelined path overlaps certification with the broadcast
+/// (Emerson & Ezhilchelvan's optimistic-delivery pipeline): requests
+/// certify *speculatively* on tentative (pre-total-order) delivery, queue
+/// their probe work on the per-site shard servers, and the total-order
+/// delivery merely confirms — or rolls back — the speculation. Decisions
+/// are bit-identical either way; what moves is where the latency lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPath {
+    /// Certify inline at total-order delivery (seed behaviour).
+    #[default]
+    Synchronous,
+    /// Certify speculatively at tentative delivery; confirm in total order.
+    Pipelined,
+}
+
+impl CommitPath {
+    /// Stable lowercase name (used in bench rows and report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitPath::Synchronous => "sync",
+            CommitPath::Pipelined => "pipelined",
+        }
+    }
+}
+
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -46,6 +75,9 @@ pub struct ExperimentConfig {
     /// index keyed by the TPC-C home warehouse. All reach bit-identical
     /// decisions; they differ only in certification cost.
     pub cert_backend: CertBackendKind,
+    /// Whether certification runs synchronously at delivery or overlapped
+    /// with the total-order broadcast (see [`CommitPath`]).
+    pub commit_path: CommitPath,
     /// Relative CPU speed (the CSRT's processor-speed scaling, §2.3);
     /// both simulated processing and real-code costs scale by it.
     pub cpu_speed: f64,
@@ -73,6 +105,7 @@ impl ExperimentConfig {
             table_lock_threshold: 256,
             history_window: 4096,
             cert_backend: CertBackendKind::Indexed,
+            commit_path: CommitPath::Synchronous,
             cpu_speed: 1.0,
             wan_latency: None,
         }
@@ -108,6 +141,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the commit path (synchronous or pipelined certification).
+    pub fn with_commit_path(mut self, path: CommitPath) -> Self {
+        self.commit_path = path;
+        self
+    }
+
     /// Selects the sequencer announcement batching policy, materializing the
     /// default GCS configuration if none was set explicitly.
     pub fn with_ann_policy(mut self, policy: AnnBatchPolicy) -> Self {
@@ -132,6 +171,12 @@ impl ExperimentConfig {
         let mut gcs = self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites));
         if self.faults.has_partition() {
             gcs.uniform_delivery = true;
+        }
+        // The pipelined commit path certifies on tentative delivery, so the
+        // stack must hand messages up as soon as the reliable layer
+        // completes them (confirmation still waits for the total order).
+        if self.commit_path == CommitPath::Pipelined {
+            gcs.tentative_delivery = true;
         }
         gcs
     }
@@ -183,6 +228,17 @@ pub struct CertCostModel {
     /// linear in the fan-out — the term that keeps "shard everything
     /// row-by-row" from pricing as free parallelism.
     pub merge_ns: f64,
+    /// Fixed cost of confirming a speculation at total-order delivery
+    /// (pipelined commit path): a hash-map lookup and a basis comparison —
+    /// much cheaper than `certify_fixed`, which covers unmarshalling and
+    /// request setup already paid at tentative delivery.
+    pub confirm_fixed: Duration,
+    /// Fixed cost of dispatching a speculative certification at tentative
+    /// delivery (pipelined commit path): unmarshal the payload and fan the
+    /// probes out to the shard servers. Cheaper than `certify_fixed`
+    /// because the speculative pass runs outside the certifier's serial
+    /// section — no total-order bookkeeping, no history mutation.
+    pub speculate_fixed: Duration,
 }
 
 impl Default for CertCostModel {
@@ -194,6 +250,8 @@ impl Default for CertCostModel {
             per_comparison_ns: 60.0,
             per_probe_ns: 90.0,
             merge_ns: 25.0,
+            confirm_fixed: Duration::from_micros(2),
+            speculate_fixed: Duration::from_micros(10),
         }
     }
 }
@@ -204,16 +262,40 @@ impl CertCostModel {
         self.marshal_fixed + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
     }
 
-    /// Cost of one certification that performed `work`: the merge
-    /// comparisons and index probes it actually executed — critical-path
-    /// probes plus the per-shard merge term when the work was sharded
-    /// (`shards_touched > 0`), total probes otherwise.
-    pub fn certify(&self, work: CertWork) -> Duration {
+    /// The data-dependent part of one certification that performed `work`:
+    /// the merge comparisons and index probes it actually executed —
+    /// critical-path probes plus the per-shard merge term when the work was
+    /// sharded (`shards_touched > 0`), total probes otherwise. This is the
+    /// *stall* a certification inflicts on whatever loop runs it inline.
+    pub fn certify_data(&self, work: CertWork) -> Duration {
         let probes = if work.shards_touched > 0 { work.critical_probes } else { work.probes };
-        self.certify_fixed
-            + Duration::from_nanos((self.per_comparison_ns * work.comparisons as f64) as u64)
+        Duration::from_nanos((self.per_comparison_ns * work.comparisons as f64) as u64)
             + Duration::from_nanos((self.per_probe_ns * probes as f64) as u64)
             + Duration::from_nanos((self.merge_ns * work.shards_touched as f64) as u64)
+    }
+
+    /// Cost of one synchronous certification that performed `work`: the
+    /// fixed unmarshal/setup cost plus [`CertCostModel::certify_data`].
+    pub fn certify(&self, work: CertWork) -> Duration {
+        self.certify_fixed + self.certify_data(work)
+    }
+
+    /// Cost of confirming a speculation at total-order delivery: the fixed
+    /// lookup plus whatever delta re-probe `work` the confirmation actually
+    /// performed (zero for a speculation hit).
+    pub fn confirm(&self, work: CertWork) -> Duration {
+        self.confirm_fixed + self.certify_data(work)
+    }
+
+    /// Service time of `probes` index probes on one shard server — the
+    /// per-server work a speculative certification enqueues.
+    pub fn probe_service(&self, probes: usize) -> Duration {
+        Duration::from_nanos((self.per_probe_ns * probes as f64) as u64)
+    }
+
+    /// Cost of joining `servers` per-shard verdicts into one outcome.
+    pub fn merge(&self, servers: usize) -> Duration {
+        Duration::from_nanos((self.merge_ns * servers as f64) as u64)
     }
 
     /// Total conflict-check nanoseconds a run's [`CertWorkTotals`]
@@ -360,6 +442,41 @@ mod tests {
             SimTime::from_secs(2),
         );
         assert!(ExperimentConfig::replicated(3, 30).with_faults(bad).validate().is_err());
+    }
+
+    #[test]
+    fn pipelined_commit_path_enables_tentative_delivery() {
+        let c = ExperimentConfig::replicated(3, 30);
+        assert_eq!(c.commit_path, CommitPath::Synchronous, "seed behaviour is synchronous");
+        assert!(!c.gcs_config().tentative_delivery);
+        let c = c.with_commit_path(CommitPath::Pipelined);
+        assert!(c.gcs_config().tentative_delivery, "pipelined runs need tentative upcalls");
+        // Even an explicitly configured GCS gets the flag.
+        let mut c = c;
+        c.gcs = Some(GcsConfig::lan(3));
+        assert!(c.gcs_config().tentative_delivery);
+        assert_eq!(CommitPath::Synchronous.name(), "sync");
+        assert_eq!(CommitPath::Pipelined.name(), "pipelined");
+    }
+
+    #[test]
+    fn confirm_prices_only_the_delta_window() {
+        let m = CertCostModel::default();
+        // A speculation hit confirms for the fixed lookup alone.
+        assert_eq!(m.confirm(CertWork::default()), m.confirm_fixed);
+        assert!(m.confirm(CertWork::default()) < m.certify(CertWork::default()));
+        // A revalidation pays the fixed lookup plus its delta probes, and
+        // the data-dependent part is identical to the synchronous price.
+        let delta = CertWork { probes: 7, ..CertWork::default() };
+        assert_eq!(m.confirm(delta), m.confirm_fixed + m.certify_data(delta));
+        assert_eq!(m.certify(delta), m.certify_fixed + m.certify_data(delta));
+        // Per-server service and merge compose the same probe pricing.
+        assert_eq!(m.probe_service(7), m.certify_data(delta));
+        assert_eq!(m.merge(4), Duration::from_nanos(100));
+        // The pipelined fixed costs must undercut the synchronous dispatch,
+        // or overlapping buys nothing: speculate skips the serial section,
+        // confirm skips the already-paid unmarshal.
+        assert!(m.speculate_fixed + m.confirm_fixed < m.certify_fixed);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use cluster::{run_experiment, Cluster};
 pub use dbsm_cert::CertBackendKind;
 pub use dbsm_fault::{FaultPlan, FaultSpec, PlanError};
 pub use dbsm_gcs::AnnBatchPolicy;
-pub use experiment::{CertCostModel, ExperimentConfig};
+pub use experiment::{CertCostModel, CommitPath, ExperimentConfig};
 pub use metrics::{
     AnnWorkTotals, CertWorkTotals, ClassStats, FaultWorkTotals, RunMetrics, SiteUsage,
 };

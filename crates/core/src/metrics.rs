@@ -80,6 +80,33 @@ pub struct CertWorkTotals {
     /// Shards touched, summed over certifications (sharded backend; zero
     /// otherwise).
     pub shard_touches: u64,
+    /// Nanoseconds speculative probe work spent *queued* behind earlier
+    /// requests on its critical shard server (pipelined runs; zero
+    /// otherwise) — the latency cost of shard imbalance.
+    pub queue_ns: u64,
+    /// Nanoseconds of critical-server probe *service* performed for
+    /// speculative certifications (pipelined runs; zero otherwise).
+    pub service_ns: u64,
+    /// Nanoseconds spent joining per-shard verdicts into outcomes
+    /// (pipelined runs; zero otherwise).
+    pub merge_ns: u64,
+    /// Data-dependent certification nanoseconds charged inline to the
+    /// commit/delivery loop — the *stall* the pipeline exists to remove.
+    /// Synchronous runs accumulate every conflict check here; pipelined
+    /// runs only their delta revalidations and speculation misses.
+    pub stall_ns: u64,
+    /// Speculations whose answer was final at confirmation — zero
+    /// delta work on the delivery loop (pipelined runs).
+    pub spec_hits: u64,
+    /// Speculative passes overtaken by later commits and upheld by the
+    /// delta re-probe (pipelined runs).
+    pub spec_revalidated: u64,
+    /// Speculative passes overturned into aborts by the delta re-probe —
+    /// the reordering-rollback path (pipelined runs).
+    pub spec_rollbacks: u64,
+    /// Confirmations that found no speculation and certified from scratch
+    /// (pipelined runs).
+    pub spec_misses: u64,
 }
 
 impl CertWorkTotals {
@@ -90,6 +117,39 @@ impl CertWorkTotals {
         self.probes += work.probes as u64;
         self.critical_probes += work.critical_probes as u64;
         self.shard_touches += work.shards_touched as u64;
+    }
+
+    /// Accumulates the probe work of a *speculative* pass without counting
+    /// a certification: the request is counted once, when it confirms.
+    pub(crate) fn record_spec_probe(&mut self, work: CertWork) {
+        self.history_scanned += work.history_scanned as u64;
+        self.comparisons += work.comparisons as u64;
+        self.probes += work.probes as u64;
+        self.critical_probes += work.critical_probes as u64;
+        self.shard_touches += work.shards_touched as u64;
+    }
+
+    /// Accumulates one speculative fan-out's latency decomposition.
+    pub(crate) fn record_queueing(
+        &mut self,
+        queued: std::time::Duration,
+        service: std::time::Duration,
+        merge: std::time::Duration,
+    ) {
+        self.queue_ns += queued.as_nanos() as u64;
+        self.service_ns += service.as_nanos() as u64;
+        self.merge_ns += merge.as_nanos() as u64;
+    }
+
+    /// Tallies how one confirmation resolved against its speculation.
+    pub(crate) fn record_spec(&mut self, res: dbsm_cert::SpecResolution) {
+        use dbsm_cert::SpecResolution::*;
+        match res {
+            Hit => self.spec_hits += 1,
+            Revalidated => self.spec_revalidated += 1,
+            Rollback => self.spec_rollbacks += 1,
+            Miss => self.spec_misses += 1,
+        }
     }
 
     /// Mean linear-scan comparisons per certification.
@@ -148,6 +208,54 @@ impl CertWorkTotals {
             0.0
         } else {
             self.mean_shards_touched() / self.parallel_speedup()
+        }
+    }
+
+    fn mean_us(&self, ns: u64) -> f64 {
+        if self.certifications == 0 {
+            0.0
+        } else {
+            ns as f64 / 1e3 / self.certifications as f64
+        }
+    }
+
+    /// Mean microseconds per certification spent queued on the critical
+    /// shard server (0 for synchronous runs).
+    pub fn mean_queue_us(&self) -> f64 {
+        self.mean_us(self.queue_ns)
+    }
+
+    /// Mean microseconds per certification of critical-server probe
+    /// service (0 for synchronous runs).
+    pub fn mean_service_us(&self) -> f64 {
+        self.mean_us(self.service_ns)
+    }
+
+    /// Mean microseconds per certification of verdict merging (0 for
+    /// synchronous runs).
+    pub fn mean_merge_us(&self) -> f64 {
+        self.mean_us(self.merge_ns)
+    }
+
+    /// Mean microseconds per certification the commit/delivery loop stalled
+    /// on data-dependent conflict checks. The pipelined path drives this
+    /// toward zero; the synchronous path pays the full check here.
+    pub fn mean_stall_us(&self) -> f64 {
+        self.mean_us(self.stall_ns)
+    }
+
+    /// Confirmations resolved, any way (0 for synchronous runs).
+    pub fn spec_total(&self) -> u64 {
+        self.spec_hits + self.spec_revalidated + self.spec_rollbacks + self.spec_misses
+    }
+
+    /// Fraction of confirmations resolved with zero delta work.
+    pub fn spec_hit_rate(&self) -> f64 {
+        let total = self.spec_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.spec_hits as f64 / total as f64
         }
     }
 }
@@ -448,6 +556,46 @@ mod tests {
         assert_eq!(t.parallel_speedup(), 1.0);
         assert_eq!(t.shard_imbalance(), 0.0);
         assert_eq!(t.mean_shards_touched(), 0.0);
+    }
+
+    #[test]
+    fn speculative_work_counts_one_certification_per_request() {
+        use std::time::Duration;
+        let mut t = CertWorkTotals::default();
+        // Tentative pass: probes recorded, no certification counted yet.
+        t.record_spec_probe(CertWork { probes: 12, ..CertWork::default() });
+        t.record_queueing(
+            Duration::from_micros(4),
+            Duration::from_micros(2),
+            Duration::from_nanos(500),
+        );
+        assert_eq!(t.certifications, 0);
+        assert_eq!(t.probes, 12);
+        // Confirmation: the request is counted exactly once.
+        t.record(CertWork::default());
+        t.record_spec(dbsm_cert::SpecResolution::Hit);
+        assert_eq!(t.certifications, 1);
+        assert_eq!(t.spec_hits, 1);
+        assert!((t.mean_queue_us() - 4.0).abs() < 1e-12);
+        assert!((t.mean_service_us() - 2.0).abs() < 1e-12);
+        assert!((t.mean_merge_us() - 0.5).abs() < 1e-12);
+        assert_eq!(t.mean_stall_us(), 0.0, "a hit stalls the delivery loop for nothing");
+    }
+
+    #[test]
+    fn spec_resolutions_tally_and_rate() {
+        let mut t = CertWorkTotals::default();
+        use dbsm_cert::SpecResolution::*;
+        for res in [Hit, Hit, Hit, Revalidated, Rollback, Miss] {
+            t.record_spec(res);
+        }
+        assert_eq!(t.spec_total(), 6);
+        assert_eq!(
+            (t.spec_hits, t.spec_revalidated, t.spec_rollbacks, t.spec_misses),
+            (3, 1, 1, 1)
+        );
+        assert!((t.spec_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CertWorkTotals::default().spec_hit_rate(), 0.0);
     }
 
     #[test]

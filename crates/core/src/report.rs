@@ -58,10 +58,16 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// One-line run summary. The `cert=` section reads
 /// `comparisons/probes/critical-path probes` (all means per certification)
 /// and `sh=` is the mean shard fan-out — 0 for unsharded backends, where
-/// the critical path equals the total.
+/// the critical path equals the total. The `pipe=` section decomposes the
+/// certification latency into queue/service/merge microseconds on the
+/// shard servers plus the inline delivery-loop `st`all (all means per
+/// certification), and `spec=` tallies confirmations as
+/// `hits/revalidated/rollbacks/misses` — all zero for synchronous runs
+/// except the stall, which is where the synchronous path pays the full
+/// conflict check.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} ann={}x{:.1}+{}pb vc={} dup={}/{}",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{}",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -73,6 +79,14 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.cert_work.mean_probes(),
         m.cert_work.mean_critical_probes(),
         m.cert_work.mean_shards_touched(),
+        m.cert_work.mean_queue_us(),
+        m.cert_work.mean_service_us(),
+        m.cert_work.mean_merge_us(),
+        m.cert_work.mean_stall_us(),
+        m.cert_work.spec_hits,
+        m.cert_work.spec_revalidated,
+        m.cert_work.spec_rollbacks,
+        m.cert_work.spec_misses,
         m.ann_work.announcements,
         m.ann_work.mean_batch(),
         m.ann_work.piggybacked,
@@ -132,6 +146,25 @@ mod tests {
         m.cert_work.critical_probes = 40;
         m.cert_work.shard_touches = 25;
         assert!(summary_line("x", &m).contains("cert=0.0cmp/12.0probe/4.0crit sh=2.50"));
+    }
+
+    #[test]
+    fn summary_line_reports_pipeline_decomposition() {
+        let mut m = RunMetrics::new(1);
+        m.cert_work.certifications = 10;
+        m.cert_work.queue_ns = 40_000;
+        m.cert_work.service_ns = 20_000;
+        m.cert_work.merge_ns = 5_000;
+        m.cert_work.stall_ns = 1_000;
+        m.cert_work.spec_hits = 8;
+        m.cert_work.spec_revalidated = 1;
+        m.cert_work.spec_misses = 1;
+        let line = summary_line("x", &m);
+        assert!(line.contains("pipe=q4.0/s2.0/m0.5/st0.1us"), "{line}");
+        assert!(line.contains("spec=8/1/0/1"), "{line}");
+        // Synchronous runs show an all-zero pipeline section.
+        let sync = summary_line("y", &RunMetrics::new(1));
+        assert!(sync.contains("pipe=q0.0/s0.0/m0.0/st0.0us spec=0/0/0/0"), "{sync}");
     }
 
     #[test]

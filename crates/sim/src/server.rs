@@ -1,0 +1,293 @@
+//! First-class shard servers: a bank of FIFO queues with deterministic
+//! service, the queueing-theoretic counterpart of [`CpuBank`](crate::CpuBank)
+//! for resources that serve requests one at a time in arrival order.
+//!
+//! The paper's methodology (§2.2) is to expose performance walls by
+//! *simulating the server's queueing behaviour* instead of pricing work as
+//! if it ran on infinitely parallel hardware. [`ServerBank`] models `N`
+//! independent single-server FIFO queues — one per certification shard —
+//! so two requests probing the same shard serialize (the second *waits*),
+//! and shard imbalance shows up as queueing latency rather than being
+//! hidden by a max-over-shards price.
+//!
+//! Unlike [`CpuBank`](crate::CpuBank), a `ServerBank` does not execute jobs:
+//! FIFO order with known service times makes every completion instant a
+//! closed-form `max(now, free_at) + service`, so the bank just advances
+//! per-server `free_at` clocks and returns the timing. The caller owns
+//! scheduling (typically one simulation event at the fan-out's
+//! [`Fanout::ready_at`]), which keeps the bank deterministic, allocation-free
+//! and trivially cloneable for replicated sites.
+
+use crate::time::SimTime;
+use std::time::Duration;
+
+/// One FIFO server's state and accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerState {
+    /// The instant this server drains its queue (work is conserved: FIFO
+    /// with known service times collapses the whole queue into one clock).
+    free_at: SimTime,
+    /// Total service time performed.
+    busy: Duration,
+    /// Total time jobs spent waiting before service started.
+    queued: Duration,
+    /// Jobs accepted.
+    jobs: u64,
+}
+
+/// Timing of one job accepted by [`ServerBank::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerJob {
+    /// Time spent waiting behind earlier jobs on the same server.
+    pub queued: Duration,
+    /// Instant service began.
+    pub started_at: SimTime,
+    /// Instant service completes; the server is free again from here.
+    pub completes_at: SimTime,
+}
+
+/// Timing of a fan-out submitted by [`ServerBank::submit_fanout`]: one
+/// request split across several servers, complete when the last server
+/// finishes (the critical path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fanout {
+    /// Instant the last (critical) server finishes the request's work.
+    pub ready_at: SimTime,
+    /// Queueing delay on the critical server — the wait component of the
+    /// request's latency decomposition.
+    pub queued: Duration,
+    /// Service time on the critical server — the work component.
+    pub service: Duration,
+    /// Number of servers the request touched (what a merge step joins).
+    pub servers: usize,
+}
+
+impl Default for Fanout {
+    fn default() -> Self {
+        Fanout {
+            ready_at: SimTime::ZERO,
+            queued: Duration::ZERO,
+            service: Duration::ZERO,
+            servers: 0,
+        }
+    }
+}
+
+/// A bank of `N` independent single-server FIFO queues with deterministic
+/// service times and time-integrated accounting.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_sim::{ServerBank, SimTime};
+/// use std::time::Duration;
+///
+/// let mut bank = ServerBank::new(2);
+/// let now = SimTime::from_millis(1);
+/// let a = bank.submit(0, now, Duration::from_micros(100));
+/// let b = bank.submit(0, now, Duration::from_micros(50));
+/// assert_eq!(a.queued, Duration::ZERO);
+/// assert_eq!(b.queued, Duration::from_micros(100), "same server serializes");
+/// assert_eq!(bank.submit(1, now, Duration::from_micros(30)).queued, Duration::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBank {
+    servers: Vec<ServerState>,
+}
+
+impl ServerBank {
+    /// Creates a bank of `n` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a bank needs at least one server");
+        ServerBank { servers: vec![ServerState::default(); n] }
+    }
+
+    /// Number of servers in the bank.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Enqueues `service` of work on `server` at simulated instant `now`
+    /// (instants must be non-decreasing per bank, as events fire in time
+    /// order) and returns the job's timing.
+    pub fn submit(&mut self, server: usize, now: SimTime, service: Duration) -> ServerJob {
+        let s = &mut self.servers[server];
+        let started_at = s.free_at.max(now);
+        let completes_at = started_at + service;
+        let queued = started_at.saturating_duration_since(now);
+        s.free_at = completes_at;
+        s.busy += service;
+        s.queued += queued;
+        s.jobs += 1;
+        ServerJob { queued, started_at, completes_at }
+    }
+
+    /// Submits one request's work split across several servers, returning
+    /// the critical-path timing: the fan-out is ready when its last server
+    /// finishes, and the queue/service decomposition reported is the
+    /// critical server's (the one the request actually waited for).
+    pub fn submit_fanout(
+        &mut self,
+        now: SimTime,
+        loads: impl IntoIterator<Item = (usize, Duration)>,
+    ) -> Fanout {
+        let mut out = Fanout { ready_at: now, ..Fanout::default() };
+        for (server, service) in loads {
+            let job = self.submit(server, now, service);
+            out.servers += 1;
+            if job.completes_at > out.ready_at {
+                out.ready_at = job.completes_at;
+                out.queued = job.queued;
+                out.service = service;
+            }
+        }
+        out
+    }
+
+    /// The instant `server` drains all accepted work.
+    pub fn free_at(&self, server: usize) -> SimTime {
+        self.servers[server].free_at
+    }
+
+    /// Total service time performed across all servers.
+    pub fn busy_total(&self) -> Duration {
+        self.servers.iter().map(|s| s.busy).sum()
+    }
+
+    /// Service time performed by the most-loaded server — the bank's
+    /// critical path over the whole run.
+    pub fn busy_peak(&self) -> Duration {
+        self.servers.iter().map(|s| s.busy).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Total time jobs spent queued behind earlier work.
+    pub fn queued_total(&self) -> Duration {
+        self.servers.iter().map(|s| s.queued).sum()
+    }
+
+    /// Jobs accepted across all servers.
+    pub fn jobs(&self) -> u64 {
+        self.servers.iter().map(|s| s.jobs).sum()
+    }
+
+    /// Mean queueing delay per accepted job.
+    pub fn mean_wait(&self) -> Duration {
+        let jobs = self.jobs();
+        if jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.queued_total() / jobs as u32
+        }
+    }
+
+    /// Mean utilization over `elapsed` of simulated time: busy fraction
+    /// averaged across servers (1.0 = every server busy the whole run).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.busy_total().as_secs_f64() / (elapsed.as_secs_f64() * self.servers.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn same_server_requests_serialize_in_fifo_order() {
+        let mut bank = ServerBank::new(4);
+        let a = bank.submit(2, at(100), us(50));
+        let b = bank.submit(2, at(110), us(30));
+        let c = bank.submit(2, at(200), us(10));
+        assert_eq!(a.queued, Duration::ZERO);
+        assert_eq!(a.completes_at, at(150));
+        // b arrives while a is in service: waits 40µs.
+        assert_eq!(b.queued, us(40));
+        assert_eq!(b.started_at, at(150));
+        assert_eq!(b.completes_at, at(180));
+        // c arrives after the queue drained: no wait.
+        assert_eq!(c.queued, Duration::ZERO);
+        assert_eq!(c.completes_at, at(210));
+    }
+
+    #[test]
+    fn different_servers_run_in_parallel() {
+        let mut bank = ServerBank::new(3);
+        for s in 0..3 {
+            let job = bank.submit(s, at(0), us(100));
+            assert_eq!(job.queued, Duration::ZERO, "server {s} is independent");
+            assert_eq!(job.completes_at, at(100));
+        }
+        assert_eq!(bank.busy_total(), us(300));
+        assert_eq!(bank.busy_peak(), us(100));
+        assert_eq!(bank.queued_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn fanout_reports_the_critical_server_decomposition() {
+        let mut bank = ServerBank::new(4);
+        // Pre-load server 1 so the fan-out queues behind it.
+        bank.submit(1, at(0), us(80));
+        let f = bank.submit_fanout(at(10), [(0, us(20)), (1, us(30)), (3, us(5))]);
+        assert_eq!(f.servers, 3);
+        // Server 1: waits 70µs (until t=80), serves 30µs, done at 110 — the
+        // critical path; servers 0 and 3 finish at 30 and 15.
+        assert_eq!(f.ready_at, at(110));
+        assert_eq!(f.queued, us(70));
+        assert_eq!(f.service, us(30));
+    }
+
+    #[test]
+    fn empty_fanout_is_ready_immediately() {
+        let mut bank = ServerBank::new(2);
+        let f = bank.submit_fanout(at(42), []);
+        assert_eq!(f.ready_at, at(42));
+        assert_eq!(f.servers, 0);
+        assert_eq!(f.queued, Duration::ZERO);
+        assert_eq!(f.service, Duration::ZERO);
+    }
+
+    #[test]
+    fn imbalance_shows_up_as_queueing_latency() {
+        // The modelling claim of the tentpole: a hot shard is not hidden by
+        // max-over-shards pricing — back-to-back requests on it *wait*.
+        let mut bank = ServerBank::new(2);
+        let mut last_wait = Duration::ZERO;
+        for i in 0..10u64 {
+            // All requests hammer server 0; server 1 idles.
+            let f = bank.submit_fanout(at(i * 10), [(0, us(100))]);
+            last_wait = f.queued;
+        }
+        assert!(last_wait > us(800), "waits accumulate on the hot shard: {last_wait:?}");
+        assert_eq!(bank.free_at(1), SimTime::ZERO);
+        assert!(bank.mean_wait() > Duration::ZERO);
+    }
+
+    #[test]
+    fn accounting_totals_are_consistent() {
+        let mut bank = ServerBank::new(2);
+        bank.submit(0, at(0), us(100));
+        bank.submit(0, at(0), us(100)); // queues 100µs
+        bank.submit(1, at(0), us(50));
+        assert_eq!(bank.jobs(), 3);
+        assert_eq!(bank.busy_total(), us(250));
+        assert_eq!(bank.queued_total(), us(100));
+        assert_eq!(bank.mean_wait(), us(100) / 3);
+        let u = bank.utilization(us(200));
+        assert!((u - 0.625).abs() < 1e-9, "250µs busy over 2×200µs: {u}");
+        assert_eq!(bank.utilization(Duration::ZERO), 0.0);
+    }
+}

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use dbsm_testbed::cert::{
     marshal, unmarshal, CertRequest, Certifier, IndexedCertifier, RwSet, ShardKeyFn,
-    ShardedCertifier, SiteId, TableId, TupleId,
+    ShardedCertifier, SiteId, SpecResolution, TableId, TupleId,
 };
 use dbsm_testbed::gcs::{testkit::TestNet, AnnBatchPolicy, GcsConfig, NodeId, NodeSet};
 use dbsm_testbed::sim::stats::Samples;
@@ -330,6 +330,86 @@ proptest! {
         prop_assert_eq!(linear.last_committed(), sharded.last_committed());
         prop_assert_eq!(linear.history_len(), sharded.history_len());
         prop_assert_eq!(linear.low_water(), sharded.low_water());
+    }
+
+    #[test]
+    fn pipelined_matches_synchronous_outcome_streams(
+        stream in prop::collection::vec(
+            (0u16..3, arb_rwset_with_wildcards(8), arb_rwset_with_wildcards(4), 0u64..6,
+             0u8..4, 0u8..8),
+            1..96),
+        shards in 1usize..13,
+    ) {
+        // The pipelining tentpole's equivalence property: a certifier fed
+        // speculative probes at arbitrary tentative-delivery interleavings
+        // (each request's `lead` lets tentative delivery run 0-3 requests
+        // ahead of the total order; lead 0 models a request whose tentative
+        // delivery never arrived) and then confirmed in total order emits
+        // an outcome stream bit-identical to a synchronous certifier of the
+        // same backend AND to the linear-scan oracle — same commit sequence
+        // numbers, same abort decisions, same conflict_seq on every abort,
+        // same HistoryTruncated rejections under interleaved gc, and the
+        // same final history. Reordering (speculation overtaken by
+        // conflicting commits) must surface as a rollback, never as a
+        // decision change.
+        fn mk(i: usize, item: &(u16, RwSet, RwSet, u64, u8, u8), last: u64) -> CertRequest {
+            let (site, reads, writes, back, _, _) = item;
+            CertRequest {
+                site: SiteId(*site), txn: i as u64, start_seq: last.saturating_sub(*back),
+                read_set: reads.clone(), write_set: writes.clone(), write_bytes: 0,
+            }
+        }
+        let mut linear = Certifier::new();
+        let mut sync = ShardedCertifier::new(shards);
+        let mut pipe = ShardedCertifier::new(shards);
+        let n = stream.len();
+        let mut reqs: Vec<Option<CertRequest>> = vec![None; n];
+        let mut speculated = vec![false; n];
+        for i in 0..n {
+            // Tentative delivery runs ahead: speculate requests i..i+lead
+            // before request i is confirmed in total order.
+            let lead = stream[i].4 as usize;
+            for j in i..(i + lead).min(n) {
+                if reqs[j].is_none() {
+                    reqs[j] = Some(mk(j, &stream[j], linear.last_committed()));
+                }
+                if !speculated[j] {
+                    let probe = pipe.speculate(reqs[j].as_ref().expect("just made"));
+                    prop_assert!(probe.work.critical_probes <= probe.work.probes);
+                    speculated[j] = true;
+                }
+            }
+            let req = reqs[i].take().unwrap_or_else(|| mk(i, &stream[i], linear.last_committed()));
+            let ol = linear.certify(&req).map(|(o, _)| o);
+            let os = sync.certify(&req).map(|(o, _)| o);
+            let mut resolution = None;
+            let op = pipe.confirm(&req).map(|(o, _, res)| { resolution = Some(res); o });
+            prop_assert_eq!(&ol, &os, "sync sharded diverged from linear at {}", i);
+            prop_assert_eq!(&ol, &op, "pipelined diverged from linear at {} (res {:?})",
+                i, resolution);
+            if let Some(res) = resolution {
+                // A speculation either survives to its confirm or its
+                // confirm reports truncation (speculate skips recording
+                // below the low-water mark, gc prunes strictly below it,
+                // and the mark never falls): a confirm that returned Ok
+                // resolves Miss exactly for the never-speculated requests.
+                prop_assert_eq!(res == SpecResolution::Miss, !speculated[i],
+                    "speculation bookkeeping diverged at {}", i);
+            }
+            let gc_roll = stream[i].5;
+            if gc_roll == 0 {
+                let stable = linear.last_committed().saturating_sub(stream[i].3);
+                linear.gc(stable);
+                sync.gc(stable);
+                pipe.gc(stable);
+            }
+        }
+        // Final logs agree: same commit counter, same retained history.
+        prop_assert_eq!(linear.last_committed(), pipe.last_committed());
+        prop_assert_eq!(sync.last_committed(), pipe.last_committed());
+        prop_assert_eq!(sync.history_len(), pipe.history_len());
+        prop_assert_eq!(sync.low_water(), pipe.low_water());
+        prop_assert_eq!(pipe.speculations(), 0, "all speculations consumed or pruned");
     }
 
     #[test]

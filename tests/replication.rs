@@ -157,6 +157,77 @@ fn indexed_backend_safety_holds_under_faults() {
 }
 
 #[test]
+fn pipelined_commit_path_is_safe_and_removes_the_delivery_stall() {
+    use dbsm_testbed::core::{CertBackendKind, CommitPath};
+    // The overlap tentpole end-to-end: speculative certification on
+    // tentative delivery must preserve the DBSM safety condition (identical
+    // commit sequences across replicas), move the probe work onto the shard
+    // servers (queue/service/merge ledger), and strip the data-dependent
+    // conflict check out of the delivery loop (stall ≈ 0 vs synchronous).
+    let mk = |path| {
+        run_experiment(
+            ExperimentConfig::replicated(3, 150)
+                .with_target(600)
+                .with_cert_backend(CertBackendKind::Sharded { shards: 8 })
+                .with_commit_path(path),
+        )
+    };
+    let sync = mk(CommitPath::Synchronous);
+    let pipe = mk(CommitPath::Pipelined);
+    check_logs(&pipe.commit_logs, &[false; 3]).expect("identical sequences (pipelined)");
+    assert!(pipe.committed() > 450, "committed {}", pipe.committed());
+    // Every confirmation resolved against a speculation or certified fresh.
+    assert!(pipe.cert_work.spec_total() > 0, "speculations confirmed: {:?}", pipe.cert_work);
+    assert_eq!(sync.cert_work.spec_total(), 0, "synchronous runs never speculate");
+    // The probe work moved to the shard servers...
+    assert!(pipe.cert_work.service_ns > 0, "shard-server service recorded");
+    assert_eq!(sync.cert_work.service_ns, 0);
+    // ...and the delivery loop stopped paying for it: what remains is the
+    // occasional delta revalidation, a small fraction of the full checks.
+    assert!(
+        pipe.cert_work.stall_ns * 2 < sync.cert_work.stall_ns,
+        "pipelined stall {}ns should sit far below synchronous {}ns",
+        pipe.cert_work.stall_ns,
+        sync.cert_work.stall_ns
+    );
+    // Throughput must not regress for the overlap.
+    let ratio = pipe.tpm() / sync.tpm();
+    assert!(
+        ratio > 0.9,
+        "pipelined tpm {} should not trail synchronous tpm {} (ratio {ratio:.2})",
+        pipe.tpm(),
+        sync.tpm()
+    );
+}
+
+#[test]
+fn pipelined_safety_holds_under_faults() {
+    use dbsm_testbed::core::{CertBackendKind, CommitPath};
+    // Loss reorders tentative vs total-order delivery, exercising the
+    // revalidation and rollback confirmation paths; a crash exercises the
+    // gc/low-water machinery with speculations in flight.
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(400)
+            .with_faults(FaultPlan::random_loss(0.05))
+            .with_cert_backend(CertBackendKind::Sharded { shards: 4 })
+            .with_commit_path(CommitPath::Pipelined),
+    );
+    check_logs(&m.commit_logs, &[false; 3]).expect("pipelined safety under loss");
+    assert!(m.committed() > 300);
+    assert!(m.cert_work.spec_total() > 0);
+    let m = run_experiment(
+        ExperimentConfig::replicated(3, 45)
+            .with_target(600)
+            .with_faults(FaultPlan::crash(2, SimTime::from_secs(15)))
+            .with_cert_backend(CertBackendKind::Indexed)
+            .with_commit_path(CommitPath::Pipelined),
+    );
+    assert_eq!(m.crashed_sites, vec![2]);
+    check_logs(&m.commit_logs, &[false, false, true]).expect("crashed site holds a prefix");
+}
+
+#[test]
 fn runs_are_deterministic_for_a_seed() {
     let a = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
     let b = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
