@@ -343,6 +343,68 @@ fn bench_cert_sharding(c: &mut Criterion) {
     }
 }
 
+fn bench_partial_replication(c: &mut Criterion) {
+    // The partial-replication question: at a fixed total data set (clients,
+    // hence warehouses, held constant), what does dropping the replication
+    // factor from full to k buy per site? Each site then indexes only the
+    // warehouses it replicates (~k/N of the rows), certifies against that
+    // span, and pays a vote round only for the cross-span minority — so
+    // per-site critical-path certification work should shrink ∝ k/N while
+    // aggregate throughput grows with the site count. The sweep crosses
+    // sites {3, 6, 9, 12} with replication factor {full, 2, 3}; duplicate
+    // points (rf 3 at 3 sites IS full replication) are skipped. Rows land
+    // in BENCH_cert.json keyed by (sites, replication_factor) alongside
+    // the sharding sweep's rows.
+    let rows: RefCell<Vec<CertBenchRow>> = RefCell::new(Vec::new());
+    {
+        let mut g = c.benchmark_group("ablation_partial_replication");
+        g.sample_size(1);
+        g.measurement_time(Duration::from_secs(1));
+        let clients = 12_000usize;
+        for sites in [3usize, 6, 9, 12] {
+            // `factor >= sites` materializes no placement: that point is
+            // the full-replication baseline the partial rows compare to.
+            let mut factors = vec![2, 3, sites];
+            factors.sort_unstable();
+            factors.dedup();
+            factors.retain(|f| *f <= sites);
+            for factor in factors {
+                let label = if factor >= sites { "full".to_string() } else { format!("{factor}") };
+                let id = format!("sites_{sites}_rf_{label}");
+                let mut recorded = false;
+                g.bench_function(&id, |b| {
+                    b.iter(|| {
+                        // Same steady-state budget, snapshot window and CPU
+                        // configuration as the pipeline sweep, so the
+                        // full-replication rows here are comparable to its
+                        // synchronous baseline.
+                        let mut cfg = ExperimentConfig::replicated(sites, clients)
+                            .with_target(20_000)
+                            .with_cert_backend(CertBackendKind::Indexed)
+                            .with_replication_factor(factor);
+                        cfg.history_window = 1 << 17;
+                        cfg.cpus_per_site = 3;
+                        let m = run_experiment(cfg.clone());
+                        if !recorded {
+                            recorded = true;
+                            println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                            rows.borrow_mut()
+                                .push(CertBenchRow::from_metrics("indexed", 1, &cfg, &m));
+                        }
+                        black_box((m.tpm(), m.cert_work.span_fraction(), m.cert_work.vote_rounds))
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+    let rows = rows.into_inner();
+    if !rows.is_empty() {
+        let path = merge_and_write("ablation_cert_sharding", &rows).expect("merge BENCH_cert.json");
+        println!("merged {} fresh rows into {}", rows.len(), path.display());
+    }
+}
+
 criterion_group!(
     benches,
     bench_locking_policy,
@@ -352,5 +414,6 @@ criterion_group!(
     bench_fault_plans,
     bench_cert_backend,
     bench_cert_sharding,
+    bench_partial_replication,
 );
 criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! typed schema parser (every row must carry every required key with the
 //! right type) and prints a one-line digest per sweep row. Exits non-zero
 //! on any violation, so a malformed artifact fails the pipeline at the PR
-//! that broke it instead of at the first consumer.
+//! that broke it instead of at the first consumer. Schema v2 documents
+//! (written before the partial-replication fields) still pass: the parser
+//! defaults the v3 keys, and the digest shows `sites=0 rf=0` for them.
 //!
 //! Usage: `cert_schema_gate [path]` — defaults to the workspace artifact
 //! location (`$DBSM_BENCH_CERT_JSON` or `BENCH_cert.json` at the root).
@@ -38,12 +40,15 @@ fn main() -> ExitCode {
     );
     for r in &doc.rows {
         println!(
-            "  {:<10} shards={:<2} clients={:<6} {:<9} tpm={:<9.0} lat={:<7.1} \
-             stall={}us spec={}/{}/{}/{} hash={}",
+            "  {:<10} shards={:<2} clients={:<6} {:<9} sites={:<2} rf={:<2} \
+             tpm={:<9.0} lat={:<7.1} stall={}us spec={}/{}/{}/{} \
+             span={:.2} vote={}/{} hash={}",
             r.backend,
             r.shards,
             r.clients,
             r.commit_path,
+            r.sites,
+            r.replication_factor,
             r.tpm,
             r.mean_latency_ms,
             r.stall_ns / 1_000,
@@ -51,6 +56,9 @@ fn main() -> ExitCode {
             r.spec_revalidated,
             r.spec_rollbacks,
             r.spec_misses,
+            r.span_fraction,
+            r.vote_rounds,
+            r.cross_span_txns,
             r.config_hash,
         );
     }

@@ -16,7 +16,8 @@
 //!   "rows": [
 //!     {
 //!       "backend": "sharded", "shards": 8, "clients": 10000,
-//!       "commit_path": "pipelined", "tpm": 35966.0,
+//!       "commit_path": "pipelined", "sites": 3, "replication_factor": 3,
+//!       "tpm": 35966.0,
 //!       "mean_latency_ms": 61.8, "abort_pct": 2.1,
 //!       "certifications": 900, "comparisons": 0, "probes": 181150,
 //!       "critical_probes": 60231, "mean_shards_touched": 3.1,
@@ -25,20 +26,28 @@
 //!       "queue_ns": 120000, "service_ns": 830000, "merge_ns": 9000,
 //!       "stall_ns": 4000, "spec_hits": 870, "spec_revalidated": 25,
 //!       "spec_rollbacks": 2, "spec_misses": 3,
+//!       "span_fraction": 1.0, "vote_rounds": 0, "cross_span_txns": 0,
 //!       "config_hash": "f2a90c4d13b7e6a1"
 //!     }
 //!   ]
 //! }
 //! ```
 //!
-//! Rows are keyed by `(backend, shards, clients, commit_path)`. The
+//! Rows are keyed by
+//! `(backend, shards, clients, commit_path, sites, replication_factor)` —
+//! schema v3 added the last two so the partial-replication sweep can put
+//! the same backend at several sites × replication-factor points. The
 //! `config_hash` fingerprints everything else a row's numbers depend on
-//! (schema version, sites, CPUs per site, target transactions, history
-//! window, seed):
+//! (schema version, sites, replication factor, CPUs per site, target
+//! transactions, history window, seed):
 //! [`merge_rows`]
 //! preserves rows a partial sweep didn't re-run, but refuses to mix rows
 //! whose hashes disagree for the same key — a silent half-updated artifact
-//! would be worse than no artifact.
+//! would be worse than no artifact. The parser reads schema v2 documents
+//! too (the v3 fields default: `sites`/`replication_factor` 0,
+//! `span_fraction` 1.0, vote counters 0), so the CI gate keeps passing on
+//! artifacts written before the bump; any v2 row a sweep re-runs is
+//! refused by the hash check and forces a clean re-sweep.
 
 use dbsm_core::{CertCostModel, ExperimentConfig, RunMetrics};
 use std::fmt::Write as _;
@@ -47,7 +56,7 @@ use std::path::{Path, PathBuf};
 /// Bumped whenever a schema or pricing change makes old rows incomparable
 /// with fresh ones; feeds [`config_hash`], so a bump forces a full re-sweep
 /// instead of a silent mixed-schema merge.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One row of the certification sweep: a backend at a client count, with
 /// the throughput and the work-ledger split the sweep exists to track.
@@ -61,6 +70,11 @@ pub struct CertBenchRow {
     pub clients: usize,
     /// Commit path (`sync` or `pipelined`).
     pub commit_path: String,
+    /// Replica sites in the run (schema v3; 0 when read from a v2 row).
+    pub sites: usize,
+    /// Replicas per warehouse: equal to `sites` under full replication,
+    /// lower under a partial placement (schema v3; 0 from a v2 row).
+    pub replication_factor: usize,
     /// Committed transactions per minute.
     pub tpm: f64,
     /// Mean end-to-end latency of committed transactions, ms.
@@ -101,6 +115,13 @@ pub struct CertBenchRow {
     pub spec_rollbacks: u64,
     /// Confirmations that found no speculation.
     pub spec_misses: u64,
+    /// Fraction of examined read/write-set entries local to the certifying
+    /// site's span — 1.0 under full replication (schema v3).
+    pub span_fraction: f64,
+    /// Partial-replication vote rounds performed (schema v3).
+    pub vote_rounds: u64,
+    /// Update transactions that crossed spans and voted (schema v3).
+    pub cross_span_txns: u64,
     /// Hex fingerprint of the row's configuration (see [`config_hash`]).
     pub config_hash: String,
 }
@@ -113,10 +134,10 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 /// Fingerprints everything a row's numbers depend on besides its key:
-/// schema version, sites, CPUs per site, target transactions,
-/// certification history window and seed (SplitMix64 fold). Two rows with
-/// the same key but different hashes came from incomparable sweeps and
-/// must not be merged into one artifact.
+/// schema version, sites, replication factor, CPUs per site, target
+/// transactions, certification history window and seed (SplitMix64 fold).
+/// Two rows with the same key but different hashes came from incomparable
+/// sweeps and must not be merged into one artifact.
 #[allow(clippy::too_many_arguments)]
 pub fn config_hash(
     backend: &str,
@@ -124,6 +145,7 @@ pub fn config_hash(
     clients: usize,
     commit_path: &str,
     sites: usize,
+    replication_factor: usize,
     cpus_per_site: usize,
     target_txns: u64,
     history_window: u64,
@@ -137,6 +159,7 @@ pub fn config_hash(
         shards as u64,
         clients as u64,
         sites as u64,
+        replication_factor as u64,
         cpus_per_site as u64,
         target_txns,
         history_window,
@@ -160,12 +183,15 @@ impl CertBenchRow {
     ) -> Self {
         let costs = CertCostModel::default();
         let commit_path = cfg.commit_path.name().to_string();
+        let replication_factor =
+            cfg.placement.map_or(cfg.sites, |p| p.effective_factor().min(cfg.sites));
         let config_hash = config_hash(
             backend,
             shards,
             cfg.clients,
             &commit_path,
             cfg.sites,
+            replication_factor,
             cfg.cpus_per_site,
             cfg.target_txns,
             cfg.history_window,
@@ -176,6 +202,8 @@ impl CertBenchRow {
             shards,
             clients: cfg.clients,
             commit_path,
+            sites: cfg.sites,
+            replication_factor,
             tpm: m.tpm(),
             mean_latency_ms: m.mean_latency_ms(),
             abort_pct: m.abort_rate(),
@@ -196,14 +224,24 @@ impl CertBenchRow {
             spec_revalidated: m.cert_work.spec_revalidated,
             spec_rollbacks: m.cert_work.spec_rollbacks,
             spec_misses: m.cert_work.spec_misses,
+            span_fraction: m.cert_work.span_fraction(),
+            vote_rounds: m.cert_work.vote_rounds,
+            cross_span_txns: m.cert_work.cross_span_txns,
             config_hash,
         }
     }
 
     /// The merge key: one artifact row exists per backend × shard count ×
-    /// client count × commit path.
-    pub fn key(&self) -> (String, usize, usize, String) {
-        (self.backend.clone(), self.shards, self.clients, self.commit_path.clone())
+    /// client count × commit path × sites × replication factor.
+    pub fn key(&self) -> (String, usize, usize, String, usize, usize) {
+        (
+            self.backend.clone(),
+            self.shards,
+            self.clients,
+            self.commit_path.clone(),
+            self.sites,
+            self.replication_factor,
+        )
     }
 }
 
@@ -247,17 +285,21 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
         let _ = write!(
             out,
             "    {{\"backend\": {}, \"shards\": {}, \"clients\": {}, \"commit_path\": {}, \
+             \"sites\": {}, \"replication_factor\": {}, \
              \"tpm\": {}, \"mean_latency_ms\": {}, \"abort_pct\": {}, \"certifications\": {}, \
              \"comparisons\": {}, \"probes\": {}, \"critical_probes\": {}, \
              \"mean_shards_touched\": {}, \"parallel_speedup\": {}, \"shard_imbalance\": {}, \
              \"total_work_ns\": {}, \"critical_path_ns\": {}, \"queue_ns\": {}, \
              \"service_ns\": {}, \"merge_ns\": {}, \"stall_ns\": {}, \"spec_hits\": {}, \
              \"spec_revalidated\": {}, \"spec_rollbacks\": {}, \"spec_misses\": {}, \
+             \"span_fraction\": {}, \"vote_rounds\": {}, \"cross_span_txns\": {}, \
              \"config_hash\": {}}}",
             json_str(&r.backend),
             r.shards,
             r.clients,
             json_str(&r.commit_path),
+            r.sites,
+            r.replication_factor,
             json_num(r.tpm),
             json_num(r.mean_latency_ms),
             json_num(r.abort_pct),
@@ -278,6 +320,9 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
             r.spec_revalidated,
             r.spec_rollbacks,
             r.spec_misses,
+            json_num(r.span_fraction),
+            r.vote_rounds,
+            r.cross_span_txns,
             json_str(&r.config_hash),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -561,6 +606,29 @@ impl Json {
         }
         Ok(n as u64)
     }
+
+    fn has_key(&self, key: &str) -> bool {
+        matches!(self, Json::Obj(entries) if entries.iter().any(|(k, _)| k == key))
+    }
+
+    /// A key schema v3 added: absent (v2 row) falls back to `default`, but
+    /// a present key with the wrong type is still a hard error.
+    fn uint_field_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.has_key(key) {
+            self.uint_field(key)
+        } else {
+            Ok(default)
+        }
+    }
+
+    /// Like [`Json::uint_field_or`] for float-valued v3 keys.
+    fn num_field_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        if self.has_key(key) {
+            self.num_field(key)
+        } else {
+            Ok(default)
+        }
+    }
 }
 
 /// The parsed artifact: the sweep group label plus its rows.
@@ -578,6 +646,8 @@ fn row_from_json(v: &Json) -> Result<CertBenchRow, String> {
         shards: v.uint_field("shards")? as usize,
         clients: v.uint_field("clients")? as usize,
         commit_path: v.str_field("commit_path")?,
+        sites: v.uint_field_or("sites", 0)? as usize,
+        replication_factor: v.uint_field_or("replication_factor", 0)? as usize,
         tpm: v.num_field("tpm")?,
         mean_latency_ms: v.num_field("mean_latency_ms")?,
         abort_pct: v.num_field("abort_pct")?,
@@ -598,6 +668,9 @@ fn row_from_json(v: &Json) -> Result<CertBenchRow, String> {
         spec_revalidated: v.uint_field("spec_revalidated")?,
         spec_rollbacks: v.uint_field("spec_rollbacks")?,
         spec_misses: v.uint_field("spec_misses")?,
+        span_fraction: v.num_field_or("span_fraction", 1.0)?,
+        vote_rounds: v.uint_field_or("vote_rounds", 0)?,
+        cross_span_txns: v.uint_field_or("cross_span_txns", 0)?,
         config_hash: v.str_field("config_hash")?,
     })
 }
@@ -636,10 +709,11 @@ pub fn merge_rows(
     for old in existing {
         if let Some(new) = fresh.iter().find(|r| r.key() == old.key()) {
             if new.config_hash != old.config_hash {
-                let (backend, shards, clients, path) = old.key();
+                let (backend, shards, clients, path, sites, rf) = old.key();
                 return Err(format!(
                     "config hash mismatch for row ({backend}, shards={shards}, \
-                     clients={clients}, {path}): existing {} vs fresh {} — \
+                     clients={clients}, {path}, sites={sites}, \
+                     replication_factor={rf}): existing {} vs fresh {} — \
                      the artifact holds an incomparable sweep; re-run it in full",
                     old.config_hash, new.config_hash
                 ));
@@ -652,7 +726,16 @@ pub fn merge_rows(
         .cloned()
         .collect();
     merged.extend(fresh.iter().cloned());
-    merged.sort_by_key(|r| (r.clients, r.backend.clone(), r.shards, r.commit_path.clone()));
+    merged.sort_by_key(|r| {
+        (
+            r.clients,
+            r.backend.clone(),
+            r.shards,
+            r.commit_path.clone(),
+            r.sites,
+            r.replication_factor,
+        )
+    });
     Ok(merged)
 }
 
@@ -690,6 +773,8 @@ mod tests {
             shards: 8,
             clients: 10000,
             commit_path: "pipelined".to_string(),
+            sites: 3,
+            replication_factor: 3,
             tpm: 35966.4,
             mean_latency_ms: 61.75,
             abort_pct: 2.13,
@@ -710,7 +795,10 @@ mod tests {
             spec_revalidated: 25,
             spec_rollbacks: 2,
             spec_misses: 3,
-            config_hash: config_hash("sharded", 8, 10000, "pipelined", 3, 1, 600, 4096, 42),
+            span_fraction: 1.0,
+            vote_rounds: 0,
+            cross_span_txns: 0,
+            config_hash: config_hash("sharded", 8, 10000, "pipelined", 3, 3, 1, 600, 4096, 42),
         }
     }
 
@@ -746,6 +834,11 @@ mod tests {
             "spec_revalidated",
             "spec_rollbacks",
             "spec_misses",
+            "sites",
+            "replication_factor",
+            "span_fraction",
+            "vote_rounds",
+            "cross_span_txns",
             "config_hash",
         ] {
             assert!(doc.contains(&format!("\"{key}\"")), "missing {key}:\n{doc}");
@@ -866,7 +959,8 @@ mod tests {
         let kept = sample_row();
         let mut rerun_old = sample_row();
         rerun_old.clients = 20000;
-        rerun_old.config_hash = config_hash("sharded", 8, 20000, "pipelined", 3, 1, 600, 4096, 42);
+        rerun_old.config_hash =
+            config_hash("sharded", 8, 20000, "pipelined", 3, 3, 1, 600, 4096, 42);
         rerun_old.tpm = 1.0;
         let mut rerun_new = rerun_old.clone();
         rerun_new.tpm = 99.0;
@@ -883,19 +977,53 @@ mod tests {
         let mut fresh = sample_row();
         // Same (backend, shards, clients, commit_path) key, but the sweep
         // was run against a different seed → different fingerprint.
-        fresh.config_hash = config_hash("sharded", 8, 10000, "pipelined", 3, 1, 600, 4096, 43);
+        fresh.config_hash = config_hash("sharded", 8, 10000, "pipelined", 3, 3, 1, 600, 4096, 43);
         let err = merge_rows(&[old], &[fresh]).unwrap_err();
         assert!(err.contains("config hash mismatch"), "{err}");
         assert!(err.contains("clients=10000"), "{err}");
+        // The full v3 key is named so the offending row is findable.
+        assert!(err.contains("sites=3"), "{err}");
+        assert!(err.contains("replication_factor=3"), "{err}");
     }
 
     #[test]
     fn config_hash_separates_backend_and_commit_path_bytes() {
         // The 0-byte separator means ("ab", "c") and ("a", "bc") differ.
-        let a = config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1);
-        let b = config_hash("a", 1, 1, "bc", 1, 1, 1, 1, 1);
+        let a = config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1, 1);
+        let b = config_hash("a", 1, 1, "bc", 1, 1, 1, 1, 1, 1);
         assert_ne!(a, b);
         // And the hash is stable across calls.
-        assert_eq!(a, config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1));
+        assert_eq!(a, config_hash("ab", 1, 1, "c", 1, 1, 1, 1, 1, 1));
+        // The replication factor is part of the fingerprint.
+        assert_ne!(a, config_hash("ab", 1, 1, "c", 1, 2, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn typed_parser_accepts_schema_v2_rows_with_defaults() {
+        // A schema-v2 row: none of the v3 keys (sites, replication_factor,
+        // span_fraction, vote_rounds, cross_span_txns) are present.
+        let doc = r#"{"group": "g", "rows": [
+            {"backend": "sharded", "shards": 8, "clients": 10000,
+             "commit_path": "pipelined", "tpm": 35966.4,
+             "mean_latency_ms": 61.75, "abort_pct": 2.13,
+             "certifications": 912, "comparisons": 0, "probes": 181150,
+             "critical_probes": 60231, "mean_shards_touched": 3.08,
+             "parallel_speedup": 3.01, "shard_imbalance": 1.02,
+             "total_work_ns": 34300000, "critical_path_ns": 23400000,
+             "queue_ns": 120000, "service_ns": 830000, "merge_ns": 9000,
+             "stall_ns": 4000, "spec_hits": 870, "spec_revalidated": 25,
+             "spec_rollbacks": 2, "spec_misses": 3,
+             "config_hash": "deadbeefdeadbeef"}
+        ]}"#;
+        let parsed = parse_document(doc).expect("v2 rows stay readable");
+        let row = &parsed.rows[0];
+        assert_eq!(row.sites, 0);
+        assert_eq!(row.replication_factor, 0);
+        assert_eq!(row.span_fraction, 1.0);
+        assert_eq!(row.vote_rounds, 0);
+        assert_eq!(row.cross_span_txns, 0);
+        // A v3 key present with the wrong type is still a hard error.
+        let bad = doc.replace("\"spec_misses\": 3,", "\"spec_misses\": 3, \"sites\": \"three\",");
+        assert!(parse_document(&bad).unwrap_err().contains("must be a number"));
     }
 }

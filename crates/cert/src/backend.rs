@@ -231,12 +231,18 @@ pub struct UnifiedPlacement {
     pub(crate) tables: HashMap<TableId, TableIndex>,
 }
 
-impl IndexPlacement for UnifiedPlacement {
-    fn servers(&self) -> usize {
-        1
-    }
-
-    fn probe(&self, read_set: &RwSet, start_seq: u64, loads: &mut ShardLoads) -> Option<u64> {
+impl UnifiedPlacement {
+    /// The probe loop with an id filter: entries rejected by `local` are
+    /// skipped without bumping `loads` — a partially replicating site
+    /// ([`SpanPlacement`](crate::SpanPlacement)) performs *no* work for
+    /// tuples outside its span. The unfiltered placement passes `|_| true`.
+    pub(crate) fn probe_where(
+        &self,
+        read_set: &RwSet,
+        start_seq: u64,
+        loads: &mut ShardLoads,
+        mut local: impl FnMut(crate::TupleId) -> bool,
+    ) -> Option<u64> {
         let mut earliest: Option<u64> = None;
         let mut note = |seq: Option<u64>| {
             if let Some(s) = seq {
@@ -244,6 +250,9 @@ impl IndexPlacement for UnifiedPlacement {
             }
         };
         for id in read_set.ids() {
+            if !local(*id) {
+                continue;
+            }
             // The table lookup itself is one probe.
             loads.bump(0, 1);
             let Some(table) = self.tables.get(&id.table()) else { continue };
@@ -265,8 +274,18 @@ impl IndexPlacement for UnifiedPlacement {
         earliest
     }
 
-    fn index_writes(&mut self, seq: u64, writes: &RwSet) {
+    /// [`IndexPlacement::index_writes`] with an id filter: only entries
+    /// accepted by `local` land in the index.
+    pub(crate) fn index_writes_where(
+        &mut self,
+        seq: u64,
+        writes: &RwSet,
+        mut local: impl FnMut(crate::TupleId) -> bool,
+    ) {
         for id in writes.ids() {
+            if !local(*id) {
+                continue;
+            }
             let table = self.tables.entry(id.table()).or_default();
             if id.is_table_level() {
                 table.wildcard.push_back(seq);
@@ -281,9 +300,32 @@ impl IndexPlacement for UnifiedPlacement {
         }
     }
 
-    fn unindex_writes(&mut self, seq: u64, writes: &RwSet) {
+    /// [`IndexPlacement::unindex_writes`] with an id filter. The any-writer
+    /// eviction runs only for tables that contributed at least one accepted
+    /// id — mirroring what `index_writes_where` inserted, so a filtering
+    /// placement stays internally consistent across gc.
+    pub(crate) fn unindex_writes_where(
+        &mut self,
+        seq: u64,
+        writes: &RwSet,
+        mut local: impl FnMut(crate::TupleId) -> bool,
+    ) {
+        // Ids of the same table are adjacent in the sorted set; track per
+        // table-run whether any id passed the filter.
+        let mut run: Option<(TableId, bool)> = None;
         for id in writes.ids() {
-            let Some(table) = self.tables.get_mut(&id.table()) else { continue };
+            let t = id.table();
+            if run.map(|(rt, _)| rt) != Some(t) {
+                if let Some((prev, true)) = run {
+                    self.evict_any_writer(prev, seq);
+                }
+                run = Some((t, false));
+            }
+            if !local(*id) {
+                continue;
+            }
+            run = Some((t, true));
+            let Some(table) = self.tables.get_mut(&t) else { continue };
             if id.is_table_level() {
                 evict_front(&mut table.wildcard, seq);
             } else if let Some(rows) = table.rows.get_mut(&id.row()) {
@@ -293,14 +335,36 @@ impl IndexPlacement for UnifiedPlacement {
                 }
             }
         }
-        for t in writes.tables() {
-            if let Some(table) = self.tables.get_mut(&t) {
-                evict_front(&mut table.any_writer, seq);
-                if table.is_empty() {
-                    self.tables.remove(&t);
-                }
+        if let Some((prev, true)) = run {
+            self.evict_any_writer(prev, seq);
+        }
+    }
+
+    fn evict_any_writer(&mut self, t: TableId, seq: u64) {
+        if let Some(table) = self.tables.get_mut(&t) {
+            evict_front(&mut table.any_writer, seq);
+            if table.is_empty() {
+                self.tables.remove(&t);
             }
         }
+    }
+}
+
+impl IndexPlacement for UnifiedPlacement {
+    fn servers(&self) -> usize {
+        1
+    }
+
+    fn probe(&self, read_set: &RwSet, start_seq: u64, loads: &mut ShardLoads) -> Option<u64> {
+        self.probe_where(read_set, start_seq, loads, |_| true)
+    }
+
+    fn index_writes(&mut self, seq: u64, writes: &RwSet) {
+        self.index_writes_where(seq, writes, |_| true);
+    }
+
+    fn unindex_writes(&mut self, seq: u64, writes: &RwSet) {
+        self.unindex_writes_where(seq, writes, |_| true);
     }
 }
 

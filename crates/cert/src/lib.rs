@@ -56,6 +56,7 @@ mod placement;
 mod request;
 mod rwset;
 mod sharded;
+mod span;
 mod tuple;
 
 pub use backend::{CertBackend, CertBackendKind, IndexedCertifier, UnifiedPlacement};
@@ -65,6 +66,7 @@ pub use placement::{HistoryCertifier, IndexPlacement, ShardLoads, SpecProbe, Spe
 pub use request::CertRequest;
 pub use rwset::RwSet;
 pub use sharded::{row_shard_key, ShardKeyFn, ShardedCertifier, ShardedPlacement};
+pub use span::{merge_votes, SpanCertifier, SpanPlacement};
 pub use tuple::{TableId, TupleId, ROW_BITS, ROW_MASK};
 
 /// Identifier of a database site (replica).

@@ -320,6 +320,41 @@ impl<P: IndexPlacement> HistoryCertifier<P> {
         (conflict.is_none(), work)
     }
 
+    /// The probe half of [`HistoryCertifier::certify`], with no state
+    /// change: this site's *verdict* on the request — the lowest conflicting
+    /// sequence number among the tuples this placement indexes, or `None`.
+    ///
+    /// Under partial replication ([`SpanCertifier`](crate::SpanCertifier))
+    /// each replica votes only on its local span; combining a covering set
+    /// of votes with [`merge_votes`](crate::merge_votes) reproduces the
+    /// full-replication conflict answer bit for bit, because the global
+    /// earliest conflict is the minimum of the per-span earliest conflicts.
+    /// The decision is applied separately via [`HistoryCertifier::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
+    /// collection low-water mark.
+    pub fn vote(&self, req: &CertRequest) -> Result<(Option<u64>, CertWork), HistoryTruncated> {
+        if req.start_seq < self.low_water {
+            return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
+        }
+        Ok(self.probe_conflicts(&req.read_set, req.start_seq))
+    }
+
+    /// The state-change half of [`HistoryCertifier::certify`]: applies an
+    /// externally merged decision. A commit must carry the next sequence
+    /// number in total order — every replica applies the same decision
+    /// stream, so the counters stay in lockstep; aborts consume nothing.
+    pub fn apply(&mut self, req: &CertRequest, outcome: Outcome) {
+        if let Outcome::Commit(seq) = outcome {
+            debug_assert_eq!(seq, self.next_seq, "decision applied out of order");
+            let assigned = self.commit(req);
+            debug_assert_eq!(assigned, seq);
+            let _ = assigned;
+        }
+    }
+
     /// Speculatively certifies a *tentatively* delivered request (content
     /// received, global order unknown) against the history seen so far,
     /// recording the answer for [`HistoryCertifier::confirm`]. Never

@@ -5,9 +5,10 @@
 
 use crate::experiment::{CertCostModel, CommitPath, ExperimentConfig};
 use crate::metrics::{RunMetrics, SiteUsage};
+use crate::placement::PlacementMap;
 use dbsm_cert::{
-    marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, Outcome as CertOutcome,
-    ShardedCertifier, SiteId,
+    marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, IndexedCertifier,
+    Outcome as CertOutcome, ShardedCertifier, SiteId, SpanCertifier,
 };
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
@@ -30,6 +31,11 @@ struct PendingCert {
 
 struct SiteState {
     certifier: Box<dyn CertBackend>,
+    /// Under partial replication: the span-restricted certifier that does
+    /// this site's real conflict-check work — it indexes only the
+    /// warehouses the [`PlacementMap`] assigns here. `None` (full
+    /// replication) routes everything through `certifier`.
+    span: Option<SpanCertifier>,
     /// One FIFO shard server per certifier placement server: speculative
     /// probe work queues here, so same-shard requests serialize and shard
     /// imbalance shows up as queueing latency (pipelined commit path).
@@ -43,6 +49,59 @@ struct SiteState {
     commits_since_gc: u64,
 }
 
+impl SiteState {
+    /// Highest committed sequence number of whichever certifier is active.
+    fn last_committed(&self) -> u64 {
+        match &self.span {
+            Some(s) => s.last_committed(),
+            None => self.certifier.last_committed(),
+        }
+    }
+
+    /// Advances the gc cadence after one commit, trimming the active
+    /// certifier's history down to `window` entries every 512 commits.
+    fn gc_tick(&mut self, window: u64) {
+        self.commits_since_gc += 1;
+        if self.commits_since_gc < 512 {
+            return;
+        }
+        self.commits_since_gc = 0;
+        let stable = self.last_committed().saturating_sub(window);
+        match &mut self.span {
+            Some(s) => s.gc(stable),
+            None => self.certifier.gc(stable),
+        }
+    }
+}
+
+/// A merged certification verdict under partial replication, shared by
+/// every site's delivery of the same message.
+#[derive(Clone, Copy)]
+struct Decision {
+    outcome: CertOutcome,
+    /// Remote span owners whose per-span verdict had to be merged in —
+    /// zero for transactions entirely local to the origin's span.
+    voters: u64,
+}
+
+/// Cluster-level partial-replication state. The `oracle` is a
+/// full-replication certifier driven once per message, at its *first*
+/// delivery (first deliveries follow the total order, so the oracle
+/// certifies in sequence): it stands in for the deterministic vote/merge
+/// round — every covering set of span votes merges to exactly its verdict
+/// (see `dbsm_cert::merge_votes`) — using the CSRT's global-observation
+/// privilege, while each site's `SpanCertifier` performs and is billed for
+/// the span-restricted work the site would really do. The latency of the
+/// verdict exchange is charged separately as `CertCostModel::vote_rtt` on
+/// every cross-span transaction.
+struct PartialState {
+    oracle: IndexedCertifier,
+    /// Verdicts keyed by `(origin site, txn)` — bounded by the run's
+    /// transaction count, never pruned within a run.
+    decided: HashMap<(u16, u64), Decision>,
+    commits_since_gc: u64,
+}
+
 struct Shared {
     metrics: RunMetrics,
     completed: u64,
@@ -50,6 +109,7 @@ struct Shared {
     stopped: bool,
     stop_at: Option<SimTime>,
     sites: Vec<SiteState>,
+    partial: Option<PartialState>,
 }
 
 struct SiteHandles {
@@ -111,8 +171,13 @@ impl Cluster {
         assert!(cfg.sites >= 1, "at least one site");
         assert!(cfg.clients >= 1, "at least one client");
         if let Err(e) = cfg.validate() {
-            panic!("invalid fault plan: {e}");
+            panic!("invalid experiment config: {e}");
         }
+        // Genuine partial replication is active when a non-degenerate
+        // placement map is configured on a multi-site run.
+        let partial_map: Option<PlacementMap> =
+            cfg.placement.filter(|p| !p.is_full() && cfg.sites > 1);
+        let warehouses = dbsm_tpcc::schema::warehouses_for_clients(cfg.clients);
         let sim = Sim::new();
         let mut nb = NetworkBuilder::new(&sim);
         let mut seg = SegmentConfig::fast_ethernet();
@@ -160,8 +225,19 @@ impl Cluster {
             site_handles.push(SiteHandles { cpu, engine, bridge, host: *host });
             let certifier = site_backend(cfg.cert_backend);
             let servers = ServerBank::new(certifier.servers());
+            // Each site's span certifier indexes only the warehouses the
+            // placement assigns it — the span key is the TPC-C home
+            // warehouse, with warehouse-less tuples (the shared item
+            // catalogue, history) global to every site.
+            let span = partial_map.map(|p| {
+                SpanCertifier::with_span(
+                    dbsm_tpcc::schema::home_warehouse_shard_key,
+                    p.spans_of(i, warehouses),
+                )
+            });
             site_states.push(SiteState {
                 certifier,
+                span,
                 servers,
                 spec_ready: HashMap::new(),
                 txn_seq: 0,
@@ -183,6 +259,11 @@ impl Cluster {
             stopped: false,
             stop_at: None,
             sites: site_states,
+            partial: partial_map.map(|_| PartialState {
+                oracle: IndexedCertifier::new(),
+                decided: HashMap::new(),
+                commits_since_gc: 0,
+            }),
         }));
 
         let cluster = Cluster {
@@ -249,6 +330,20 @@ impl Cluster {
                 Upcall::Deliver { payload, .. } => {
                     let Ok(req) = unmarshal(payload) else { return };
                     match this.cfg.commit_path {
+                        CommitPath::Synchronous if this.partial_map().is_some() => {
+                            // Partial replication: this site votes on its
+                            // span — the only certification work it is
+                            // billed for — and the merged verdict (computed
+                            // once per message) decides. Cross-span
+                            // transactions additionally wait out the vote
+                            // round trip before the engine hears a decision.
+                            let (outcome, work, vote_delay) = this.partial_certify(i, &req);
+                            ctx.charge(this.costs.certify(work));
+                            let this2 = this.clone();
+                            ctx.schedule(vote_delay, move || {
+                                this2.deliver_decision(i, req, outcome);
+                            });
+                        }
                         CommitPath::Synchronous => {
                             // Real code: unmarshal + certify, charging its CPU
                             // cost — the full conflict check stalls the
@@ -473,7 +568,23 @@ impl Cluster {
 
     // ----- client loop ---------------------------------------------------
 
+    /// The active partial-replication placement, if any: a configured,
+    /// non-degenerate map on a multi-site run.
+    fn partial_map(&self) -> Option<&PlacementMap> {
+        self.cfg.placement.as_ref().filter(|p| !p.is_full() && self.cfg.sites > 1)
+    }
+
+    /// Warehouse-aware routing: under partial replication a client attaches
+    /// to a site that replicates its home warehouse (spread over that
+    /// warehouse's replica set), so its transactions execute against
+    /// locally stored data. Full replication keeps the classic round-robin.
     fn site_of(&self, client: usize) -> usize {
+        if let Some(p) = self.partial_map() {
+            // TPC-C home warehouses are 1-based; placement spans 0-based.
+            let span = self.gen.borrow().home_warehouse(client) - 1;
+            let replicas = p.replicas(span);
+            return replicas[client % replicas.len()];
+        }
         client % self.cfg.sites
     }
 
@@ -494,7 +605,7 @@ impl Cluster {
         let req = self.gen.borrow_mut().next_request(client);
         let class = req.class;
         self.shared.borrow_mut().metrics.class_mut(class).submitted += 1;
-        let start_seq = self.shared.borrow().sites[site].certifier.last_committed();
+        let start_seq = self.shared.borrow().sites[site].last_committed();
         let submit_at = self.sim.now();
         let this_cr = self.clone();
         let this_done = self.clone();
@@ -545,18 +656,40 @@ impl Cluster {
         }
         if spec.read_only {
             // Local validation of the read-set against concurrent commits,
-            // as real code on the site's CPU.
+            // as real code on the site's CPU. Under partial replication a
+            // fully span-local read-set resolves from the site's own span
+            // certifier; a cross-span read additionally merges the remote
+            // owners' verdicts and pays the vote round trip.
             let this = self.clone();
             self.sites[site].cpu.submit_real(Box::new(move |ctx| {
-                let (ok, work) = {
+                let (ok, work, vote_delay) = {
                     let mut sh = this.shared.borrow_mut();
-                    let res = sh.sites[site].certifier.certify_read_only(&spec.read_set, start_seq);
-                    sh.metrics.cert_work.record(res.1);
-                    res
+                    let sh = &mut *sh;
+                    let st = &mut sh.sites[site];
+                    if let Some(span) = &st.span {
+                        let (local_ok, work) = span.certify_read_only(&spec.read_set, start_seq);
+                        let (covered, total) = span.coverage(&spec.read_set);
+                        sh.metrics.cert_work.record(work);
+                        sh.metrics.cert_work.record_span(covered as u64, total as u64);
+                        if covered == total {
+                            (local_ok, work, Duration::ZERO)
+                        } else {
+                            let partial = sh.partial.as_ref().expect("partial state");
+                            let (remote_ok, _) =
+                                partial.oracle.certify_read_only(&spec.read_set, start_seq);
+                            sh.metrics.cert_work.vote_rounds += 1;
+                            sh.metrics.cert_work.cross_span_txns += 1;
+                            (local_ok && remote_ok, work, this.costs.vote_rtt)
+                        }
+                    } else {
+                        let (ok, work) = st.certifier.certify_read_only(&spec.read_set, start_seq);
+                        sh.metrics.cert_work.record(work);
+                        (ok, work, Duration::ZERO)
+                    }
                 };
                 ctx.charge(this.costs.certify(work));
                 let engine = engine.clone();
-                ctx.schedule(Duration::ZERO, move || engine.resolve(db_txn, ok));
+                ctx.schedule(vote_delay, move || engine.resolve(db_txn, ok));
             }));
             return;
         }
@@ -604,6 +737,95 @@ impl Cluster {
         }));
     }
 
+    /// One site's partial-replication handling of a delivered update
+    /// transaction: vote on the local span (the real, billed work), fetch
+    /// or compute the merged verdict, and advance the span certifier.
+    /// Returns the verdict, the local work, and the vote-round latency the
+    /// engine-side decision must wait out (zero for span-local
+    /// transactions).
+    fn partial_certify(
+        &self,
+        site: usize,
+        req: &CertRequest,
+    ) -> (CertOutcome, dbsm_cert::CertWork, Duration) {
+        let mut sh = self.shared.borrow_mut();
+        let sh = &mut *sh;
+        let st = &mut sh.sites[site];
+        let span = st.span.as_mut().expect("partial site has a span certifier");
+        // Real code: the span-restricted conflict probe over only the
+        // locally indexed warehouses — this is where partial replication
+        // shrinks per-site certification work to ~k/N.
+        let (local_conflict, work) = span.vote(req).expect("history window exceeded");
+        let (covered, total) = {
+            let (rc, rt) = span.coverage(&req.read_set);
+            let (wc, wt) = span.coverage(&req.write_set);
+            (rc + wc, rt + wt)
+        };
+        sh.metrics.cert_work.record(work);
+        sh.metrics.cert_work.record_span(covered as u64, total as u64);
+        sh.metrics.cert_work.stall_ns += self.costs.certify_data(work).as_nanos() as u64;
+        // Merged verdict: computed once, at the message's first delivery
+        // (first deliveries follow the total order, so the oracle runs in
+        // sequence — see `PartialState`).
+        let partial = sh.partial.as_mut().expect("partial state present");
+        let key = (req.site.0, req.txn);
+        let decision = if let Some(d) = partial.decided.get(&key) {
+            *d
+        } else {
+            let (outcome, _) = partial.oracle.certify(req).expect("history window exceeded");
+            if outcome.is_commit() {
+                partial.commits_since_gc += 1;
+                if partial.commits_since_gc >= 512 {
+                    partial.commits_since_gc = 0;
+                    let last = partial.oracle.last_committed();
+                    partial.oracle.gc(last.saturating_sub(self.cfg.history_window));
+                }
+            }
+            let voters = self.voters_for(req);
+            sh.metrics.cert_work.vote_rounds += voters;
+            sh.metrics.cert_work.cross_span_txns += u64::from(voters > 0);
+            let d = Decision { outcome, voters };
+            partial.decided.insert(key, d);
+            d
+        };
+        // Span votes are exact restrictions of the global check: a merged
+        // commit implies no site saw a local conflict.
+        if decision.outcome.is_commit() {
+            debug_assert!(local_conflict.is_none(), "span vote contradicts merged verdict");
+        }
+        let _ = local_conflict;
+        sh.sites[site]
+            .span
+            .as_mut()
+            .expect("partial site has a span certifier")
+            .apply(req, decision.outcome);
+        let vote_delay = if decision.voters > 0 { self.costs.vote_rtt } else { Duration::ZERO };
+        (decision.outcome, work, vote_delay)
+    }
+
+    /// How many remote span owners must vote on `req`: the distinct primary
+    /// replicas of read/write-set warehouses the origin site does not own.
+    /// Zero means the transaction is local to the origin's span and commits
+    /// without a vote round.
+    fn voters_for(&self, req: &CertRequest) -> u64 {
+        let Some(p) = self.partial_map() else { return 0 };
+        let origin = req.site.0 as usize;
+        let mut voters: Vec<usize> = Vec::new();
+        for &id in req.read_set.ids().iter().chain(req.write_set.ids()) {
+            let Some(span) = dbsm_tpcc::schema::home_warehouse_shard_key(id) else {
+                continue;
+            };
+            if p.owns(origin, span) {
+                continue;
+            }
+            let primary = p.replicas(span)[0];
+            if !voters.contains(&primary) {
+                voters.push(primary);
+            }
+        }
+        voters.len() as u64
+    }
+
     /// Applies a certification decision at `site` (already totally ordered).
     fn deliver_decision(&self, site: usize, req: CertRequest, outcome: CertOutcome) {
         let pending = {
@@ -627,12 +849,7 @@ impl Cluster {
         let origin = req.site.0 as usize == site;
         let st = &mut sh.sites[site];
         if outcome.is_commit() {
-            st.commits_since_gc += 1;
-            if st.commits_since_gc >= 512 {
-                st.commits_since_gc = 0;
-                let last = st.certifier.last_committed();
-                st.certifier.gc(last.saturating_sub(self.cfg.history_window));
-            }
+            st.gc_tick(self.cfg.history_window);
         }
         let pending = if origin { st.pending.remove(&req.txn) } else { None };
         if outcome.is_commit() {
@@ -666,7 +883,26 @@ impl Cluster {
                 }
             }
             (false, true) => {
-                engine.apply_remote(req.write_set.clone(), req.write_bytes, || {});
+                // Under partial replication a site stores (and pays for)
+                // only the write-set rows in its own span; a remote commit
+                // touching none of them costs nothing here.
+                let local = {
+                    let sh = self.shared.borrow();
+                    sh.sites[site].span.as_ref().map(|span| span.local_subset(&req.write_set))
+                };
+                match local {
+                    Some(ws) => {
+                        if !ws.is_empty() {
+                            let bytes = (u64::from(req.write_bytes) * ws.len() as u64
+                                / req.write_set.len().max(1) as u64)
+                                as u32;
+                            engine.apply_remote(ws, bytes.max(1), || {});
+                        }
+                    }
+                    None => {
+                        engine.apply_remote(req.write_set.clone(), req.write_bytes, || {});
+                    }
+                }
             }
             (false, false) => {}
         }

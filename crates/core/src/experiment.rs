@@ -1,9 +1,11 @@
 //! Experiment configuration: every knob the paper's §5 varies.
 
+use crate::placement::{PlacementError, PlacementMap, PlacementStrategy};
 use dbsm_cert::{CertBackendKind, CertWork};
 use dbsm_db::{CcPolicy, StorageConfig};
-use dbsm_fault::FaultPlan;
+use dbsm_fault::{FaultPlan, PlanError};
 use dbsm_gcs::{AnnBatchPolicy, GcsConfig};
+use std::fmt;
 use std::time::Duration;
 
 /// How a site orders certification relative to total-order delivery.
@@ -84,6 +86,12 @@ pub struct ExperimentConfig {
     /// Overrides the segment's one-way latency (wide-area what-if runs);
     /// `None` keeps the 50 µs LAN default.
     pub wan_latency: Option<Duration>,
+    /// Partial-replication placement: which sites replicate each warehouse.
+    /// `None` — or a map whose [`PlacementMap::is_full`] — runs classic
+    /// full replication; a genuine k-of-N map routes clients to owner
+    /// sites, restricts each site's certification to its span, and commits
+    /// cross-span transactions through a vote round.
+    pub placement: Option<PlacementMap>,
 }
 
 impl ExperimentConfig {
@@ -108,6 +116,7 @@ impl ExperimentConfig {
             commit_path: CommitPath::Synchronous,
             cpu_speed: 1.0,
             wan_latency: None,
+            placement: None,
         }
     }
 
@@ -147,6 +156,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the partial-replication placement map.
+    pub fn with_placement(mut self, placement: PlacementMap) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Convenience: replicates each warehouse on `k` of the configured
+    /// sites under the round-robin strategy. `k >= sites` clears the map —
+    /// that is full replication, which runs the classic unrestricted path
+    /// (set after [`ExperimentConfig::replicated`] fixes the site count).
+    pub fn with_replication_factor(mut self, k: usize) -> Self {
+        self.placement = if k >= self.sites {
+            None
+        } else {
+            Some(PlacementMap::new(self.sites, k, PlacementStrategy::RoundRobin))
+        };
+        self
+    }
+
     /// Selects the sequencer announcement batching policy, materializing the
     /// default GCS configuration if none was set explicitly.
     pub fn with_ann_policy(mut self, policy: AnnBatchPolicy) -> Self {
@@ -181,13 +209,74 @@ impl ExperimentConfig {
         gcs
     }
 
-    /// Checks the configuration's fault plan against its site count.
+    /// Checks the configuration: the fault plan against the site count,
+    /// the placement map (when set) against the site count, partial
+    /// replication against the commit path (the pipelined speculation has
+    /// no vote round yet), and — the combination that silently produced
+    /// unroutable transactions before — the fault plan against the
+    /// placement via [`FaultPlan::validate_coverage`]: no partition or
+    /// crash schedule may leave some warehouse with zero live replicas.
     ///
     /// # Errors
     ///
-    /// Returns the first [`dbsm_fault::PlanError`] found.
-    pub fn validate(&self) -> Result<(), dbsm_fault::PlanError> {
-        self.faults.validate(self.sites)
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.faults.validate(self.sites)?;
+        let Some(placement) = &self.placement else { return Ok(()) };
+        placement.validate(self.sites)?;
+        if placement.is_full() {
+            return Ok(());
+        }
+        if self.commit_path == CommitPath::Pipelined {
+            return Err(ConfigError::PipelinedPartialReplication);
+        }
+        let warehouses = dbsm_tpcc::schema::warehouses_for_clients(self.clients);
+        let replica_sets: Vec<Vec<u16>> = (0..warehouses as u64)
+            .map(|w| placement.replicas(w).iter().map(|&s| s as u16).collect())
+            .collect();
+        self.faults.validate_coverage(self.sites, &replica_sets)?;
+        Ok(())
+    }
+}
+
+/// Why an [`ExperimentConfig`] was rejected by
+/// [`ExperimentConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The fault plan is malformed, or strands a placement span
+    /// ([`FaultPlan::validate_coverage`]).
+    Fault(PlanError),
+    /// The placement map is malformed.
+    Placement(PlacementError),
+    /// Partial replication combined with the pipelined commit path: the
+    /// speculative confirm has no vote round, so span-restricted verdicts
+    /// could not be merged deterministically.
+    PipelinedPartialReplication,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Fault(e) => write!(f, "{e}"),
+            ConfigError::Placement(e) => write!(f, "{e}"),
+            ConfigError::PipelinedPartialReplication => {
+                write!(f, "partial replication requires the synchronous commit path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<PlanError> for ConfigError {
+    fn from(e: PlanError) -> Self {
+        ConfigError::Fault(e)
+    }
+}
+
+impl From<PlacementError> for ConfigError {
+    fn from(e: PlacementError) -> Self {
+        ConfigError::Placement(e)
     }
 }
 
@@ -239,6 +328,12 @@ pub struct CertCostModel {
     /// because the speculative pass runs outside the certifier's serial
     /// section — no total-order bookkeeping, no history mutation.
     pub speculate_fixed: Duration,
+    /// Latency of one vote round under partial replication: a cross-span
+    /// transaction's decision waits for the remote span owners' verdicts
+    /// to arrive and merge — one LAN round trip (vote out, verdict back)
+    /// on top of the total-order delivery that carried the request.
+    /// Span-local transactions pay nothing.
+    pub vote_rtt: Duration,
 }
 
 impl Default for CertCostModel {
@@ -252,6 +347,7 @@ impl Default for CertCostModel {
             merge_ns: 25.0,
             confirm_fixed: Duration::from_micros(2),
             speculate_fixed: Duration::from_micros(10),
+            vote_rtt: Duration::from_micros(120),
         }
     }
 }
@@ -442,6 +538,59 @@ mod tests {
             SimTime::from_secs(2),
         );
         assert!(ExperimentConfig::replicated(3, 30).with_faults(bad).validate().is_err());
+    }
+
+    #[test]
+    fn replication_factor_builder_materializes_a_placement() {
+        let c = ExperimentConfig::replicated(6, 60).with_replication_factor(2);
+        let p = c.placement.expect("partial placement set");
+        assert_eq!((p.sites, p.replication_factor), (6, 2));
+        assert!(!p.is_full());
+        assert!(c.validate().is_ok());
+        // k >= sites degenerates to the classic full-replication path.
+        assert!(ExperimentConfig::replicated(6, 60).with_replication_factor(6).placement.is_none());
+        assert!(ExperimentConfig::replicated(6, 60).with_replication_factor(9).placement.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_pipelined_partial_replication() {
+        let c = ExperimentConfig::replicated(6, 60)
+            .with_replication_factor(2)
+            .with_commit_path(CommitPath::Pipelined);
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::PipelinedPartialReplication));
+        assert!(err.to_string().contains("synchronous"));
+        // A full map on the pipelined path stays legal.
+        let full = ExperimentConfig::replicated(6, 60)
+            .with_placement(PlacementMap::round_robin(6, 6))
+            .with_commit_path(CommitPath::Pipelined);
+        assert!(full.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_placements_stranded_by_faults() {
+        use dbsm_sim::SimTime;
+        // 60 clients -> 6 warehouses round-robin over 6 sites at rf=2:
+        // warehouse span w lives on sites {w, w+1 mod 6}. A majority
+        // partition {0,1,2,3} strands spans 4 and 5 entirely on {4,5}.
+        let plan = FaultPlan::partition(
+            vec![vec![0, 1, 2, 3], vec![4, 5]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let c = ExperimentConfig::replicated(6, 60)
+            .with_replication_factor(2)
+            .with_faults(plan.clone());
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("zero live replicas"), "{err}");
+        // Full replication shrugs off the same plan.
+        assert!(ExperimentConfig::replicated(6, 60).with_faults(plan).validate().is_ok());
+        // And a mismatched map is caught before the fault cross-check.
+        let c = ExperimentConfig::replicated(6, 60).with_placement(PlacementMap::round_robin(3, 2));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Placement(PlacementError::MismatchedSites { .. }))
+        ));
     }
 
     #[test]

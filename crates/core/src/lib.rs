@@ -27,6 +27,7 @@
 mod cluster;
 mod experiment;
 mod metrics;
+mod placement;
 pub mod report;
 pub mod validate;
 
@@ -34,7 +35,8 @@ pub use cluster::{run_experiment, Cluster};
 pub use dbsm_cert::CertBackendKind;
 pub use dbsm_fault::{FaultPlan, FaultSpec, PlanError};
 pub use dbsm_gcs::AnnBatchPolicy;
-pub use experiment::{CertCostModel, CommitPath, ExperimentConfig};
+pub use experiment::{CertCostModel, CommitPath, ConfigError, ExperimentConfig};
 pub use metrics::{
     AnnWorkTotals, CertWorkTotals, ClassStats, FaultWorkTotals, RunMetrics, SiteUsage,
 };
+pub use placement::{PlacementError, PlacementMap, PlacementStrategy};

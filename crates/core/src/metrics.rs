@@ -107,6 +107,19 @@ pub struct CertWorkTotals {
     /// Confirmations that found no speculation and certified from scratch
     /// (pipelined runs).
     pub spec_misses: u64,
+    /// Read/write-set entries that fell inside the certifying site's
+    /// replicated span, summed over partial-replication certifications
+    /// (zero under full replication).
+    pub span_covered: u64,
+    /// Read/write-set entries examined under partial replication, local or
+    /// not (zero under full replication).
+    pub span_total: u64,
+    /// Per-span verdicts merged for cross-span transactions: each remote
+    /// span owner that had to vote counts once (partial replication only).
+    pub vote_rounds: u64,
+    /// Update transactions whose read/write set crossed the origin site's
+    /// span and therefore needed a vote round (partial replication only).
+    pub cross_span_txns: u64,
 }
 
 impl CertWorkTotals {
@@ -117,6 +130,14 @@ impl CertWorkTotals {
         self.probes += work.probes as u64;
         self.critical_probes += work.critical_probes as u64;
         self.shard_touches += work.shards_touched as u64;
+    }
+
+    /// Accumulates one partial-replication certification's span coverage:
+    /// `covered` of the request's `total` read/write-set entries were local
+    /// to the certifying site's span.
+    pub(crate) fn record_span(&mut self, covered: u64, total: u64) {
+        self.span_covered += covered;
+        self.span_total += total;
     }
 
     /// Accumulates the probe work of a *speculative* pass without counting
@@ -242,6 +263,17 @@ impl CertWorkTotals {
     /// toward zero; the synchronous path pays the full check here.
     pub fn mean_stall_us(&self) -> f64 {
         self.mean_us(self.stall_ns)
+    }
+
+    /// Fraction of examined read/write-set entries that were local to the
+    /// certifying site's span — 1.0 under full replication (nothing was
+    /// filtered) and k/N-ish under a balanced partial placement.
+    pub fn span_fraction(&self) -> f64 {
+        if self.span_total == 0 {
+            1.0
+        } else {
+            self.span_covered as f64 / self.span_total as f64
+        }
     }
 
     /// Confirmations resolved, any way (0 for synchronous runs).
@@ -596,6 +628,19 @@ mod tests {
         );
         assert!((t.spec_hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(CertWorkTotals::default().spec_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn span_coverage_accumulates_and_defaults_to_full() {
+        let mut t = CertWorkTotals::default();
+        assert_eq!(t.span_fraction(), 1.0, "full replication filters nothing");
+        t.record_span(3, 10);
+        t.record_span(2, 10);
+        assert_eq!((t.span_covered, t.span_total), (5, 20));
+        assert!((t.span_fraction() - 0.25).abs() < 1e-12);
+        t.vote_rounds += 2;
+        t.cross_span_txns += 1;
+        assert_eq!((t.vote_rounds, t.cross_span_txns), (2, 1));
     }
 
     #[test]

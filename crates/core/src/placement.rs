@@ -1,0 +1,250 @@
+//! The partial-replication placement map: warehouse → replica set.
+//!
+//! Full replication makes every site store and certify everything, so
+//! adding sites buys fault tolerance but zero throughput. Genuine partial
+//! replication (Sutra & Shapiro) replicates each warehouse on only
+//! `replication_factor` of the `sites` replicas; [`PlacementMap`] is the
+//! deterministic assignment every component consults — client routing
+//! picks a site owning the transaction's home warehouse, each site's
+//! [`SpanCertifier`](dbsm_cert::SpanCertifier) indexes only the warehouses
+//! it owns, and remote write-sets are applied only where they are stored.
+//!
+//! The map is validated like a [`FaultPlan`](dbsm_fault::FaultPlan):
+//! construct freely, [`PlacementMap::validate`] before running.
+
+use std::fmt;
+
+/// How warehouses are spread over the replica ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Warehouse `w` starts at site `w % sites` and takes the next
+    /// `replication_factor` sites on the ring — perfectly balanced for the
+    /// uniform TPC-C warehouse population.
+    #[default]
+    RoundRobin,
+    /// Warehouse `w` starts at `mix64(w) % sites` — balanced in
+    /// expectation, robust to striding patterns in the warehouse ids.
+    Hash,
+}
+
+impl PlacementStrategy {
+    /// Stable lowercase name (used in reports and bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementStrategy::RoundRobin => "round_robin",
+            PlacementStrategy::Hash => "hash",
+        }
+    }
+}
+
+/// Why a [`PlacementMap`] was rejected by [`PlacementMap::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The map was built for zero sites.
+    NoSites,
+    /// The replication factor is zero: no site would store anything.
+    ZeroReplication,
+    /// The map's site count differs from the experiment's.
+    MismatchedSites {
+        /// Sites the map was built for.
+        map: usize,
+        /// Sites the experiment runs.
+        experiment: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoSites => write!(f, "placement needs at least one site"),
+            PlacementError::ZeroReplication => {
+                write!(f, "placement needs a replication factor of at least 1")
+            }
+            PlacementError::MismatchedSites { map, experiment } => {
+                write!(f, "placement built for {map} sites but the experiment runs {experiment}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Deterministic warehouse → replica-set assignment: each warehouse
+/// (0-based span key, as produced by
+/// [`home_warehouse_shard_key`](dbsm_tpcc::schema::home_warehouse_shard_key))
+/// lives on `replication_factor` of the `sites` replicas. A map with
+/// `replication_factor >= sites` degenerates to full replication
+/// ([`PlacementMap::is_full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementMap {
+    /// Number of replicas in the experiment.
+    pub sites: usize,
+    /// Replicas holding each warehouse (k of N).
+    pub replication_factor: usize,
+    /// How warehouses are spread over the ring.
+    pub strategy: PlacementStrategy,
+}
+
+/// SplitMix64 finalizer — the same mixer the bench artifact hashing uses,
+/// local so the placement stays dependency-free.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl PlacementMap {
+    /// Creates a map placing each warehouse on `replication_factor` of
+    /// `sites` replicas under `strategy`.
+    pub fn new(sites: usize, replication_factor: usize, strategy: PlacementStrategy) -> Self {
+        PlacementMap { sites, replication_factor, strategy }
+    }
+
+    /// Round-robin convenience constructor.
+    pub fn round_robin(sites: usize, replication_factor: usize) -> Self {
+        PlacementMap::new(sites, replication_factor, PlacementStrategy::RoundRobin)
+    }
+
+    /// Hash-strategy convenience constructor.
+    pub fn hash(sites: usize, replication_factor: usize) -> Self {
+        PlacementMap::new(sites, replication_factor, PlacementStrategy::Hash)
+    }
+
+    /// True when every site stores every warehouse — the classic
+    /// full-replication configuration, which the cluster runs on the
+    /// unrestricted certification path.
+    pub fn is_full(&self) -> bool {
+        self.replication_factor >= self.sites
+    }
+
+    /// The effective number of replicas per warehouse.
+    pub fn effective_factor(&self) -> usize {
+        self.replication_factor.min(self.sites)
+    }
+
+    /// The ring position the replica run for `span` starts at.
+    fn start(&self, span: u64) -> usize {
+        match self.strategy {
+            PlacementStrategy::RoundRobin => (span % self.sites as u64) as usize,
+            PlacementStrategy::Hash => (mix64(span) % self.sites as u64) as usize,
+        }
+    }
+
+    /// The sites replicating warehouse `span`, in ring order starting at
+    /// its primary.
+    pub fn replicas(&self, span: u64) -> Vec<usize> {
+        let start = self.start(span);
+        (0..self.effective_factor()).map(|j| (start + j) % self.sites).collect()
+    }
+
+    /// True when `site` replicates warehouse `span`.
+    pub fn owns(&self, site: usize, span: u64) -> bool {
+        let start = self.start(span);
+        (site + self.sites - start) % self.sites < self.effective_factor()
+    }
+
+    /// The warehouses out of `0..spans` that `site` replicates — what its
+    /// [`SpanCertifier`](dbsm_cert::SpanCertifier) indexes.
+    pub fn spans_of(&self, site: usize, spans: u64) -> Vec<u64> {
+        (0..spans).filter(|&s| self.owns(site, s)).collect()
+    }
+
+    /// Checks the map against an experiment with `sites` replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlacementError`] found.
+    pub fn validate(&self, sites: usize) -> Result<(), PlacementError> {
+        if self.sites == 0 {
+            return Err(PlacementError::NoSites);
+        }
+        if self.replication_factor == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        if self.sites != sites {
+            return Err(PlacementError::MismatchedSites { map: self.sites, experiment: sites });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_and_covers() {
+        let p = PlacementMap::round_robin(6, 2);
+        let mut per_site = vec![0usize; 6];
+        for w in 0..600u64 {
+            let reps = p.replicas(w);
+            assert_eq!(reps.len(), 2);
+            for &s in &reps {
+                per_site[s] += 1;
+                assert!(p.owns(s, w));
+            }
+            // Sites off the replica run do not own the warehouse.
+            for s in 0..6 {
+                assert_eq!(p.owns(s, w), reps.contains(&s), "site {s} warehouse {w}");
+            }
+        }
+        assert!(per_site.iter().all(|&n| n == 200), "round robin balances: {per_site:?}");
+    }
+
+    #[test]
+    fn hash_strategy_covers_and_roughly_balances() {
+        let p = PlacementMap::hash(5, 3);
+        let mut per_site = vec![0usize; 5];
+        for w in 0..1000u64 {
+            for &s in &p.replicas(w) {
+                per_site[s] += 1;
+            }
+        }
+        let (min, max) = (per_site.iter().min().unwrap(), per_site.iter().max().unwrap());
+        assert!(max - min < 120, "hash spread within ~20%: {per_site:?}");
+    }
+
+    #[test]
+    fn spans_of_partitions_the_warehouse_space() {
+        let p = PlacementMap::round_robin(3, 2);
+        let all: Vec<Vec<u64>> = (0..3).map(|s| p.spans_of(s, 12)).collect();
+        for w in 0..12u64 {
+            let owners = all.iter().filter(|spans| spans.contains(&w)).count();
+            assert_eq!(owners, 2, "warehouse {w} lives on exactly k sites");
+        }
+    }
+
+    #[test]
+    fn full_replication_degenerates() {
+        assert!(PlacementMap::round_robin(3, 3).is_full());
+        assert!(PlacementMap::round_robin(3, 9).is_full());
+        assert!(!PlacementMap::round_robin(3, 2).is_full());
+        assert_eq!(PlacementMap::round_robin(3, 9).replicas(5).len(), 3);
+        assert_eq!(PlacementMap::round_robin(1, 1).replicas(7), vec![0]);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_maps() {
+        assert_eq!(PlacementMap::round_robin(0, 1).validate(0), Err(PlacementError::NoSites));
+        assert_eq!(
+            PlacementMap::round_robin(3, 0).validate(3),
+            Err(PlacementError::ZeroReplication)
+        );
+        assert_eq!(
+            PlacementMap::round_robin(3, 2).validate(6),
+            Err(PlacementError::MismatchedSites { map: 3, experiment: 6 })
+        );
+        assert_eq!(PlacementMap::round_robin(3, 2).validate(3), Ok(()));
+        assert!(PlacementError::MismatchedSites { map: 3, experiment: 6 }
+            .to_string()
+            .contains("3 sites"));
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(PlacementStrategy::RoundRobin.name(), "round_robin");
+        assert_eq!(PlacementStrategy::Hash.name(), "hash");
+        assert_eq!(PlacementStrategy::default(), PlacementStrategy::RoundRobin);
+    }
+}

@@ -64,10 +64,14 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// certification), and `spec=` tallies confirmations as
 /// `hits/revalidated/rollbacks/misses` — all zero for synchronous runs
 /// except the stall, which is where the synchronous path pays the full
-/// conflict check.
+/// conflict check. The trailing `span=` fraction is how much of the
+/// examined read/write-set entries were local to the certifying site's
+/// replicated span (1.00 under full replication) and `vote=` counts the
+/// partial-replication vote rounds over the cross-span transactions that
+/// needed them.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{}",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{}",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -93,6 +97,9 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.fault_work.view_installs,
         m.fault_work.dup_injected,
         m.fault_work.dup_discarded,
+        m.cert_work.span_fraction(),
+        m.cert_work.vote_rounds,
+        m.cert_work.cross_span_txns,
     )
 }
 
@@ -174,5 +181,18 @@ mod tests {
         m.fault_work.dup_injected = 40;
         m.fault_work.dup_discarded = 38;
         assert!(summary_line("x", &m).contains("vc=2 dup=40/38"));
+    }
+
+    #[test]
+    fn summary_line_reports_partial_replication_work() {
+        let mut m = RunMetrics::new(1);
+        // Full replication (nothing recorded): span shows 1.00, votes zero.
+        assert!(summary_line("x", &m).contains("span=1.00 vote=0/0"));
+        m.cert_work.record_span(1, 3);
+        m.cert_work.record_span(0, 3);
+        m.cert_work.vote_rounds = 7;
+        m.cert_work.cross_span_txns = 4;
+        let line = summary_line("x", &m);
+        assert!(line.contains("span=0.17 vote=7/4"), "{line}");
     }
 }

@@ -185,6 +185,19 @@ pub enum PlanError {
     },
     /// `DuplicateDelivery::max_copies` is zero.
     ZeroCopies,
+    /// Under a partial-replication placement, a partition's surviving
+    /// primary component holds no replica of some span (warehouse): its
+    /// transactions would become unroutable for the rest of the run.
+    PartitionUncoveredSpan {
+        /// The stranded span (warehouse index).
+        span: u64,
+    },
+    /// Under a partial-replication placement, the plan crashes every
+    /// replica of some span (warehouse).
+    CrashUncoveredSpan {
+        /// The stranded span (warehouse index).
+        span: u64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -214,6 +227,12 @@ impl fmt::Display for PlanError {
             }
             PlanError::NotPositive { what } => write!(f, "{what} must be positive"),
             PlanError::ZeroCopies => write!(f, "duplicate delivery needs max_copies >= 1"),
+            PlanError::PartitionUncoveredSpan { span } => {
+                write!(f, "partition leaves warehouse span {span} with zero live replicas in the primary component")
+            }
+            PlanError::CrashUncoveredSpan { span } => {
+                write!(f, "crashes leave warehouse span {span} with zero live replicas")
+            }
         }
     }
 }
@@ -459,6 +478,59 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// Checks the plan against a partial-replication placement:
+    /// `replica_sets[span]` lists the sites replicating warehouse `span`.
+    /// Rejects plans whose faults would leave some span with zero live
+    /// replicas — every transaction homed there would become unroutable:
+    ///
+    /// * a partition whose surviving *primary component* (the group holding
+    ///   a strict majority of `sites`; minority segments halt under the
+    ///   PR 4 primary-component rule) contains no replica of the span;
+    /// * crashes that take down every replica of the span.
+    ///
+    /// Plans with no majority group halt the whole system — a legitimate
+    /// total-outage scenario — and are not rejected here. Call after
+    /// [`FaultPlan::validate`]; full replication never needs this check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError::PartitionUncoveredSpan`] or
+    /// [`PlanError::CrashUncoveredSpan`] found.
+    pub fn validate_coverage(
+        &self,
+        sites: usize,
+        replica_sets: &[Vec<u16>],
+    ) -> Result<(), PlanError> {
+        let crashed: std::collections::HashSet<u16> = self
+            .specs
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Crash { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        if !crashed.is_empty() {
+            for (span, replicas) in replica_sets.iter().enumerate() {
+                if !replicas.is_empty() && replicas.iter().all(|r| crashed.contains(r)) {
+                    return Err(PlanError::CrashUncoveredSpan { span: span as u64 });
+                }
+            }
+        }
+        for spec in &self.specs {
+            let FaultSpec::Partition { groups, .. } = spec else { continue };
+            // Sites missing from every group are isolated singletons, so a
+            // listed group is primary iff it holds a strict majority of all
+            // `sites`.
+            let Some(primary) = groups.iter().find(|g| g.len() * 2 > sites) else { continue };
+            for (span, replicas) in replica_sets.iter().enumerate() {
+                if !replicas.is_empty() && !replicas.iter().any(|r| primary.contains(r)) {
+                    return Err(PlanError::PartitionUncoveredSpan { span: span as u64 });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -642,5 +714,60 @@ mod tests {
         assert!(e.to_string().contains("site 3"));
         let e = PlanError::BadProbability { what: "duplicate delivery", p: 2.0 };
         assert!(e.to_string().contains("duplicate delivery"));
+        let e = PlanError::PartitionUncoveredSpan { span: 7 };
+        assert!(e.to_string().contains("span 7"));
+        let e = PlanError::CrashUncoveredSpan { span: 2 };
+        assert!(e.to_string().contains("span 2"));
+    }
+
+    #[test]
+    fn coverage_accepts_placements_alive_in_the_primary_component() {
+        // 5 sites, warehouses replicated on pairs; the majority group
+        // {0,1,2} holds a replica of every span.
+        let plan = FaultPlan::partition(
+            vec![vec![0, 1, 2], vec![3, 4]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        );
+        let replicas = vec![vec![0, 3], vec![1, 4], vec![2, 3]];
+        assert_eq!(plan.validate_coverage(5, &replicas), Ok(()));
+    }
+
+    #[test]
+    fn coverage_rejects_partitions_stranding_a_span() {
+        // Span 1 lives only on the minority side: its clients would hang.
+        let plan = FaultPlan::partition(
+            vec![vec![0, 1, 2], vec![3, 4]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        );
+        let replicas = vec![vec![0, 1], vec![3, 4]];
+        assert_eq!(
+            plan.validate_coverage(5, &replicas),
+            Err(PlanError::PartitionUncoveredSpan { span: 1 })
+        );
+        // No majority group: total outage, legitimate, not rejected here.
+        let halt = FaultPlan::partition(
+            vec![vec![0, 1], vec![2, 3]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        );
+        assert_eq!(halt.validate_coverage(5, &replicas), Ok(()));
+    }
+
+    #[test]
+    fn coverage_rejects_crashing_every_replica_of_a_span() {
+        let plan = FaultPlan::crash(0, SimTime::from_secs(1))
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(2) });
+        let replicas = vec![vec![0, 1], vec![0, 2]];
+        assert_eq!(
+            plan.validate_coverage(3, &replicas),
+            Err(PlanError::CrashUncoveredSpan { span: 1 })
+        );
+        // One surviving replica is enough.
+        let single = FaultPlan::crash(0, SimTime::from_secs(1));
+        assert_eq!(single.validate_coverage(3, &replicas), Ok(()));
+        // Full replication (or an empty placement) is never stranded.
+        assert_eq!(plan.validate_coverage(3, &[]), Ok(()));
     }
 }

@@ -413,6 +413,92 @@ proptest! {
     }
 
     #[test]
+    fn partial_matches_full_replication_outcome_streams(
+        stream in prop::collection::vec(
+            (0u16..5, arb_rwset_with_wildcards(8), arb_rwset_with_wildcards(4), 0u64..6, 0u8..8),
+            1..96),
+        sites in 2usize..6,
+        factor in 1usize..6,
+    ) {
+        // The partial-replication tentpole's equivalence property: for
+        // EVERY site count, EVERY replication factor k in 1..=N and
+        // arbitrary gc interleavings, the per-span votes of the sites —
+        // each indexing only its PlacementMap-assigned spans — merge
+        // (earliest-conflict rule) to a verdict bit-identical to a
+        // full-replication IndexedCertifier fed the same totally ordered
+        // stream: same commit sequence numbers, same abort decisions, same
+        // conflict_seq on every abort, same HistoryTruncated rejections.
+        // Table 0 rows and wildcards have no span (global, replicated
+        // everywhere); other rows span by `row % 8`.
+        use dbsm_testbed::cert::{merge_votes, SpanCertifier};
+        use dbsm_testbed::core::PlacementMap;
+        fn span8(id: TupleId) -> Option<u64> {
+            if id.table().0 == 0 || id.is_table_level() {
+                None
+            } else {
+                Some(id.row() % 8)
+            }
+        }
+        let k = factor.min(sites);
+        let p = PlacementMap::round_robin(sites, k);
+        let mut full = IndexedCertifier::new();
+        let mut spans: Vec<SpanCertifier> = (0..sites)
+            .map(|s| SpanCertifier::with_span(span8, p.spans_of(s, 8)))
+            .collect();
+        for (i, (site, reads, writes, back, gc_roll)) in stream.iter().enumerate() {
+            let start = full.last_committed().saturating_sub(*back);
+            let req = CertRequest {
+                site: SiteId(*site), txn: i as u64, start_seq: start,
+                read_set: reads.clone(), write_set: writes.clone(), write_bytes: 0,
+            };
+            let of = full.certify(&req).map(|(o, _)| o);
+            // Every site votes on its span; merging ALL votes is merging a
+            // covering set (every span has at least one owner, span-less
+            // ids are indexed everywhere), so the merge must equal the
+            // full verdict exactly.
+            let votes: Vec<_> = spans.iter().map(|s| s.vote(&req)).collect();
+            match &of {
+                Err(trunc) => {
+                    // gc ran in lockstep: every site rejects identically.
+                    for (s, v) in votes.iter().enumerate() {
+                        prop_assert_eq!(v.as_ref().err(), Some(trunc),
+                            "site {} truncation diverged at {}", s, i);
+                    }
+                    continue;
+                }
+                Ok(outcome) => {
+                    let merged = merge_votes(
+                        votes.into_iter().map(|v| v.expect("full certify succeeded").0),
+                    );
+                    match outcome {
+                        dbsm_testbed::cert::Outcome::Commit(_) => {
+                            prop_assert_eq!(merged, None, "spurious conflict at {}", i);
+                        }
+                        dbsm_testbed::cert::Outcome::Abort { conflict_seq } => {
+                            prop_assert_eq!(merged, Some(*conflict_seq),
+                                "conflict_seq diverged at {}", i);
+                        }
+                    }
+                    for s in spans.iter_mut() {
+                        s.apply(&req, *outcome);
+                    }
+                }
+            }
+            if *gc_roll == 0 {
+                let stable = full.last_committed().saturating_sub(*back);
+                full.gc(stable);
+                for s in spans.iter_mut() {
+                    s.gc(stable);
+                }
+            }
+        }
+        for (s, span) in spans.iter().enumerate() {
+            prop_assert_eq!(span.last_committed(), full.last_committed(),
+                "site {} sequence counter diverged", s);
+        }
+    }
+
+    #[test]
     fn certification_outcome_only_depends_on_concurrent_history(
         writes in arb_rwset(8), reads in arb_rwset(8)
     ) {

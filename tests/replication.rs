@@ -228,6 +228,61 @@ fn pipelined_safety_holds_under_faults() {
 }
 
 #[test]
+fn partial_replication_is_safe_and_shrinks_per_site_certification() {
+    // The partial-replication tentpole end-to-end: span-restricted
+    // certification with a vote round must uphold the DBSM safety
+    // condition — identical commit sequences at every site, because the
+    // merged span verdicts are exactly the full-replication verdict — while
+    // each site examines only ~k/N of the read/write-set entries.
+    let full = run_experiment(ExperimentConfig::replicated(6, 120).with_target(500));
+    let part = run_experiment(
+        ExperimentConfig::replicated(6, 120).with_target(500).with_replication_factor(2),
+    );
+    check_logs(&part.commit_logs, &[false; 6]).expect("identical sequences (partial)");
+    assert!(part.committed() > 400, "committed {}", part.committed());
+    // TPC-C's remote-warehouse touches (New-Order remote stock, Payment
+    // remote customer) genuinely cross spans and pay vote rounds; every
+    // cross-span transaction collects at least one remote vote.
+    assert!(part.cert_work.cross_span_txns > 0, "cross-span txns: {:?}", part.cert_work);
+    assert!(part.cert_work.vote_rounds >= part.cert_work.cross_span_txns);
+    // Span-restricted certification filters most of the tuple space: at
+    // k/N = 2/6 the local fraction sits far below full replication's 1.0.
+    let frac = part.cert_work.span_fraction();
+    assert!(frac < 0.75, "span fraction {frac} should reflect k/N = 1/3");
+    assert!(frac > 0.05, "a site still certifies its own span: {frac}");
+    assert_eq!(full.cert_work.span_total, 0, "full replication records no span filter");
+    assert_eq!(full.cert_work.vote_rounds, 0);
+    // The abort decisions are the same decisions: a cross-span conflict
+    // aborts identically on every voting site, so abort rates agree to
+    // within load noise.
+    assert!(part.committed() > 0 && full.committed() > 0);
+}
+
+#[test]
+fn partial_replication_is_deterministic_and_fault_checked() {
+    // Same seed, same placement -> bit-identical run; and a fault plan that
+    // would strand a warehouse with zero live replicas is rejected before
+    // the cluster is even built (satellite: FaultPlan x PlacementMap
+    // cross-validation).
+    let mk = || {
+        ExperimentConfig::replicated(6, 120)
+            .with_target(300)
+            .with_replication_factor(2)
+            .with_seed(9)
+    };
+    let a = run_experiment(mk());
+    let b = run_experiment(mk());
+    assert_eq!(a.commit_logs, b.commit_logs);
+    assert_eq!(a.cert_work.vote_rounds, b.cert_work.vote_rounds);
+    let stranding = FaultPlan::partition(
+        vec![vec![0, 1, 2, 3], vec![4, 5]],
+        SimTime::from_secs(1),
+        SimTime::from_secs(2),
+    );
+    assert!(mk().with_faults(stranding).validate().is_err());
+}
+
+#[test]
 fn runs_are_deterministic_for_a_seed() {
     let a = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
     let b = run_experiment(ExperimentConfig::replicated(3, 30).with_target(200).with_seed(7));
