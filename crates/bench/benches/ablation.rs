@@ -185,6 +185,58 @@ fn bench_fault_plans(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    // Prices the rejoin machinery at the paper-scale operating point (2000
+    // clients over 3 sites): crash rate (how many sites are killed and
+    // replaced, staggered so a majority always survives) crossed with the
+    // restart delay (how long a dead site stays down, which sets the delta
+    // log it must replay on top of the snapshot). Criterion times the
+    // simulation; the printed summary lines carry the `rec=` recovery
+    // ledger (rejoins/snapshots, transfer kilobytes, replayed entries,
+    // mean time-to-useful). One sample per point — each run simulates
+    // enough load to outlast the last restart plus its state transfer. The
+    // kills are staggered 10s apart: under this load a join grant takes a
+    // few seconds to find an order-clean point, and killing the next site
+    // before the previous grant lands would strand the survivor in a
+    // minority.
+    let mut g = c.benchmark_group("ablation_recovery");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    for kills in [1usize, 2] {
+        for (delay_name, downtime) in
+            [("1s", Duration::from_secs(1)), ("3s", Duration::from_secs(3))]
+        {
+            let id = format!("clients_2000_kill{kills}_down{delay_name}");
+            let mut printed = false;
+            g.bench_function(&id, |b| {
+                b.iter(|| {
+                    let plan = FaultPlan::kill_and_replace(
+                        kills,
+                        SimTime::from_secs(1),
+                        Duration::from_secs(10),
+                        downtime,
+                    );
+                    let mut cfg =
+                        ExperimentConfig::replicated(3, 2000).with_target(3_000).with_faults(plan);
+                    cfg.max_sim = Duration::from_secs(120);
+                    let m = run_experiment(cfg);
+                    if !printed {
+                        printed = true;
+                        println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                    }
+                    black_box((
+                        m.tpm(),
+                        m.recovery_work.rejoins,
+                        m.recovery_work.total_bytes(),
+                        m.recovery_work.mean_ttu_ms(),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_cert_backend(c: &mut Criterion) {
     // The certification ablation at a paper-scale operating point: 2000
     // clients over 3 sites keep a wide conflict window open, which is where
@@ -412,6 +464,7 @@ criterion_group!(
     bench_ann_batching,
     bench_uniform_delivery,
     bench_fault_plans,
+    bench_recovery,
     bench_cert_backend,
     bench_cert_sharding,
     bench_partial_replication,

@@ -240,6 +240,29 @@ impl<P: IndexPlacement> HistoryCertifier<P> {
         }
     }
 
+    /// Rebuilds the retained history on top of a *different* placement.
+    ///
+    /// This is the receiving half of rejoin state transfer under partial
+    /// placement: the donor holds the full history, and the rejoiner only
+    /// wants the rows its spans own, so the transfer re-indexes every
+    /// retained write-set through `place` instead of shipping the donor's
+    /// index verbatim. Speculations are not carried over — they are bound to
+    /// requests in flight at the donor, which the rejoiner never saw.
+    pub fn reproject<Q: IndexPlacement>(&self, mut place: Q) -> HistoryCertifier<Q> {
+        for (seq, writes) in &self.history {
+            place.index_writes(*seq, writes);
+        }
+        let scratch = RefCell::new(ShardLoads::new(place.servers()));
+        HistoryCertifier {
+            place,
+            history: self.history.clone(),
+            next_seq: self.next_seq,
+            low_water: self.low_water,
+            specs: HashMap::new(),
+            scratch,
+        }
+    }
+
     /// Sequence number of the last committed transaction (0 if none).
     pub fn last_committed(&self) -> u64 {
         self.next_seq - 1
@@ -477,6 +500,27 @@ mod tests {
             write_set: writes.iter().copied().collect(),
             write_bytes: 0,
         }
+    }
+
+    #[test]
+    fn reproject_rebuilds_history_on_a_new_placement() {
+        fn span_of(t: TupleId) -> Option<u64> {
+            Some(t.row() % 2)
+        }
+        let mut oracle = IndexedCertifier::new();
+        oracle.certify(&req(0, 1, 0, &[], &[id(1, 2)])).expect("even row"); // seq 1, span 0
+        oracle.certify(&req(0, 2, 1, &[], &[id(1, 3)])).expect("odd row"); // seq 2, span 1
+        let mut local = oracle.reproject(crate::span::SpanPlacement::new(span_of, [0]));
+        assert_eq!(local.last_committed(), oracle.last_committed());
+        assert_eq!(local.history_len(), oracle.history_len());
+        assert_eq!(local.low_water(), oracle.low_water());
+        assert_eq!(local.speculations(), 0, "donor speculations are not transferred");
+        // The re-indexed placement sees the owned row's writer…
+        let (v, _) = local.vote(&req(1, 3, 0, &[id(1, 2)], &[])).expect("vote");
+        assert_eq!(v, Some(1), "owned span was re-indexed from the donor history");
+        // …and sequencing resumes exactly where the donor left off.
+        let (o, _) = local.certify(&req(1, 4, 2, &[], &[id(1, 4)])).expect("post-rejoin commit");
+        assert_eq!(o, Outcome::Commit(3));
     }
 
     #[test]

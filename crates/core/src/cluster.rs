@@ -4,11 +4,11 @@
 //! all under the centralized simulation runtime.
 
 use crate::experiment::{CertCostModel, CommitPath, ExperimentConfig};
-use crate::metrics::{RunMetrics, SiteUsage};
+use crate::metrics::{RejoinRecord, RunMetrics, SiteUsage};
 use crate::placement::PlacementMap;
 use dbsm_cert::{
     marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, IndexedCertifier,
-    Outcome as CertOutcome, ShardedCertifier, SiteId, SpanCertifier,
+    Outcome as CertOutcome, ShardedCertifier, SiteId, SpanCertifier, SpanPlacement,
 };
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
@@ -47,6 +47,10 @@ struct SiteState {
     pending: HashMap<u64, PendingCert>,
     crashed: bool,
     commits_since_gc: u64,
+    /// Reference-chain entries this site's own rejoins skipped over: its
+    /// commit log's position on the group's reference chain is
+    /// `commit_logs.len() + ref_gap`. Zero until the site rejoins.
+    ref_gap: usize,
 }
 
 impl SiteState {
@@ -102,6 +106,21 @@ struct PartialState {
     commits_since_gc: u64,
 }
 
+/// A staged rejoin state transfer: the donor's committed state cloned at
+/// the grant's order-clean point ([`Upcall::ServeJoin`]), held until the
+/// joiner's stack reports [`Upcall::Rejoined`] and adopts it. `cut` is the
+/// donor's commit-log length at the clone instant — the reference-log
+/// position the snapshot + delta log catches the joiner up to.
+struct TransferPacket {
+    certifier: Box<dyn CertBackend>,
+    /// Under partial placement: the joiner's span certifier, rebuilt from
+    /// the oracle's full history restricted to the joiner's spans — the
+    /// joiner re-requests only its spans' rows.
+    span: Option<SpanCertifier>,
+    cut: usize,
+    snapshot_bytes: u64,
+}
+
 struct Shared {
     metrics: RunMetrics,
     completed: u64,
@@ -110,6 +129,13 @@ struct Shared {
     stop_at: Option<SimTime>,
     sites: Vec<SiteState>,
     partial: Option<PartialState>,
+    /// Staged state transfers, keyed by the rejoining site.
+    transfers: HashMap<u16, TransferPacket>,
+    /// When each restarting site came back up (for time-to-useful).
+    restart_at: HashMap<u16, SimTime>,
+    /// Clients whose site was down when they tried to fire — drained when
+    /// the site finishes rejoining.
+    parked_clients: Vec<Vec<usize>>,
 }
 
 struct SiteHandles {
@@ -244,6 +270,7 @@ impl Cluster {
                 pending: HashMap::new(),
                 crashed: false,
                 commits_since_gc: 0,
+                ref_gap: 0,
             });
         }
 
@@ -264,6 +291,9 @@ impl Cluster {
                 decided: HashMap::new(),
                 commits_since_gc: 0,
             }),
+            transfers: HashMap::new(),
+            restart_at: HashMap::new(),
+            parked_clients: vec![Vec::new(); cfg.sites],
         }));
 
         let cluster = Cluster {
@@ -402,6 +432,20 @@ impl Cluster {
                     let this2 = this.clone();
                     ctx.schedule(Duration::ZERO, move || this2.crash_site(i));
                 }
+                Upcall::ServeJoin { joiner } => {
+                    // Donor half of the rejoin: clone the committed state at
+                    // this order-clean instant — the exact point the granted
+                    // order base names — and charge the marshalling of the
+                    // snapshot onto this site's CPU.
+                    let bytes = this.stage_transfer(i, joiner.0);
+                    ctx.charge(this.costs.marshal(bytes as usize));
+                }
+                Upcall::Rejoined => {
+                    // Receiving half: the stack is live in the new view;
+                    // install the staged state before acting on deliveries.
+                    let this2 = this.clone();
+                    ctx.schedule(Duration::ZERO, move || this2.adopt_transfer(i));
+                }
             }));
             bridge.start();
         }
@@ -466,6 +510,11 @@ impl Cluster {
                     let site = *site as usize;
                     self.sim.schedule_at(*at, move || this.crash_site(site));
                 }
+                FaultSpec::Restart { site, at } => {
+                    let this = self.clone();
+                    let site = *site as usize;
+                    self.sim.schedule_at(*at, move || this.restart_site(site));
+                }
                 FaultSpec::Partition { groups, at, heal_at } => {
                     // Split and heal ride the simulation scheduler so the
                     // membership machinery sees a real network event, not a
@@ -517,6 +566,145 @@ impl Cluster {
             b.kill();
         } else {
             self.net.set_host_down(self.sites[site].host, true);
+        }
+    }
+
+    // ----- site recovery (snapshot + delta-log rejoin) -------------------
+
+    /// Brings a crashed/halted site back up: the fresh protocol incarnation
+    /// announces itself to the live primary component and the join protocol
+    /// takes it from there — grant, state transfer, view install. A no-op
+    /// if the site is not down.
+    fn restart_site(&self, site: usize) {
+        {
+            let mut sh = self.shared.borrow_mut();
+            if !sh.sites[site].crashed {
+                return;
+            }
+            sh.restart_at.insert(site as u16, self.sim.now());
+        }
+        if let Some(b) = &self.sites[site].bridge {
+            b.revive();
+        } else {
+            // A single-site run has no group to rejoin: its committed state
+            // survived locally, so coming back up is immediate.
+            self.net.set_host_down(self.sites[site].host, false);
+            let kept = self.shared.borrow().metrics.commit_logs[site].len();
+            self.finish_rejoin(site, kept, kept);
+        }
+    }
+
+    /// Donor half of the rejoin ([`Upcall::ServeJoin`]): clones this site's
+    /// committed certification state at the grant's order-clean point and
+    /// stages it for the joiner, pricing the snapshot in bytes. Under
+    /// partial placement the packet instead carries the joiner's span
+    /// certifier rebuilt from the oracle history — only its spans' rows.
+    /// Returns the bytes staged (for the donor's marshalling charge).
+    fn stage_transfer(&self, donor: usize, joiner: u16) -> u64 {
+        let warehouses = dbsm_tpcc::schema::warehouses_for_clients(self.cfg.clients);
+        let mut sh = self.shared.borrow_mut();
+        let sh = &mut *sh;
+        let certifier = sh.sites[donor].certifier.clone_box();
+        let (span, owned) = match self.partial_map() {
+            Some(p) => {
+                let spans = p.spans_of(joiner as usize, warehouses);
+                let owned = spans.len() as u64;
+                let place = SpanPlacement::new(dbsm_tpcc::schema::home_warehouse_shard_key, spans);
+                let oracle = &sh.partial.as_ref().expect("partial state").oracle;
+                (Some(oracle.reproject(place)), owned)
+            }
+            None => (None, warehouses as u64),
+        };
+        let snapshot_bytes = owned * self.costs.snapshot_bytes_per_warehouse;
+        // The cut is a *reference-chain* position: a donor that itself
+        // rejoined earlier has a transfer gap in its local log, so its
+        // length alone would understate where the chain stands.
+        let cut = sh.metrics.commit_logs[donor].len() + sh.sites[donor].ref_gap;
+        sh.metrics.recovery_work.snapshots_served += 1;
+        sh.metrics.recovery_work.snapshot_bytes += snapshot_bytes;
+        sh.transfers.insert(joiner, TransferPacket { certifier, span, cut, snapshot_bytes });
+        snapshot_bytes
+    }
+
+    /// Receiving half of the rejoin ([`Upcall::Rejoined`]): installs the
+    /// staged snapshot, aborts the first incarnation's in-flight
+    /// transactions, prices the delta log from the site's pre-crash commit
+    /// point to the transfer cut, and schedules [`Cluster::finish_rejoin`]
+    /// after the transfer's streaming delay. Deliveries arriving meanwhile
+    /// certify against the adopted state — the delta log plays in real
+    /// time; only client service waits for the transfer to finish.
+    fn adopt_transfer(&self, site: usize) {
+        let (kept, cut, total_bytes, orphans) = {
+            let mut sh = self.shared.borrow_mut();
+            let sh = &mut *sh;
+            let Some(packet) = sh.transfers.remove(&(site as u16)) else { return };
+            let kept = sh.metrics.commit_logs[site].len();
+            let st = &mut sh.sites[site];
+            // The delta log spans from this site's pre-crash reference
+            // position (local length plus any earlier transfer gap) to the
+            // cut; the new gap replaces the old one, since the cut already
+            // accounts for everything skipped so far.
+            let replayed = packet.cut.saturating_sub(kept + st.ref_gap) as u64;
+            let delta_bytes = replayed * self.costs.delta_bytes_per_entry;
+            st.ref_gap = packet.cut.saturating_sub(kept);
+            st.certifier = packet.certifier;
+            st.servers = ServerBank::new(st.certifier.servers());
+            if packet.span.is_some() {
+                st.span = packet.span;
+            }
+            st.spec_ready.clear();
+            st.commits_since_gc = 0;
+            let orphans: Vec<TxnId> = st.pending.drain().map(|(_, p)| p.db_txn).collect();
+            sh.metrics.recovery_work.delta_bytes += delta_bytes;
+            sh.metrics.recovery_work.replayed_entries += replayed;
+            // The chain record goes in *now*: from this instant the site's
+            // log continues the reference from `cut`, even if the run stops
+            // before the streaming transfer finishes (`ttu` stays zero
+            // until [`Cluster::finish_rejoin`] fills it in).
+            sh.metrics.rejoins.push(RejoinRecord {
+                site: site as u16,
+                kept,
+                cut: packet.cut,
+                ttu: SimTime::ZERO,
+            });
+            (kept, packet.cut, packet.snapshot_bytes + delta_bytes, orphans)
+        };
+        // Requests multicast by the first incarnation whose decision never
+        // came back: abort them so their clients resume.
+        for db_txn in orphans {
+            self.sites[site].engine.resolve(db_txn, false);
+        }
+        let this = self.clone();
+        self.sim.schedule_in(self.costs.transfer_delay(total_bytes), move || {
+            this.finish_rejoin(site, kept, cut);
+        });
+    }
+
+    /// The rejoined site becomes useful: cleared from the crashed set,
+    /// time-to-useful recorded, parked clients released.
+    fn finish_rejoin(&self, site: usize, kept: usize, cut: usize) {
+        let parked = {
+            let mut sh = self.shared.borrow_mut();
+            let sh = &mut *sh;
+            sh.sites[site].crashed = false;
+            sh.metrics.crashed_sites.retain(|&s| s != site as u16);
+            let ttu = sh
+                .restart_at
+                .remove(&(site as u16))
+                .map_or(Duration::ZERO, |t| self.sim.now().saturating_duration_since(t));
+            sh.metrics.recovery_work.rejoins += 1;
+            sh.metrics.recovery_work.ttu_ns_total += ttu.as_nanos() as u64;
+            let ttu = SimTime::from_nanos(ttu.as_nanos() as u64);
+            // Fill in the record pushed at adoption; the bridge-less
+            // single-site path skips adoption and records here.
+            match sh.metrics.rejoins.iter_mut().rev().find(|r| r.site == site as u16) {
+                Some(r) => r.ttu = ttu,
+                None => sh.metrics.rejoins.push(RejoinRecord { site: site as u16, kept, cut, ttu }),
+            }
+            std::mem::take(&mut sh.parked_clients[site])
+        };
+        for client in parked {
+            self.schedule_client(client);
         }
     }
 
@@ -597,8 +785,15 @@ impl Cluster {
     fn client_fire(&self, client: usize) {
         let site = self.site_of(client);
         {
-            let sh = self.shared.borrow();
-            if sh.stopped || sh.sites[site].crashed {
+            let mut sh = self.shared.borrow_mut();
+            if sh.stopped {
+                return;
+            }
+            if sh.sites[site].crashed {
+                // Park until the site rejoins; a permanently crashed site
+                // keeps its clients parked for the rest of the run, as
+                // before.
+                sh.parked_clients[site].push(client);
                 return;
             }
         }

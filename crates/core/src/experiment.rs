@@ -195,9 +195,15 @@ impl ExperimentConfig {
     /// have committed a divergent history. Uniform delivery (content *and*
     /// ordering stable before delivery) closes that window; the membership
     /// machinery's primary-component rule handles the rest.
+    ///
+    /// Plans containing a [`dbsm_fault::FaultSpec::Restart`] run uniform for
+    /// the same reason: the rejoin chain check requires a halted site's
+    /// commits to be a strict prefix of the survivors' log, and only uniform
+    /// delivery guarantees a site crashed mid-protocol never delivered an
+    /// ordering the primary component later re-made.
     pub fn gcs_config(&self) -> GcsConfig {
         let mut gcs = self.gcs.clone().unwrap_or_else(|| GcsConfig::lan(self.sites));
-        if self.faults.has_partition() {
+        if self.faults.has_partition() || self.faults.has_restart() {
             gcs.uniform_delivery = true;
         }
         // The pipelined commit path certifies on tentative delivery, so the
@@ -334,6 +340,18 @@ pub struct CertCostModel {
     /// on top of the total-order delivery that carried the request.
     /// Span-local transactions pay nothing.
     pub vote_rtt: Duration,
+    /// Snapshot size per warehouse for rejoin state transfer: a restarted
+    /// site receives this many bytes per warehouse it replicates (every
+    /// warehouse under full replication, only its spans' warehouses under
+    /// partial placement).
+    pub snapshot_bytes_per_warehouse: u64,
+    /// Delta-log bytes per committed entry between the rejoiner's pre-crash
+    /// commit point and the transfer cut (marshalled write-set plus framing).
+    pub delta_bytes_per_entry: u64,
+    /// Effective state-transfer bandwidth in bytes per second — the donor
+    /// streams the snapshot and delta log alongside regular traffic, so this
+    /// sits below raw link speed.
+    pub transfer_bytes_per_sec: f64,
 }
 
 impl Default for CertCostModel {
@@ -348,6 +366,9 @@ impl Default for CertCostModel {
             confirm_fixed: Duration::from_micros(2),
             speculate_fixed: Duration::from_micros(10),
             vote_rtt: Duration::from_micros(120),
+            snapshot_bytes_per_warehouse: 2 << 20,
+            delta_bytes_per_entry: 768,
+            transfer_bytes_per_sec: 12.5e6,
         }
     }
 }
@@ -356,6 +377,12 @@ impl CertCostModel {
     /// Cost of marshalling `bytes`.
     pub fn marshal(&self, bytes: usize) -> Duration {
         self.marshal_fixed + Duration::from_nanos((self.marshal_per_byte_ns * bytes as f64) as u64)
+    }
+
+    /// Wall-clock time to stream `bytes` of rejoin state transfer at the
+    /// configured bandwidth.
+    pub fn transfer_delay(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.transfer_bytes_per_sec)
     }
 
     /// The data-dependent part of one certification that performed `work`:
@@ -527,6 +554,33 @@ mod tests {
         let mut c = c;
         c.gcs = Some(GcsConfig::lan(3));
         assert!(c.gcs_config().uniform_delivery);
+    }
+
+    #[test]
+    fn restart_plans_force_uniform_delivery() {
+        use dbsm_sim::SimTime;
+        let plan = FaultPlan::crash_restart(2, SimTime::from_secs(5), SimTime::from_secs(8));
+        let c = ExperimentConfig::replicated(3, 30);
+        assert!(!c.gcs_config().uniform_delivery, "optimistic by default");
+        let c = c.with_faults(plan);
+        assert!(c.gcs_config().uniform_delivery, "restart plans run uniform");
+        assert!(c.validate().is_ok());
+        // Even an explicitly optimistic GCS config is overridden.
+        let mut c = c;
+        c.gcs = Some(GcsConfig::lan(3));
+        assert!(c.gcs_config().uniform_delivery);
+    }
+
+    #[test]
+    fn transfer_delay_prices_bytes_at_the_configured_bandwidth() {
+        let m = CertCostModel::default();
+        // 12.5 MB at 12.5 MB/s = 1 s.
+        assert_eq!(m.transfer_delay(12_500_000), Duration::from_secs(1));
+        assert_eq!(m.transfer_delay(0), Duration::ZERO);
+        // A 3-warehouse snapshot plus a 100-entry delta log.
+        let bytes = 3 * m.snapshot_bytes_per_warehouse + 100 * m.delta_bytes_per_entry;
+        let d = m.transfer_delay(bytes);
+        assert!(d > Duration::from_millis(400) && d < Duration::from_secs(2), "{d:?}");
     }
 
     #[test]

@@ -358,6 +358,62 @@ impl FaultWorkTotals {
     }
 }
 
+/// Recovery-machinery work across one run — the observable that prices the
+/// snapshot + delta-log rejoin path: how many state transfers live members
+/// served, how many bytes crossed the wire as snapshot versus delta log, how
+/// many committed entries the rejoiner replayed, and how long each restarted
+/// site took from restart to serving clients again (time-to-useful).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryWorkTotals {
+    /// Sites that completed the rejoin protocol (restart → view install →
+    /// state adoption → serving clients).
+    pub rejoins: u64,
+    /// State-transfer snapshots served by live members (one per grant).
+    pub snapshots_served: u64,
+    /// Bytes of database snapshot shipped, priced per warehouse owned by
+    /// the rejoiner (all warehouses under full replication).
+    pub snapshot_bytes: u64,
+    /// Bytes of delta log shipped: committed entries between the
+    /// rejoiner's pre-crash commit point and the transfer cut.
+    pub delta_bytes: u64,
+    /// Committed entries the rejoiner replayed from the delta log.
+    pub replayed_entries: u64,
+    /// Total nanoseconds from restart to serving clients, summed over
+    /// rejoins.
+    pub ttu_ns_total: u64,
+}
+
+impl RecoveryWorkTotals {
+    /// Total state-transfer bytes (snapshot + delta log).
+    pub fn total_bytes(&self) -> u64 {
+        self.snapshot_bytes + self.delta_bytes
+    }
+
+    /// Mean time-to-useful per rejoin, in milliseconds.
+    pub fn mean_ttu_ms(&self) -> f64 {
+        if self.rejoins == 0 {
+            0.0
+        } else {
+            self.ttu_ns_total as f64 / 1e6 / self.rejoins as f64
+        }
+    }
+}
+
+/// One completed rejoin: which site came back, where its retained log
+/// stood, where the transfer cut was, and how long until it served clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinRecord {
+    /// The site that rejoined.
+    pub site: u16,
+    /// Commit-log entries the site retained from before the crash.
+    pub kept: usize,
+    /// Reference-log position of the transfer cut: entries `[kept, cut)`
+    /// arrived as state transfer, not as individual commits.
+    pub cut: usize,
+    /// Restart to serving clients.
+    pub ttu: SimTime,
+}
+
 /// Per-site resource usage over the run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SiteUsage {
@@ -392,8 +448,13 @@ pub struct RunMetrics {
     pub network_tx_bytes: u64,
     /// Simulated duration of the measured portion.
     pub elapsed: SimTime,
-    /// Sites crashed by fault injection.
+    /// Sites crashed by fault injection (and not yet rejoined).
     pub crashed_sites: Vec<u16>,
+    /// Recovery-machinery work: snapshots served, transfer bytes, replayed
+    /// entries, time-to-useful.
+    pub recovery_work: RecoveryWorkTotals,
+    /// One record per completed rejoin, in completion order.
+    pub rejoins: Vec<RejoinRecord>,
 }
 
 impl RunMetrics {
@@ -486,6 +547,20 @@ impl RunMetrics {
             self.site_usage.iter().map(|u| u.cpu_total).sum::<f64>() / n,
             self.site_usage.iter().map(|u| u.cpu_real).sum::<f64>() / n,
         )
+    }
+
+    /// Per-site rejoin cuts in the shape [`check_logs_rejoined`] expects,
+    /// sized to `commit_logs`. A site that never rejoined maps to `None`;
+    /// the chain checker supports at most one rejoin per site, so the last
+    /// completed rejoin wins should a plan restart the same site twice.
+    ///
+    /// [`check_logs_rejoined`]: dbsm_fault::check_logs_rejoined
+    pub fn rejoin_cuts(&self) -> Vec<Option<dbsm_fault::RejoinCut>> {
+        let mut cuts = vec![None; self.commit_logs.len()];
+        for r in &self.rejoins {
+            cuts[r.site as usize] = Some(dbsm_fault::RejoinCut { kept: r.kept, cut: r.cut });
+        }
+        cuts
     }
 
     /// Mean disk utilisation across sites.
@@ -641,6 +716,32 @@ mod tests {
         t.vote_rounds += 2;
         t.cross_span_txns += 1;
         assert_eq!((t.vote_rounds, t.cross_span_txns), (2, 1));
+    }
+
+    #[test]
+    fn recovery_work_totals_price_the_transfer_and_average_ttu() {
+        let mut t = RecoveryWorkTotals::default();
+        assert_eq!(t.mean_ttu_ms(), 0.0);
+        t.rejoins = 2;
+        t.snapshots_served = 2;
+        t.snapshot_bytes = 4 << 20;
+        t.delta_bytes = 1536;
+        t.replayed_entries = 2;
+        t.ttu_ns_total = 3_000_000_000;
+        assert_eq!(t.total_bytes(), (4 << 20) + 1536);
+        assert!((t.mean_ttu_ms() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejoin_cuts_map_records_to_sites_last_wins() {
+        let mut m = RunMetrics::new(3);
+        m.rejoins.push(RejoinRecord { site: 2, kept: 4, cut: 9, ttu: SimTime::from_secs(1) });
+        m.rejoins.push(RejoinRecord { site: 2, kept: 9, cut: 20, ttu: SimTime::from_secs(1) });
+        let cuts = m.rejoin_cuts();
+        assert_eq!(cuts.len(), 3);
+        assert_eq!(cuts[0], None);
+        assert_eq!(cuts[1], None);
+        assert_eq!(cuts[2], Some(dbsm_fault::RejoinCut { kept: 9, cut: 20 }));
     }
 
     #[test]

@@ -68,10 +68,13 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// examined read/write-set entries were local to the certifying site's
 /// replicated span (1.00 under full replication) and `vote=` counts the
 /// partial-replication vote rounds over the cross-span transactions that
-/// needed them.
+/// needed them. The `rec=` section is the recovery ledger: completed
+/// rejoins over snapshots served, snapshot+delta transfer kilobytes,
+/// delta-log entries replayed, and the mean time-to-useful per rejoin —
+/// all zero for runs without restarts.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{}",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{} rec={}/{}sn {}+{}KB replay={} ttu={:.0}ms",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -100,6 +103,12 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.cert_work.span_fraction(),
         m.cert_work.vote_rounds,
         m.cert_work.cross_span_txns,
+        m.recovery_work.rejoins,
+        m.recovery_work.snapshots_served,
+        m.recovery_work.snapshot_bytes / 1024,
+        m.recovery_work.delta_bytes / 1024,
+        m.recovery_work.replayed_entries,
+        m.recovery_work.mean_ttu_ms(),
     )
 }
 
@@ -181,6 +190,20 @@ mod tests {
         m.fault_work.dup_injected = 40;
         m.fault_work.dup_discarded = 38;
         assert!(summary_line("x", &m).contains("vc=2 dup=40/38"));
+    }
+
+    #[test]
+    fn summary_line_reports_recovery_work() {
+        let mut m = RunMetrics::new(1);
+        assert!(summary_line("x", &m).contains("rec=0/0sn 0+0KB replay=0 ttu=0ms"));
+        m.recovery_work.rejoins = 1;
+        m.recovery_work.snapshots_served = 1;
+        m.recovery_work.snapshot_bytes = 2 << 20;
+        m.recovery_work.delta_bytes = 3072;
+        m.recovery_work.replayed_entries = 4;
+        m.recovery_work.ttu_ns_total = 1_250_000_000;
+        let line = summary_line("x", &m);
+        assert!(line.contains("rec=1/1sn 2048+3KB replay=4 ttu=1250ms"), "{line}");
     }
 
     #[test]

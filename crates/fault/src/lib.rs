@@ -2,13 +2,18 @@
 //!
 //! Declarative [`FaultPlan`]s covering the paper's fault catalogue — clock
 //! drift, scheduling latency, random loss, bursty loss, and crashes — plus
-//! three scenario families beyond it: **partitions with merges**
+//! the scenario families beyond it: **partitions with merges**
 //! ([`FaultSpec::Partition`]), **duplicate delivery**
-//! ([`FaultSpec::DuplicateDelivery`]) and **correlated loss bursts**
-//! ([`FaultSpec::CorrelatedBurst`]). [`check_logs`] is the off-line
+//! ([`FaultSpec::DuplicateDelivery`]), **correlated loss bursts**
+//! ([`FaultSpec::CorrelatedBurst`]) and **restarts with snapshot +
+//! delta-log rejoin** ([`FaultSpec::Restart`]), with the
+//! [`FaultPlan::flapping_partition`] and [`FaultPlan::kill_and_replace`]
+//! chaos combinators composing them. [`check_logs`] is the off-line
 //! consistency checker asserting the DBSM safety condition: all operational
 //! sites commit exactly the same sequence of transactions (crashed or
-//! halted sites hold a prefix).
+//! halted sites hold a prefix); [`check_logs_rejoined`] extends it to
+//! rejoined sites, whose logs must *chain through* their transfer cut
+//! ([`RejoinCut`]).
 //!
 //! Plans are *applied* by the experiment runner in `dbsm-core`: loss models
 //! install on the simulated network's receive path, drift and scheduling
@@ -62,4 +67,4 @@ mod plan;
 mod safety;
 
 pub use plan::{FaultPlan, FaultSpec, PlanError, Target};
-pub use safety::{check_logs, CommitLog, Divergence};
+pub use safety::{check_logs, check_logs_rejoined, CommitLog, Divergence, RejoinCut};

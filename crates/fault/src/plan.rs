@@ -85,6 +85,21 @@ pub enum FaultSpec {
         /// Crash instant.
         at: SimTime,
     },
+    /// Restart: a previously crashed (or partition-halted) site comes back
+    /// at the given instant with empty volatile state, announces itself to
+    /// the live primary component, and catches up through a snapshot +
+    /// delta-log state transfer before a view install re-admits it.
+    ///
+    /// A restart must follow a crash or halt of the same site
+    /// ([`FaultPlan::validate`] enforces it, mirroring the partition
+    /// `heal_at > at` rule); restarting into an ongoing partition is legal —
+    /// the join request is simply retried until the network heals.
+    Restart {
+        /// The restarting site.
+        site: u16,
+        /// Restart instant.
+        at: SimTime,
+    },
     /// Network partition: at `at` the network splits into the given
     /// isolated segments (sites in different groups cannot exchange any
     /// packet); at `heal_at` the segments merge back.
@@ -198,6 +213,20 @@ pub enum PlanError {
         /// The stranded span (warehouse index).
         span: u64,
     },
+    /// A restart of a site the plan never crashes or halts: there is
+    /// nothing to recover.
+    RestartWithoutCrash {
+        /// The site with no prior crash or halt.
+        site: u16,
+    },
+    /// A restart scheduled at or before every crash of its site — the site
+    /// would not be down yet when asked to come back.
+    RestartNotAfterCrash {
+        /// The restarting site.
+        site: u16,
+        /// Offending restart instant.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -232,6 +261,12 @@ impl fmt::Display for PlanError {
             }
             PlanError::CrashUncoveredSpan { span } => {
                 write!(f, "crashes leave warehouse span {span} with zero live replicas")
+            }
+            PlanError::RestartWithoutCrash { site } => {
+                write!(f, "restart of site {site} which the plan never crashes or halts")
+            }
+            PlanError::RestartNotAfterCrash { site, at } => {
+                write!(f, "restart of site {site} at {at} does not follow any crash of it")
             }
         }
     }
@@ -295,6 +330,76 @@ impl FaultPlan {
         FaultPlan::none().with(FaultSpec::Crash { site, at })
     }
 
+    /// A crash of `site` at `at` followed by a restart (snapshot +
+    /// delta-log rejoin) at `restart_at`.
+    ///
+    /// ```
+    /// use dbsm_fault::FaultPlan;
+    /// use dbsm_sim::SimTime;
+    ///
+    /// let plan = FaultPlan::crash_restart(1, SimTime::from_secs(5), SimTime::from_secs(20));
+    /// plan.validate(3).expect("restart follows the crash");
+    /// assert!(plan.has_restart());
+    /// assert_eq!(plan.crashed_by(SimTime::from_secs(10)), vec![1]);
+    /// assert!(plan.crashed_by(SimTime::from_secs(20)).is_empty(), "restarted by then");
+    /// ```
+    pub fn crash_restart(site: u16, at: SimTime, restart_at: SimTime) -> Self {
+        FaultPlan::none()
+            .with(FaultSpec::Crash { site, at })
+            .with(FaultSpec::Restart { site, at: restart_at })
+    }
+
+    /// A flapping partition: the same split re-forms `count` times. Flap
+    /// `i` splits at `at + i·2·period` and heals one `period` later, so the
+    /// network alternates `period`-long partitioned and healed phases —
+    /// the membership machinery is forced through repeated
+    /// exclude/halt/rejoin cycles instead of the single one a plain
+    /// [`FaultPlan::partition`] exercises.
+    pub fn flapping_partition(
+        groups: Vec<Vec<u16>>,
+        at: SimTime,
+        period: Duration,
+        count: u32,
+    ) -> Self {
+        let mut plan = FaultPlan::none();
+        let period_ns = period.as_nanos() as u64;
+        for i in 0..count as u64 {
+            let split = SimTime::from_nanos(at.as_nanos() + i * 2 * period_ns);
+            let heal = SimTime::from_nanos(split.as_nanos() + period_ns);
+            plan = plan.with(FaultSpec::Partition {
+                groups: groups.clone(),
+                at: split,
+                heal_at: heal,
+            });
+        }
+        plan
+    }
+
+    /// The rolling kill-and-replace chaos plan: every one of the `sites`
+    /// replicas is crashed once and restarted `downtime` later, one site
+    /// at a time, `stagger` apart (site `s` crashes at
+    /// `first_at + s·stagger`). Choose `stagger` comfortably larger than
+    /// `downtime` plus the expected catch-up time so at most one site is
+    /// down or rejoining at any instant — the survivors then always hold a
+    /// primary component and the run never halts.
+    pub fn kill_and_replace(
+        sites: usize,
+        first_at: SimTime,
+        stagger: Duration,
+        downtime: Duration,
+    ) -> Self {
+        let mut plan = FaultPlan::none();
+        for s in 0..sites {
+            let at =
+                SimTime::from_nanos(first_at.as_nanos() + s as u64 * stagger.as_nanos() as u64);
+            let back = SimTime::from_nanos(at.as_nanos() + downtime.as_nanos() as u64);
+            plan = plan
+                .with(FaultSpec::Crash { site: s as u16, at })
+                .with(FaultSpec::Restart { site: s as u16, at: back });
+        }
+        plan
+    }
+
     /// Clock drift on one site.
     pub fn clock_drift(site: u16, rate: f64) -> Self {
         FaultPlan::none().with(FaultSpec::ClockDrift { target: Target::Site(site), rate })
@@ -334,9 +439,10 @@ impl FaultPlan {
         FaultPlan::none().with(FaultSpec::CorrelatedBurst { sites, window, p })
     }
 
-    /// Sites crashed by this plan at or before `t` (a crash scheduled
-    /// *exactly* at `t` counts), sorted and deduplicated — a site crashed
-    /// twice is still one crashed site.
+    /// Sites down at `t` according to this plan's crash/restart schedule (a
+    /// crash scheduled *exactly* at `t` counts; so does a restart), sorted
+    /// and deduplicated — a site crashed twice is still one crashed site,
+    /// and a site restarted after its latest crash is no longer down.
     ///
     /// ```
     /// use dbsm_fault::{FaultPlan, FaultSpec};
@@ -356,10 +462,37 @@ impl FaultPlan {
                 FaultSpec::Crash { site, at } if *at <= t => Some(*site),
                 _ => None,
             })
+            .filter(|&site| self.down_at(site, t))
             .collect();
         sites.sort_unstable();
         sites.dedup();
         sites
+    }
+
+    /// True when `site` is down at `t`: its latest crash at or before `t`
+    /// is not followed by a restart at or before `t`.
+    pub fn down_at(&self, site: u16, t: SimTime) -> bool {
+        let latest = |want_restart: bool| {
+            self.specs
+                .iter()
+                .filter_map(|s| match s {
+                    FaultSpec::Crash { site: c, at } if !want_restart && *c == site && *at <= t => {
+                        Some(*at)
+                    }
+                    FaultSpec::Restart { site: r, at }
+                        if want_restart && *r == site && *at <= t =>
+                    {
+                        Some(*at)
+                    }
+                    _ => None,
+                })
+                .max()
+        };
+        match (latest(false), latest(true)) {
+            (Some(crash), Some(restart)) => restart < crash,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
     }
 
     /// True when the plan injects nothing.
@@ -372,6 +505,13 @@ impl FaultPlan {
     /// optimistic delivery may speculate across a primary-component change.
     pub fn has_partition(&self) -> bool {
         self.specs.iter().any(|s| matches!(s, FaultSpec::Partition { .. }))
+    }
+
+    /// True if any spec is a [`FaultSpec::Restart`] — such runs also force
+    /// uniform (safe) delivery, because a rejoin installs a view across
+    /// which optimistic delivery could speculate.
+    pub fn has_restart(&self) -> bool {
+        self.specs.iter().any(|s| matches!(s, FaultSpec::Restart { .. }))
     }
 
     /// Checks the plan against an experiment with `sites` sites.
@@ -469,6 +609,41 @@ impl FaultPlan {
                     }
                 }
                 FaultSpec::Crash { site, .. } => known("crash", *site)?,
+                FaultSpec::Restart { site, at } => {
+                    known("restart", *site)?;
+                    // A restart must recover *something*: a crash of the same
+                    // site strictly before it, or a partition (started before
+                    // it) that halts the site — any non-majority segment, or
+                    // no segment at all, halts under the primary-component
+                    // rule. This mirrors the `heal_at > at` partition check.
+                    let crashes: Vec<SimTime> = self
+                        .specs
+                        .iter()
+                        .filter_map(|s| match s {
+                            FaultSpec::Crash { site: c, at } if c == site => Some(*at),
+                            _ => None,
+                        })
+                        .collect();
+                    if crashes.iter().any(|c| c < at) {
+                        continue;
+                    }
+                    if !crashes.is_empty() {
+                        return Err(PlanError::RestartNotAfterCrash { site: *site, at: *at });
+                    }
+                    let halted_by_partition = self.specs.iter().any(|s| match s {
+                        FaultSpec::Partition { groups, at: split, .. } if split < at => {
+                            let minority = groups
+                                .iter()
+                                .find(|g| g.contains(site))
+                                .is_none_or(|g| g.len() * 2 <= sites);
+                            minority && groups.iter().any(|g| g.len() * 2 > sites)
+                        }
+                        _ => false,
+                    });
+                    if !halted_by_partition {
+                        return Err(PlanError::RestartWithoutCrash { site: *site });
+                    }
+                }
                 FaultSpec::ClockDrift { target, .. } | FaultSpec::SchedLatency { target, .. } => {
                     if let Target::Site(site) = target {
                         known("drift/latency target", *site)?;
@@ -502,17 +677,24 @@ impl FaultPlan {
         sites: usize,
         replica_sets: &[Vec<u16>],
     ) -> Result<(), PlanError> {
-        let crashed: std::collections::HashSet<u16> = self
+        // Crash coverage is checked instant by instant: at every crash
+        // time, the set of simultaneously down sites (crashed, not yet
+        // restarted — [`FaultPlan::down_at`]) must leave each span a live
+        // replica. A replica crashed and restarted before another replica's
+        // crash does not strand the span; without restarts this degenerates
+        // to the old "every replica ever crashed" rule, since at the latest
+        // crash instant every crashed site is still down.
+        let crash_instants: Vec<SimTime> = self
             .specs
             .iter()
             .filter_map(|s| match s {
-                FaultSpec::Crash { site, .. } => Some(*site),
+                FaultSpec::Crash { at, .. } => Some(*at),
                 _ => None,
             })
             .collect();
-        if !crashed.is_empty() {
+        for &t in &crash_instants {
             for (span, replicas) in replica_sets.iter().enumerate() {
-                if !replicas.is_empty() && replicas.iter().all(|r| crashed.contains(r)) {
+                if !replicas.is_empty() && replicas.iter().all(|&r| self.down_at(r, t)) {
                     return Err(PlanError::CrashUncoveredSpan { span: span as u64 });
                 }
             }
@@ -709,6 +891,171 @@ mod tests {
     }
 
     #[test]
+    fn restart_requires_a_prior_crash_or_halt() {
+        // Well-formed: crash then restart.
+        let ok = FaultPlan::crash_restart(1, SimTime::from_secs(5), SimTime::from_secs(20));
+        assert_eq!(ok.validate(3), Ok(()));
+        assert!(ok.has_restart());
+        assert!(!FaultPlan::crash(1, SimTime::from_secs(5)).has_restart());
+        // No crash or halt anywhere: nothing to recover.
+        let orphan =
+            FaultPlan::none().with(FaultSpec::Restart { site: 1, at: SimTime::from_secs(20) });
+        assert_eq!(orphan.validate(3), Err(PlanError::RestartWithoutCrash { site: 1 }));
+        // Crash of a *different* site does not license the restart.
+        let wrong_site = FaultPlan::crash(0, SimTime::from_secs(5))
+            .with(FaultSpec::Restart { site: 1, at: SimTime::from_secs(20) });
+        assert_eq!(wrong_site.validate(3), Err(PlanError::RestartWithoutCrash { site: 1 }));
+        // Restart at or before the crash instant: the site is not down yet.
+        for restart_at in [SimTime::from_secs(5), SimTime::from_secs(3)] {
+            let early = FaultPlan::crash_restart(1, SimTime::from_secs(5), restart_at);
+            assert_eq!(
+                early.validate(3),
+                Err(PlanError::RestartNotAfterCrash { site: 1, at: restart_at }),
+                "restart at {restart_at}"
+            );
+        }
+        // Restart of an out-of-range site is caught like any other target.
+        let far = FaultPlan::crash_restart(7, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(far.validate(3), Err(PlanError::UnknownSite { what: "crash", site: 7 }));
+    }
+
+    #[test]
+    fn restart_accepts_partition_halted_sites() {
+        // Site 2 lands in the minority segment of a majority-keeping split:
+        // it halts, so a later restart has something to recover.
+        let halted = FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        )
+        .with(FaultSpec::Restart { site: 2, at: SimTime::from_secs(12) });
+        assert_eq!(halted.validate(3), Ok(()));
+        // An unlisted site is isolated — also a halt source.
+        let isolated = FaultPlan::partition(
+            vec![vec![0, 1, 2], vec![3]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        )
+        .with(FaultSpec::Restart { site: 4, at: SimTime::from_secs(12) });
+        assert_eq!(isolated.validate(5), Ok(()));
+        // A member of the *majority* segment never halts: restarting it is
+        // rejected.
+        let survivor = FaultPlan::partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        )
+        .with(FaultSpec::Restart { site: 0, at: SimTime::from_secs(12) });
+        assert_eq!(survivor.validate(3), Err(PlanError::RestartWithoutCrash { site: 0 }));
+        // A split with no majority halts everyone, but there is no primary
+        // component left to rejoin — rejected.
+        let outage = FaultPlan::partition(
+            vec![vec![0, 1], vec![2, 3]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        )
+        .with(FaultSpec::Restart { site: 2, at: SimTime::from_secs(12) });
+        assert_eq!(outage.validate(4), Err(PlanError::RestartWithoutCrash { site: 2 }));
+    }
+
+    #[test]
+    fn crashed_by_and_down_at_honour_restarts() {
+        let plan = FaultPlan::crash_restart(1, SimTime::from_secs(5), SimTime::from_secs(20))
+            .with(FaultSpec::Crash { site: 1, at: SimTime::from_secs(30) });
+        assert!(!plan.down_at(1, SimTime::from_secs(4)));
+        assert!(plan.down_at(1, SimTime::from_secs(5)), "crash boundary inclusive");
+        assert_eq!(plan.crashed_by(SimTime::from_secs(10)), vec![1]);
+        assert!(!plan.down_at(1, SimTime::from_secs(20)), "restart boundary inclusive");
+        assert!(plan.crashed_by(SimTime::from_secs(25)).is_empty());
+        // The second crash downs the site again, for good this time.
+        assert!(plan.down_at(1, SimTime::from_secs(30)));
+        assert_eq!(plan.crashed_by(SimTime::from_secs(99)), vec![1]);
+        // Other sites are unaffected.
+        assert!(!plan.down_at(0, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn flapping_partition_expands_to_alternating_phases() {
+        let plan = FaultPlan::flapping_partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(10),
+            Duration::from_secs(2),
+            3,
+        );
+        assert_eq!(plan.specs.len(), 3);
+        assert!(plan.has_partition());
+        assert_eq!(plan.validate(3), Ok(()));
+        let phases: Vec<(u64, u64)> = plan
+            .specs
+            .iter()
+            .map(|s| match s {
+                FaultSpec::Partition { at, heal_at, .. } => (at.as_nanos(), heal_at.as_nanos()),
+                other => panic!("unexpected spec {other:?}"),
+            })
+            .collect();
+        let sec = 1_000_000_000;
+        assert_eq!(phases, vec![(10 * sec, 12 * sec), (14 * sec, 16 * sec), (18 * sec, 20 * sec)]);
+        // Zero flaps is the empty plan.
+        assert!(FaultPlan::flapping_partition(
+            vec![vec![0], vec![1]],
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            0
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn kill_and_replace_rolls_over_every_site() {
+        let plan = FaultPlan::kill_and_replace(
+            3,
+            SimTime::from_secs(10),
+            Duration::from_secs(30),
+            Duration::from_secs(5),
+        );
+        assert_eq!(plan.specs.len(), 6);
+        assert_eq!(plan.validate(3), Ok(()));
+        assert!(plan.has_restart());
+        for s in 0..3u16 {
+            let crash_at = SimTime::from_secs(10 + 30 * s as u64);
+            let back_at = SimTime::from_secs(15 + 30 * s as u64);
+            assert!(plan.specs.contains(&FaultSpec::Crash { site: s, at: crash_at }), "site {s}");
+            assert!(plan.specs.contains(&FaultSpec::Restart { site: s, at: back_at }), "site {s}");
+            assert!(plan.down_at(s, crash_at));
+            assert!(!plan.down_at(s, back_at));
+        }
+        // At most one site is down at every crash instant (stagger > downtime).
+        for t in [10u64, 40, 70] {
+            assert_eq!(plan.crashed_by(SimTime::from_secs(t)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn coverage_accepts_crashes_healed_by_restarts() {
+        // Both replicas of span 1 crash, but never simultaneously: site 0
+        // is restarted before site 2 goes down.
+        let plan = FaultPlan::crash_restart(0, SimTime::from_secs(1), SimTime::from_secs(5))
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(10) });
+        let replicas = vec![vec![0, 1], vec![0, 2]];
+        assert_eq!(plan.validate_coverage(3, &replicas), Ok(()));
+        // Restarted too late: both are down together at t=10.
+        let late = FaultPlan::crash_restart(0, SimTime::from_secs(1), SimTime::from_secs(20))
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(10) });
+        assert_eq!(
+            late.validate_coverage(3, &replicas),
+            Err(PlanError::CrashUncoveredSpan { span: 1 })
+        );
+        // The rolling kill-and-replace plan keeps every span covered.
+        let rolling = FaultPlan::kill_and_replace(
+            3,
+            SimTime::from_secs(10),
+            Duration::from_secs(30),
+            Duration::from_secs(5),
+        );
+        assert_eq!(rolling.validate_coverage(3, &replicas), Ok(()));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let e = PlanError::PartitionOverlap { site: 3 };
         assert!(e.to_string().contains("site 3"));
@@ -718,6 +1065,10 @@ mod tests {
         assert!(e.to_string().contains("span 7"));
         let e = PlanError::CrashUncoveredSpan { span: 2 };
         assert!(e.to_string().contains("span 2"));
+        let e = PlanError::RestartWithoutCrash { site: 4 };
+        assert!(e.to_string().contains("site 4"));
+        let e = PlanError::RestartNotAfterCrash { site: 1, at: SimTime::from_secs(3) };
+        assert!(e.to_string().contains("site 1"));
     }
 
     #[test]

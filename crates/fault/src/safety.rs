@@ -52,6 +52,16 @@ pub enum Divergence {
         /// The duplicated transaction.
         txn: (u16, u64),
     },
+    /// A rejoined site's log does not chain through its transfer cut: its
+    /// pre-crash prefix or post-rejoin suffix diverges from the reference
+    /// log. The *gap* between the two segments is legal (state transfer
+    /// filled it); a divergent entry on either side is split-brain.
+    RejoinedNotChained {
+        /// The rejoined site.
+        site: u16,
+        /// First offending position in the site's own log.
+        position: usize,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -65,6 +75,12 @@ impl fmt::Display for Divergence {
             }
             Divergence::Duplicate { site, txn } => {
                 write!(f, "site {site} committed {txn:?} twice")
+            }
+            Divergence::RejoinedNotChained { site, position } => {
+                write!(
+                    f,
+                    "rejoined site {site} diverges from the transfer chain at position {position}"
+                )
             }
         }
     }
@@ -100,7 +116,65 @@ impl std::error::Error for Divergence {}
 /// # Ok::<(), dbsm_fault::Divergence>(())
 /// ```
 pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence> {
+    let rejoins = vec![None; logs.len()];
+    check_logs_rejoined(logs, crashed, &rejoins)
+}
+
+/// Where a rejoined site's log chains through its state transfer: the site
+/// halted holding `kept` commits (a prefix of the group's log), the
+/// snapshot + delta-log transfer covered the group's commits up to position
+/// `cut`, and everything the site commits after rejoining continues the
+/// group's log from `cut`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinCut {
+    /// Commits the site held when it crashed/halted (its pre-crash prefix
+    /// length).
+    pub kept: usize,
+    /// Reference-log position the state transfer caught the site up to; its
+    /// post-rejoin commits continue from here.
+    pub cut: usize,
+}
+
+/// [`check_logs`] extended with rejoin cuts: `rejoins[site]` set means the
+/// site crashed/halted and re-entered the view via state transfer, and its
+/// log must *chain through the cut* instead of matching the reference
+/// exactly — `log[..kept]` is its pre-crash prefix of the reference, the
+/// gap `[kept, cut)` was filled by the transferred snapshot + delta log
+/// (legal, not recorded as fresh commits), and `log[kept..]` must continue
+/// the reference from `cut` (a divergent suffix is still split-brain). A
+/// rejoined site may trail the reference — it commits from `cut` onward at
+/// its own pace — but may never contradict it.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `logs`, `crashed` and `rejoins` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_fault::{check_logs_rejoined, RejoinCut};
+///
+/// let reference = vec![(0u16, 1u64), (1, 1), (0, 2), (1, 2)];
+/// // Crashed holding 1 commit, transferred up to 3, committed (1, 2) after.
+/// let rejoined = vec![(0u16, 1u64), (1, 2)];
+/// check_logs_rejoined(
+///     &[reference.clone(), reference, rejoined],
+///     &[false, false, false],
+///     &[None, None, Some(RejoinCut { kept: 1, cut: 3 })],
+/// )?;
+/// # Ok::<(), dbsm_fault::Divergence>(())
+/// ```
+pub fn check_logs_rejoined(
+    logs: &[CommitLog],
+    crashed: &[bool],
+    rejoins: &[Option<RejoinCut>],
+) -> Result<(), Divergence> {
     assert_eq!(logs.len(), crashed.len(), "one crash flag per site");
+    assert_eq!(logs.len(), rejoins.len(), "one rejoin cut per site");
     // Duplicates first.
     for (site, log) in logs.iter().enumerate() {
         let mut seen = std::collections::HashSet::new();
@@ -110,7 +184,18 @@ pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence
             }
         }
     }
-    let operational: Vec<usize> = (0..logs.len()).filter(|i| !crashed[*i]).collect();
+    // Rejoined sites follow the chain rule below, never the exact-equality
+    // or plain-prefix rules — whatever their final crash flag says.
+    let operational: Vec<usize> =
+        (0..logs.len()).filter(|&i| !crashed[i] && rejoins[i].is_none()).collect();
+    // With no never-rejoined survivor there is no complete reference log:
+    // every log has a transfer gap, so alignment runs against the *merged*
+    // chain instead — each log claims the reference positions its segments
+    // cover, and any two logs claiming different transactions for the same
+    // position is split-brain (rolling kill-and-replace ends here).
+    if operational.is_empty() && rejoins.iter().any(Option::is_some) {
+        return check_merged_chain(logs, rejoins);
+    }
     // Pairwise equality over operational sites (transitively sufficient
     // against the first one).
     if let Some(&first) = operational.first() {
@@ -142,12 +227,60 @@ pub fn check_logs(logs: &[CommitLog], crashed: &[bool]) -> Result<(), Divergence
         },
     };
     for (site, log) in logs.iter().enumerate() {
-        if !crashed[site] {
+        if !crashed[site] || rejoins[site].is_some() {
             continue;
         }
         for (pos, txn) in log.iter().enumerate() {
             if reference.get(pos) != Some(txn) {
                 return Err(Divergence::CrashedNotPrefix { site: site as u16, position: pos });
+            }
+        }
+    }
+    // Rejoined sites: the log must chain through the transfer cut. The
+    // pre-crash prefix `[..kept]` aligns with the reference from position 0;
+    // the post-rejoin suffix `[kept..]` aligns with the reference from
+    // position `cut`. The gap between them is exactly what the snapshot +
+    // delta log carried.
+    for (site, log) in logs.iter().enumerate() {
+        let Some(RejoinCut { kept, cut }) = rejoins[site] else { continue };
+        for (pos, txn) in log.iter().enumerate() {
+            let ref_pos = if pos < kept { pos } else { cut + (pos - kept) };
+            if reference.get(ref_pos) != Some(txn) {
+                return Err(Divergence::RejoinedNotChained { site: site as u16, position: pos });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The no-complete-reference case of [`check_logs_rejoined`]: every site
+/// crashed or rejoined, so the reference chain is reconstructed by merging
+/// the positions each log covers — `[0, kept)` plus `[cut, cut + len -
+/// kept)` for a rejoined log, `[0, len)` for a plain-crashed one. Two logs
+/// claiming different transactions for one reference position diverge.
+fn check_merged_chain(logs: &[CommitLog], rejoins: &[Option<RejoinCut>]) -> Result<(), Divergence> {
+    let mut merged: std::collections::HashMap<usize, (u16, (u16, u64))> =
+        std::collections::HashMap::new();
+    for (site, log) in logs.iter().enumerate() {
+        let (kept, cut) = rejoins[site].map_or((usize::MAX, 0), |r| (r.kept, r.cut));
+        for (pos, txn) in log.iter().enumerate() {
+            let ref_pos = if pos < kept { pos } else { cut + (pos - kept) };
+            match merged.entry(ref_pos) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((site as u16, *txn));
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let (other, claimed) = *o.get();
+                    if claimed != *txn {
+                        return Err(Divergence::Mismatch {
+                            a: other,
+                            b: site as u16,
+                            position: ref_pos,
+                            at_a: Some(claimed),
+                            at_b: Some(*txn),
+                        });
+                    }
+                }
             }
         }
     }
@@ -223,11 +356,147 @@ mod tests {
     }
 
     #[test]
+    fn rejoined_gap_filled_by_transfer_is_legal() {
+        let reference = log(&[(0, 1), (1, 1), (0, 2), (1, 2), (0, 3)]);
+        // Halted holding 2 commits, transfer caught it up to position 4,
+        // then it committed (0, 3) itself.
+        let rejoined = log(&[(0, 1), (1, 1), (0, 3)]);
+        let cut = Some(RejoinCut { kept: 2, cut: 4 });
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), rejoined.clone()],
+                &[false, false, false],
+                &[None, None, cut],
+            ),
+            Ok(()),
+        );
+        // Still catching up (no post-rejoin commits yet): also legal.
+        let trailing = log(&[(0, 1), (1, 1)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), trailing],
+                &[false, false, false],
+                &[None, None, cut],
+            ),
+            Ok(()),
+        );
+        // The same log WITHOUT a rejoin cut is an operational divergence:
+        // the gap is only legal when state transfer explains it.
+        let err = check_logs(&[reference.clone(), reference, rejoined], &[false, false, false])
+            .expect_err("gap without a cut");
+        assert!(matches!(err, Divergence::Mismatch { position: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejoined_divergence_is_still_split_brain() {
+        let reference = log(&[(0, 1), (1, 1), (0, 2), (1, 2)]);
+        let cut = Some(RejoinCut { kept: 1, cut: 3 });
+        // Divergent post-rejoin suffix: committed (9, 9) instead of (1, 2).
+        let rogue_suffix = log(&[(0, 1), (9, 9)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), rogue_suffix],
+                &[false, false, false],
+                &[None, None, cut],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 1 }),
+        );
+        // Divergent pre-crash prefix: it never held a prefix of the group.
+        let rogue_prefix = log(&[(7, 7), (1, 2)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), rogue_prefix],
+                &[false, false, false],
+                &[None, None, cut],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 0 }),
+        );
+        // Suffix running past the reference cannot be explained either.
+        let overrun = log(&[(0, 1), (1, 2), (8, 8)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference, overrun],
+                &[false, false, false],
+                &[None, None, cut],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 2 }),
+        );
+    }
+
+    #[test]
+    fn rejoined_then_crashed_again_still_chains() {
+        let reference = log(&[(0, 1), (1, 1), (0, 2), (1, 2)]);
+        let cut = Some(RejoinCut { kept: 1, cut: 2 });
+        // Crashed again after one post-rejoin commit: chain rule applies,
+        // not the plain prefix rule (which would reject the gap).
+        let twice = log(&[(0, 1), (0, 2)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), twice],
+                &[false, false, true],
+                &[None, None, cut],
+            ),
+            Ok(()),
+        );
+        let rogue = log(&[(0, 1), (5, 5)]);
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference, rogue],
+                &[false, false, true],
+                &[None, None, cut],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 1 }),
+        );
+    }
+
+    #[test]
+    fn check_logs_delegates_to_the_rejoin_checker() {
+        let l = log(&[(0, 1), (1, 1)]);
+        let rejoins = [None, None];
+        assert_eq!(
+            check_logs(&[l.clone(), l.clone()], &[false, false]),
+            check_logs_rejoined(&[l.clone(), l], &[false, false], &rejoins),
+        );
+        let e = Divergence::RejoinedNotChained { site: 3, position: 4 };
+        assert!(e.to_string().contains("site 3"));
+        assert!(e.to_string().contains("position 4"));
+    }
+
+    #[test]
     fn all_crashed_split_brain_is_detected() {
         // Two halted segments committed different suffixes: split-brain.
         let a = log(&[(0, 1), (1, 7)]);
         let b = log(&[(0, 1), (2, 9), (2, 10)]);
         let err = check_logs(&[a, b], &[true, true]).expect_err("split-brain");
         assert_eq!(err, Divergence::CrashedNotPrefix { site: 0, position: 1 });
+    }
+
+    #[test]
+    fn every_site_rejoined_merges_one_chain() {
+        // Rolling kill-and-replace: all three sites rejoined once, so no
+        // complete reference log exists — each log covers its pre-crash
+        // prefix plus its post-cut suffix of the common chain
+        // [(0,1) (1,1) (2,1) (0,2) (1,2) (2,2)].
+        let a = log(&[(0, 1), (0, 2), (1, 2), (2, 2)]); // kept 1, cut 3
+        let b = log(&[(0, 1), (1, 1), (1, 2), (2, 2)]); // kept 2, cut 4
+        let c = log(&[(0, 1), (1, 1), (2, 1), (2, 2)]); // kept 3, cut 5
+        let rejoins = [
+            Some(RejoinCut { kept: 1, cut: 3 }),
+            Some(RejoinCut { kept: 2, cut: 4 }),
+            Some(RejoinCut { kept: 3, cut: 5 }),
+        ];
+        check_logs_rejoined(&[a, b, c], &[false; 3], &rejoins).expect("one merged chain");
+    }
+
+    #[test]
+    fn every_site_rejoined_still_catches_split_brain() {
+        // Sites 0 and 1 claim different transactions for reference
+        // position 2: split-brain survives no matter who rejoined.
+        let a = log(&[(0, 1), (7, 7)]); // kept 1, cut 1 -> claims pos 2 = (7,7)
+        let b = log(&[(0, 1), (1, 1), (9, 9)]); // kept 3 (no gap) -> pos 2 = (9,9)
+        let rejoins = [Some(RejoinCut { kept: 1, cut: 2 }), Some(RejoinCut { kept: 3, cut: 3 })];
+        let err =
+            check_logs_rejoined(&[a, b], &[false; 2], &rejoins).expect_err("divergent chains");
+        assert!(matches!(err, Divergence::Mismatch { position: 2, .. }), "{err}");
     }
 }

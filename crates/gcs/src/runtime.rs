@@ -34,6 +34,9 @@ pub enum TimerKind {
     AnnFlush,
     /// View-change coordinator resend.
     FlushResend,
+    /// Rejoin: `JoinReq` retry at a joining node; grant-install resend at
+    /// the granter.
+    JoinRetry,
 }
 
 /// Services the protocol may use — its *only* window on the outside world.

@@ -23,6 +23,13 @@
 //! message delivers only when both its content and the fragment that
 //! carried its sequence assignment are stable, so no minority can act on an
 //! ordering the primary component may re-make.
+//!
+//! Halting is no longer terminal: a crashed or excluded site may restart as
+//! a fresh [`Gcs::rejoin`] instance, which announces itself with `JoinReq`
+//! until the live primary component's lowest member grants admission at an
+//! order-clean point ([`Upcall::ServeJoin`] at the granter primes the
+//! application-level snapshot + delta-log state transfer) and a member-add
+//! view install readmits it ([`Upcall::Rejoined`] at the joiner).
 
 use crate::config::GcsConfig;
 use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
@@ -69,6 +76,21 @@ pub enum Upcall {
     /// This node was excluded from the view (e.g. falsely suspected under
     /// clock drift); it must halt. Survivors stay consistent.
     Excluded,
+    /// This node (the lowest live member) admitted `joiner` and must serve
+    /// its snapshot + delta-log state transfer. Emitted at the grant's
+    /// order-clean point, *before* the member-add [`Upcall::ViewChange`]:
+    /// the application's committed state at this instant is exactly what
+    /// the joiner must receive — every global sequence number below the
+    /// granted order base has been delivered here, and none above.
+    ServeJoin {
+        /// The rejoining node.
+        joiner: NodeId,
+    },
+    /// Emitted at a rejoining node (built with [`Gcs::rejoin`]) once a
+    /// grant was adopted: the stack is live in the new view, and the
+    /// application must install the transferred state before acting on
+    /// the deliveries that follow.
+    Rejoined,
 }
 
 /// Protocol counters (diagnostics for the fault-injection analysis, §5.3).
@@ -276,6 +298,20 @@ struct StoredMsg {
     last_frag: u64,
 }
 
+/// A grant issued to a rejoiner, retained so lost `JoinGrant`/`ViewInstall`
+/// packets can be healed by resends (driven by `JoinReq` retries and a short
+/// resend timer).
+#[derive(Debug, Clone)]
+struct GrantRecord {
+    joiner: NodeId,
+    new_view: u64,
+    members: NodeSet,
+    cut: Vec<u64>,
+    order_base: u64,
+    skipped: Vec<u64>,
+    sequencer: NodeId,
+}
+
 #[derive(Debug)]
 enum Phase {
     Stable,
@@ -311,6 +347,19 @@ pub struct Gcs {
     upcalls: VecDeque<Upcall>,
     metrics: GcsMetrics,
     halted: bool,
+    /// True while this instance is a rejoiner waiting for a `JoinGrant`.
+    joining: bool,
+    /// A joiner latched for admission at the next order-clean point (only
+    /// ever set at the lowest live member).
+    pending_join: Option<NodeId>,
+    /// The last grant issued, kept for loss-healing resends.
+    last_grant: Option<GrantRecord>,
+    /// Remaining scheduled re-multicasts of the last grant's install.
+    grant_resends: u8,
+    /// Sticky sequencer: the role moves only when its holder leaves the
+    /// membership, so a rejoiner (possibly the lowest-numbered node) never
+    /// races a live sequencer.
+    seq_node: NodeId,
 }
 
 impl Gcs {
@@ -324,6 +373,10 @@ impl Gcs {
         assert!((me.0 as usize) < cfg.n_nodes, "node id outside universe");
         let view = View::initial(cfg.n_nodes);
         let n = cfg.n_nodes;
+        let seq_node = match cfg.dedicated_sequencer {
+            Some(s) if view.members.contains(s) => s,
+            _ => view.members.min().expect("nonempty universe"),
+        };
         Gcs {
             me,
             view,
@@ -357,7 +410,31 @@ impl Gcs {
             metrics: GcsMetrics::default(),
             cfg,
             halted: false,
+            joining: false,
+            pending_join: None,
+            last_grant: None,
+            grant_resends: 0,
+            seq_node,
         }
+    }
+
+    /// Creates a *rejoining* instance for a node restarting after a crash
+    /// or exclusion. It starts outside any view: [`Gcs::on_start`]
+    /// multicasts a `JoinReq` (retried on a timer) until the live primary
+    /// component's lowest member grants admission at an order-clean point,
+    /// at which point the instance adopts the granted view and baselines,
+    /// emits [`Upcall::ViewChange`] + [`Upcall::Rejoined`], and resumes
+    /// normal operation. Its pre-crash tentative suffix is implicitly
+    /// discarded (fresh state) — safe because halted commits are always a
+    /// prefix of the primary component's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the universe or the universe exceeds 64.
+    pub fn rejoin(me: NodeId, cfg: GcsConfig) -> Self {
+        let mut g = Gcs::new(me, cfg);
+        g.joining = true;
+        g
     }
 
     /// The node this instance runs on.
@@ -387,12 +464,17 @@ impl Gcs {
         self.halted
     }
 
-    /// The node currently acting as sequencer.
+    /// True while this instance is a rejoiner awaiting its grant.
+    pub fn is_joining(&self) -> bool {
+        self.joining
+    }
+
+    /// The node currently acting as sequencer. Sticky: the role moves only
+    /// when its holder leaves the membership (a rejoined node never
+    /// reclaims it mid-view, even a rejoined dedicated sequencer — two
+    /// concurrently live sequencers would order divergently).
     pub fn sequencer(&self) -> Option<NodeId> {
-        match self.cfg.dedicated_sequencer {
-            Some(n) if self.view.members.contains(n) => Some(n),
-            _ => self.view.sequencer(),
-        }
+        Some(self.seq_node)
     }
 
     fn i_am_sequencer(&self) -> bool {
@@ -405,24 +487,31 @@ impl Gcs {
     }
 
     /// Starts the protocol: arms the periodic timers and reports the
-    /// initial view.
+    /// initial view. A rejoining instance instead announces itself with a
+    /// `JoinReq` and retries until granted.
     pub fn on_start(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let now = rt.now_nanos();
+        self.last_heard = vec![now; self.cfg.n_nodes];
+        self.send.last_refill = now;
+        if self.joining {
+            self.send_join_req(rt);
+            rt.set_timer(self.cfg.heartbeat_period, TimerKind::JoinRetry);
+            return;
+        }
         rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
         rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
         rt.set_timer(self.cfg.failure_timeout, TimerKind::FailureCheck);
         rt.set_timer(self.cfg.nak_delay, TimerKind::NakCheck);
-        let now = rt.now_nanos();
-        self.last_heard = vec![now; self.cfg.n_nodes];
-        self.send.last_refill = now;
         self.upcalls.push_back(Upcall::ViewChange(self.view));
     }
 
     /// Atomically multicasts `payload` to the group. Delivery (including
     /// back to the caller) happens through [`Upcall::Deliver`] in total
     /// order. Never blocks: under flow-control pressure the message queues
-    /// and [`GcsMetrics::blocked_ns`] accumulates.
+    /// and [`GcsMetrics::blocked_ns`] accumulates. Dropped while halted or
+    /// still joining (the application gates traffic on the rejoin anyway).
     pub fn broadcast(&mut self, rt: &mut dyn ProtocolRuntime, payload: Bytes) {
-        if self.halted {
+        if self.halted || self.joining {
             return;
         }
         self.metrics.app_sent += 1;
@@ -608,6 +697,16 @@ impl Gcs {
         } else {
             return; // outside the universe
         }
+        if self.joining {
+            // A rejoiner is deaf to everything but its grant: it has no
+            // view to interpret the traffic against yet.
+            if let Message::JoinGrant { new_view, members, cut, order_base, skipped, sequencer } =
+                env.msg
+            {
+                self.on_join_grant(rt, new_view, members, cut, order_base, skipped, sequencer);
+            }
+            return;
+        }
         match env.msg {
             Message::Data { seq, total_frags, frag_idx, kind, ann, payload, retrans } => {
                 if retrans {
@@ -639,6 +738,12 @@ impl Gcs {
             }
             Message::ViewInstall { new_view, members, cut } => {
                 self.on_view_install(rt, new_view, members, cut);
+            }
+            Message::JoinReq => {
+                self.on_join_req(rt, env.sender);
+            }
+            Message::JoinGrant { .. } => {
+                // Duplicate grant after adoption (or a stray): ignore.
             }
         }
     }
@@ -1294,7 +1399,10 @@ impl Gcs {
         members: NodeSet,
         cut: Vec<u64>,
     ) {
-        // Drop undeliverable fragments beyond the cut for dead streams.
+        // Drop undeliverable fragments beyond the cut for dead streams. A
+        // message left partially assembled at the cut died with its sender
+        // and can never complete anywhere — clear it, or it would block
+        // rejoin grants (which require assembly-clean streams) forever.
         // Index loop: `j` addresses both `cut` and `self.recv`.
         #[allow(clippy::needless_range_loop)]
         for j in 0..self.cfg.n_nodes {
@@ -1306,6 +1414,21 @@ impl Gcs {
             s.ooo.clear();
             s.gap_since = None;
             s.freeze_at = Some(cut[j]);
+            if s.contiguous >= cut[j] {
+                s.asm = Assembler::default();
+            }
+        }
+        // Newly added members (rejoiners): unfreeze their streams — their
+        // new traffic continues the old fragment numbering past the freeze
+        // point — and reset the failure detector so the fresh member is not
+        // instantly re-suspected on pre-crash silence.
+        let now = rt.now_nanos();
+        for node in members.difference(self.view.members).iter() {
+            let s = &mut self.recv[node.0 as usize];
+            s.freeze_at = None;
+            s.gap_since = None;
+            s.asm = Assembler::default();
+            self.last_heard[node.0 as usize] = now;
         }
         // Orphaned assignments: messages sequenced by the old view but whose
         // content died with its sender can never be delivered — skip their
@@ -1337,6 +1460,16 @@ impl Gcs {
         self.phase = Phase::Stable;
         self.suspected = self.suspected.difference(members);
         self.stab.set_members(members);
+        // Sticky sequencer: fail over only when the holder left. A
+        // still-member dedicated sequencer is preferred on failover; a
+        // *rejoined* one does not reclaim the role (it would race the
+        // incumbent across the unsynchronized install instants).
+        if !members.contains(self.seq_node) {
+            self.seq_node = match self.cfg.dedicated_sequencer {
+                Some(s) if members.contains(s) => s,
+                _ => members.min().expect("installed view contains me"),
+            };
+        }
         self.metrics.view_changes += 1;
         self.upcalls.push_back(Upcall::ViewChange(self.view));
 
@@ -1354,6 +1487,196 @@ impl Gcs {
         self.drain_sends(rt);
     }
 
+    // ----- rejoin --------------------------------------------------------
+
+    /// Suspected nodes that are still members — the set that matters for
+    /// flush coordination and grant admission (suspicions of already-removed
+    /// nodes linger harmlessly in `suspected`).
+    fn live_suspects(&self) -> NodeSet {
+        NodeSet::from_bits(self.suspected.bits() & self.view.members.bits())
+    }
+
+    fn send_join_req(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let env = Envelope { sender: self.me, view: 0, msg: Message::JoinReq };
+        rt.multicast(env.encode());
+    }
+
+    /// A restarted node asks to rejoin. Only the lowest live member grants;
+    /// everyone else ignores the request. If the joiner is already a member
+    /// (a previous grant or its install was lost on the wire), the stored
+    /// grant is resent instead.
+    fn on_join_req(&mut self, rt: &mut dyn ProtocolRuntime, joiner: NodeId) {
+        if joiner == self.me || (joiner.0 as usize) >= self.cfg.n_nodes {
+            return;
+        }
+        if self.view.members.contains(joiner) {
+            self.resend_last_grant(rt, joiner);
+            return;
+        }
+        if self.view.members.difference(self.suspected).min() != Some(self.me) {
+            return;
+        }
+        if self.pending_join.is_none() {
+            self.pending_join = Some(joiner);
+        }
+        self.try_grant_join(rt);
+    }
+
+    fn resend_last_grant(&mut self, rt: &mut dyn ProtocolRuntime, joiner: NodeId) {
+        let Some(g) = self.last_grant.clone() else { return };
+        // Only while the granted view is still current: past it, the joiner
+        // went silent through a later flush and will be re-admitted fresh.
+        if g.joiner != joiner || g.new_view != self.view.id {
+            return;
+        }
+        let grant = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::JoinGrant {
+                new_view: g.new_view,
+                members: g.members,
+                cut: g.cut.clone(),
+                order_base: g.order_base,
+                skipped: g.skipped.clone(),
+                sequencer: g.sequencer,
+            },
+        };
+        rt.unicast(joiner, grant.encode());
+        let install = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::ViewInstall { new_view: g.new_view, members: g.members, cut: g.cut },
+        };
+        rt.multicast(install.encode());
+    }
+
+    /// Admits the latched joiner if this is an *order-clean* point: a
+    /// stable phase with no live suspicions, and nothing reliably received
+    /// anywhere in this node's streams still awaiting ordering or assembly.
+    /// At such a point the received vector plus the next-to-deliver global
+    /// sequence number fully describe the group state for a fresh member:
+    /// every assignment or message content at or beyond those baselines
+    /// travels in fragments beyond the cut, which the joiner will receive
+    /// (or NAK) like any member. Called on every `JoinReq` and from the
+    /// gossip timer, so a latched join lands within a beat of the group
+    /// draining.
+    fn try_grant_join(&mut self, rt: &mut dyn ProtocolRuntime) {
+        let Some(joiner) = self.pending_join else { return };
+        if self.view.members.contains(joiner) {
+            self.pending_join = None;
+            return;
+        }
+        if !matches!(self.phase, Phase::Stable) || !self.live_suspects().is_empty() {
+            return;
+        }
+        let clean = self.to.store.is_empty()
+            && self.to.by_gseq.is_empty()
+            && self.to.pending_ann.is_empty()
+            && self.recv.iter().all(|s| s.asm.frags.is_empty());
+        if !clean {
+            return;
+        }
+        // Clear the latch *before* the install below re-enters try_deliver —
+        // and so a grant is never re-issued for the same latch.
+        self.pending_join = None;
+        let cut = self.received_vec();
+        let new_view = self.view.id + 1;
+        let mut members = self.view.members;
+        members.insert(joiner);
+        let order_base = self.to.next_deliver;
+        let mut skipped: Vec<u64> =
+            self.to.skipped.iter().copied().filter(|&g| g >= order_base).collect();
+        skipped.sort_unstable();
+        // The application serves the state transfer from exactly this
+        // instant's committed state (everything below `order_base`).
+        self.upcalls.push_back(Upcall::ServeJoin { joiner });
+        let record = GrantRecord {
+            joiner,
+            new_view,
+            members,
+            cut: cut.clone(),
+            order_base,
+            skipped: skipped.clone(),
+            sequencer: self.seq_node,
+        };
+        self.last_grant = Some(record);
+        self.grant_resends = 2;
+        rt.set_timer(self.cfg.heartbeat_period, TimerKind::JoinRetry);
+        let grant = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::JoinGrant {
+                new_view,
+                members,
+                cut: cut.clone(),
+                order_base,
+                skipped,
+                sequencer: self.seq_node,
+            },
+        };
+        rt.unicast(joiner, grant.encode());
+        let install = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::ViewInstall { new_view, members, cut: cut.clone() },
+        };
+        rt.multicast(install.encode());
+        // A member-add install needs no flush (no stream is being cut off):
+        // adopt it locally through the normal install path.
+        self.on_view_install(rt, new_view, members, cut);
+    }
+
+    /// The joiner adopts its grant: the granted view, per-stream fragment
+    /// baselines (its own old stream continues where the group last saw
+    /// it), and the total-order base. Stability restarts from scratch and
+    /// catches up through gossip max-merge — it is *not* seeded with the
+    /// cut, because group-wide stable never exceeds the granter's received
+    /// vector, so seeding could over-promise and garbage-collect fragments
+    /// a trailing survivor still needs.
+    #[allow(clippy::too_many_arguments)]
+    fn on_join_grant(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        new_view: u64,
+        members: NodeSet,
+        cut: Vec<u64>,
+        order_base: u64,
+        skipped: Vec<u64>,
+        sequencer: NodeId,
+    ) {
+        if !self.joining || !members.contains(self.me) || cut.len() != self.cfg.n_nodes {
+            return;
+        }
+        let now = rt.now_nanos();
+        self.joining = false;
+        self.view = View { id: new_view, members };
+        self.seq_node = if members.contains(sequencer) {
+            sequencer
+        } else {
+            members.min().expect("granted view contains me")
+        };
+        for (j, s) in self.recv.iter_mut().enumerate() {
+            *s = RecvStream::new();
+            s.contiguous = cut[j];
+            s.highest_known = cut[j];
+        }
+        self.send.next_frag = cut[self.me.0 as usize] + 1;
+        self.send.last_refill = now;
+        self.to.next_deliver = order_base;
+        self.to.max_applied = order_base.saturating_sub(1);
+        self.to.assign_counter = order_base;
+        self.to.skipped = skipped.into_iter().collect();
+        self.stab = Stability::new(self.me, self.cfg.n_nodes, members);
+        self.last_heard = vec![now; self.cfg.n_nodes];
+        rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
+        rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
+        rt.set_timer(self.cfg.failure_timeout, TimerKind::FailureCheck);
+        rt.set_timer(self.cfg.nak_delay, TimerKind::NakCheck);
+        self.metrics.view_changes += 1;
+        self.upcalls.push_back(Upcall::ViewChange(self.view));
+        self.upcalls.push_back(Upcall::Rejoined);
+    }
+
     // ----- timers --------------------------------------------------------
 
     /// Entry point for a fired timer.
@@ -1362,6 +1685,14 @@ impl Gcs {
             return;
         }
         rt.charge(self.cfg.proc_cost);
+        if self.joining {
+            // A rejoiner runs nothing but its retry loop.
+            if kind == TimerKind::JoinRetry {
+                self.send_join_req(rt);
+                rt.set_timer(self.cfg.heartbeat_period, TimerKind::JoinRetry);
+            }
+            return;
+        }
         match kind {
             TimerKind::Gossip => {
                 let received = self.received_vec();
@@ -1371,6 +1702,8 @@ impl Gcs {
                 self.metrics.gossip_sent += 1;
                 // Completing our own vote may already advance stability.
                 self.on_stability_advance(rt);
+                // A latched joiner admits at the next order-clean beat.
+                self.try_grant_join(rt);
                 rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
             }
             TimerKind::Heartbeat => {
@@ -1428,6 +1761,30 @@ impl Gcs {
                         None => {}
                     }
                     rt.set_timer(self.cfg.heartbeat_period, TimerKind::FlushResend);
+                }
+            }
+            TimerKind::JoinRetry => {
+                // Granter side: re-multicast the grant's install a couple of
+                // times so a survivor that lost the single install packet
+                // still learns the new member (the joiner's own losses heal
+                // through its JoinReq retries).
+                if self.grant_resends > 0 {
+                    self.grant_resends -= 1;
+                    if let Some(g) = self.last_grant.clone() {
+                        if g.new_view == self.view.id {
+                            let env = Envelope {
+                                sender: self.me,
+                                view: self.view.id,
+                                msg: Message::ViewInstall {
+                                    new_view: g.new_view,
+                                    members: g.members,
+                                    cut: g.cut,
+                                },
+                            };
+                            rt.multicast(env.encode());
+                            rt.set_timer(self.cfg.heartbeat_period, TimerKind::JoinRetry);
+                        }
+                    }
                 }
             }
         }
@@ -1817,6 +2174,226 @@ mod tests {
             "loopback message tentatively delivered: {ups:?}"
         );
         assert_eq!(g.metrics().tentative_delivered, 1);
+    }
+
+    /// Decodes everything `rt` sent, newest-last.
+    fn sent_msgs(rt: &MockRt) -> Vec<Message> {
+        rt.sent.iter().filter_map(|raw| Envelope::decode(raw.clone()).ok()).map(|e| e.msg).collect()
+    }
+
+    /// Drives `g` (node 0 of 3) through a view change that removes node 2:
+    /// suspect it via the failure detector, then complete the flush with
+    /// node 1's ack.
+    fn remove_node_2(rt: &mut MockRt, g: &mut Gcs) {
+        rt.now += 10 * g.cfg.failure_timeout.as_nanos() as u64;
+        g.last_heard[1] = rt.now;
+        g.on_timer(rt, TimerKind::FailureCheck);
+        assert!(matches!(g.phase, Phase::Flushing { .. }), "flush started");
+        let ack = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::FlushAck { new_view: 1, received: g.received_vec() },
+        };
+        g.on_packet(rt, ack.encode());
+        assert!(matches!(g.phase, Phase::Stable), "view installed");
+        assert_eq!(g.view().members.len(), 2);
+    }
+
+    #[test]
+    fn join_req_is_granted_at_an_order_clean_point() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        remove_node_2(&mut rt, &mut g);
+        g.drain_upcalls();
+
+        // Node 2 restarts and asks to rejoin; the group is idle, so the
+        // grant is immediate.
+        let req = Envelope { sender: NodeId(2), view: 0, msg: Message::JoinReq };
+        g.on_packet(&mut rt, req.encode());
+        let ups = g.drain_upcalls();
+        let serve = ups.iter().position(|u| *u == Upcall::ServeJoin { joiner: NodeId(2) });
+        let vc =
+            ups.iter().position(|u| matches!(u, Upcall::ViewChange(v) if v.members.len() == 3));
+        assert!(serve.is_some(), "granter serves the transfer: {ups:?}");
+        assert!(vc.is_some(), "member-add view installed: {ups:?}");
+        assert!(serve < vc, "transfer is primed before the new view");
+        assert_eq!(g.view().id, 2);
+        assert_eq!(g.sequencer(), Some(NodeId(0)), "sequencer role unchanged");
+        let msgs = sent_msgs(&rt);
+        assert!(
+            msgs.iter().any(|m| matches!(m, Message::JoinGrant { new_view: 2, .. })),
+            "grant unicast: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| matches!(m, Message::ViewInstall { new_view: 2, members, .. }
+                    if members.len() == 3)),
+            "member-add install multicast: {msgs:?}"
+        );
+        assert!(g.recv[2].freeze_at.is_none(), "rejoined stream unfrozen");
+    }
+
+    #[test]
+    fn grant_waits_until_the_order_is_clean() {
+        // An application message whose announcement is still batched keeps
+        // the group order-dirty: the join latches and is granted only once
+        // the message has delivered (checked at the gossip beat).
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(600)));
+        g.on_start(&mut rt);
+        remove_node_2(&mut rt, &mut g);
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 1, b"txn"));
+        assert!(!g.to.store.is_empty(), "undelivered message in the store");
+
+        let req = Envelope { sender: NodeId(2), view: 0, msg: Message::JoinReq };
+        g.on_packet(&mut rt, req.encode());
+        assert_eq!(g.pending_join, Some(NodeId(2)), "join latched, not granted");
+        assert!(!sent_msgs(&rt).iter().any(|m| matches!(m, Message::JoinGrant { .. })));
+
+        // The batch flushes, the message delivers, and the next gossip beat
+        // admits the joiner.
+        g.on_timer(&mut rt, TimerKind::AnnFlush);
+        assert!(g.to.store.is_empty(), "message delivered");
+        g.on_timer(&mut rt, TimerKind::Gossip);
+        assert_eq!(g.pending_join, None);
+        let grant = sent_msgs(&rt).into_iter().find_map(|m| match m {
+            Message::JoinGrant { order_base, .. } => Some(order_base),
+            _ => None,
+        });
+        assert_eq!(grant, Some(2), "order base covers the delivered message");
+        assert_eq!(g.view().members.len(), 3);
+    }
+
+    #[test]
+    fn repeated_join_req_resends_the_stored_grant() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        remove_node_2(&mut rt, &mut g);
+        let req = Envelope { sender: NodeId(2), view: 0, msg: Message::JoinReq };
+        g.on_packet(&mut rt, req.encode());
+        assert_eq!(g.view().id, 2);
+        let grants_before =
+            sent_msgs(&rt).iter().filter(|m| matches!(m, Message::JoinGrant { .. })).count();
+        // The grant was lost: the joiner keeps retrying, and each retry
+        // resends the stored grant + install instead of re-granting.
+        g.on_packet(&mut rt, req.encode());
+        let msgs = sent_msgs(&rt);
+        let grants = msgs.iter().filter(|m| matches!(m, Message::JoinGrant { .. })).count();
+        assert_eq!(grants, grants_before + 1, "stored grant resent");
+        assert_eq!(g.view().id, 2, "no second view change");
+        let ups = g.drain_upcalls();
+        assert_eq!(
+            ups.iter().filter(|u| matches!(u, Upcall::ServeJoin { .. })).count(),
+            1,
+            "transfer served once: {ups:?}"
+        );
+    }
+
+    #[test]
+    fn joiner_adopts_the_granted_baselines() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::rejoin(NodeId(2), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        assert!(g.is_joining());
+        assert!(
+            sent_msgs(&rt).iter().any(|m| matches!(m, Message::JoinReq)),
+            "rejoiner announces itself"
+        );
+        assert!(g.drain_upcalls().is_empty(), "no view reported while joining");
+        // Deaf to regular traffic while joining.
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 1, b"early"));
+        assert_eq!(g.metrics().frags_received, 0);
+
+        let grant = Envelope {
+            sender: NodeId(1),
+            view: 3,
+            msg: Message::JoinGrant {
+                new_view: 4,
+                members: NodeSet::first_n(3),
+                cut: vec![5, 7, 4],
+                order_base: 9,
+                skipped: vec![11],
+                sequencer: NodeId(1),
+            },
+        };
+        g.on_packet(&mut rt, grant.encode());
+        assert!(!g.is_joining());
+        assert_eq!(g.view(), View { id: 4, members: NodeSet::first_n(3) });
+        assert_eq!(g.sequencer(), Some(NodeId(1)), "adopts the sticky sequencer");
+        assert_eq!(g.to.next_deliver, 9);
+        assert_eq!(g.send.next_frag, 5, "own stream resumes past the cut");
+        assert_eq!(g.recv[0].contiguous, 5);
+        assert_eq!(g.recv[1].contiguous, 7);
+        let ups = g.drain_upcalls();
+        assert_eq!(
+            ups,
+            vec![
+                Upcall::ViewChange(View { id: 4, members: NodeSet::first_n(3) }),
+                Upcall::Rejoined
+            ]
+        );
+        // A duplicate grant is ignored.
+        let dup = Envelope {
+            sender: NodeId(1),
+            view: 4,
+            msg: Message::JoinGrant {
+                new_view: 5,
+                members: NodeSet::first_n(3),
+                cut: vec![0, 0, 0],
+                order_base: 1,
+                skipped: Vec::new(),
+                sequencer: NodeId(1),
+            },
+        };
+        g.on_packet(&mut rt, dup.encode());
+        assert_eq!(g.view().id, 4, "duplicate grant ignored");
+        // Post-rejoin traffic flows: node 1's next fragment (8) continues
+        // its stream, and the skipped orphan is honoured.
+        g.on_packet(&mut rt, app_fragment(NodeId(1), 8, b"txn"));
+        let ann = Envelope {
+            sender: NodeId(1),
+            view: 4,
+            msg: Message::Data {
+                seq: 9,
+                total_frags: 1,
+                frag_idx: 0,
+                kind: PayloadKind::App,
+                ann: vec![
+                    SeqAssign { sender: NodeId(1), msg_seq: 8, global_seq: 9 },
+                    SeqAssign { sender: NodeId(1), msg_seq: 9, global_seq: 10 },
+                ],
+                payload: Bytes::from_static(b"txn2"),
+                retrans: false,
+            },
+        };
+        g.on_packet(&mut rt, ann.encode());
+        let delivered: Vec<u64> = g
+            .drain_upcalls()
+            .into_iter()
+            .filter_map(|u| match u {
+                Upcall::Deliver { global_seq, .. } => Some(global_seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![9, 10], "delivery resumes from the order base");
+        assert_eq!(g.to.next_deliver, 12, "skipped orphan 11 deterministically jumped");
+    }
+
+    #[test]
+    fn rejoined_dedicated_sequencer_does_not_reclaim_the_role() {
+        let mut cfg = fixed_cfg(3, Duration::from_millis(5));
+        cfg.dedicated_sequencer = Some(NodeId(2));
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), cfg);
+        g.on_start(&mut rt);
+        assert_eq!(g.sequencer(), Some(NodeId(2)), "dedicated sequencer honoured");
+        remove_node_2(&mut rt, &mut g);
+        assert_eq!(g.sequencer(), Some(NodeId(0)), "failover to the lowest member");
+        let req = Envelope { sender: NodeId(2), view: 0, msg: Message::JoinReq };
+        g.on_packet(&mut rt, req.encode());
+        assert_eq!(g.view().members.len(), 3);
+        assert_eq!(g.sequencer(), Some(NodeId(0)), "rejoiner does not reclaim mid-view");
     }
 
     #[test]

@@ -117,6 +117,28 @@ pub enum Message {
         /// before installing.
         cut: Vec<u64>,
     },
+    /// Rejoin: a restarted node announces itself to the live primary
+    /// component (multicast, retried until granted).
+    JoinReq,
+    /// Rejoin: the lowest live member admits the joiner at an order-clean
+    /// point, shipping every baseline the fresh instance needs (unicast).
+    JoinGrant {
+        /// View the joiner becomes a member of.
+        new_view: u64,
+        /// Membership of that view (old members plus the joiner).
+        members: NodeSet,
+        /// Per-stream fragment baselines: the granter's received vector.
+        /// The joiner resumes each stream (its own included) from here.
+        cut: Vec<u64>,
+        /// First global sequence number the joiner will deliver; everything
+        /// below is covered by the application-level state transfer.
+        order_base: u64,
+        /// Deterministically skipped global sequence numbers at or above
+        /// `order_base` (orphans of earlier view changes).
+        skipped: Vec<u64>,
+        /// The group's current (sticky) sequencer.
+        sequencer: NodeId,
+    },
 }
 
 /// Decode error.
@@ -234,6 +256,21 @@ impl Envelope {
                     b.put_u64_le(*v);
                 }
             }
+            Message::JoinReq => {}
+            Message::JoinGrant { new_view, members, cut, order_base, skipped, sequencer } => {
+                b.put_u64_le(*new_view);
+                b.put_u64_le(members.bits());
+                b.put_u16_le(cut.len() as u16);
+                for v in cut {
+                    b.put_u64_le(*v);
+                }
+                b.put_u64_le(*order_base);
+                b.put_u16_le(skipped.len() as u16);
+                for v in skipped {
+                    b.put_u64_le(*v);
+                }
+                b.put_u16_le(sequencer.0);
+            }
         }
         b.freeze()
     }
@@ -247,6 +284,8 @@ impl Envelope {
             Message::FlushReq { .. } => 4,
             Message::FlushAck { .. } => 5,
             Message::ViewInstall { .. } => 6,
+            Message::JoinReq => 7,
+            Message::JoinGrant { .. } => 8,
         }
     }
 
@@ -351,6 +390,27 @@ impl Envelope {
                 let cut = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
                 Message::ViewInstall { new_view, members, cut }
             }
+            7 => Message::JoinReq,
+            8 => {
+                if buf.len() < 18 {
+                    return Err(WireError::Truncated);
+                }
+                let new_view = buf.get_u64_le();
+                let members = NodeSet::from_bits(buf.get_u64_le());
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * 8 + 10 {
+                    return Err(WireError::Truncated);
+                }
+                let cut = (0..n).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                let order_base = buf.get_u64_le();
+                let k = buf.get_u16_le() as usize;
+                if buf.len() < k * 8 + 2 {
+                    return Err(WireError::Truncated);
+                }
+                let skipped = (0..k).map(|_| buf.get_u64_le()).collect::<Vec<_>>();
+                let sequencer = NodeId(buf.get_u16_le());
+                Message::JoinGrant { new_view, members, cut, order_base, skipped, sequencer }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         Ok(Envelope { sender, view, msg })
@@ -442,6 +502,48 @@ mod tests {
             members: NodeSet::first_n(2),
             cut: vec![10, 20, 30],
         });
+        roundtrip(Message::JoinReq);
+        roundtrip(Message::JoinGrant {
+            new_view: 4,
+            members: NodeSet::first_n(3),
+            cut: vec![10, 20, 30],
+            order_base: 17,
+            skipped: vec![18, 21],
+            sequencer: NodeId(1),
+        });
+        roundtrip(Message::JoinGrant {
+            new_view: 1,
+            members: NodeSet::first_n(2),
+            cut: vec![0, 0],
+            order_base: 1,
+            skipped: Vec::new(),
+            sequencer: NodeId(0),
+        });
+    }
+
+    #[test]
+    fn truncated_join_grant_rejected() {
+        let env = Envelope {
+            sender: NodeId(0),
+            view: 3,
+            msg: Message::JoinGrant {
+                new_view: 4,
+                members: NodeSet::first_n(3),
+                cut: vec![10, 20, 30],
+                order_base: 17,
+                skipped: vec![18],
+                sequencer: NodeId(1),
+            },
+        };
+        let full = env.encode();
+        for cut in ENVELOPE_OVERHEAD..full.len() {
+            assert_eq!(
+                Envelope::decode(full.slice(0..cut)),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
+        }
+        assert!(Envelope::decode(full).is_ok());
     }
 
     #[test]

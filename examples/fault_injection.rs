@@ -1,8 +1,10 @@
 //! Fault injection (paper §5.3 and beyond): subject a replicated database
 //! to the full scenario catalogue — random loss, bursty loss, a crash,
 //! clock drift, scheduling latency, a partition-then-merge, duplicate
-//! delivery, and correlated loss bursts — and verify both the performance
-//! impact and the safety condition after every scenario.
+//! delivery, correlated loss bursts, and a crash-then-rejoin — and verify
+//! both the performance impact and the safety condition after every
+//! scenario (rejoined sites are chain-checked through their transfer
+//! cuts).
 //!
 //! Every scenario prints the `summary_line` work ledger (tpm, latency,
 //! certification work, announcement work, view installs, duplicates), so
@@ -14,7 +16,7 @@
 //! ```
 
 use dbsm_testbed::core::{report, run_experiment, ExperimentConfig, RunMetrics};
-use dbsm_testbed::fault::{check_logs, FaultPlan};
+use dbsm_testbed::fault::{check_logs_rejoined, FaultPlan, FaultSpec};
 use dbsm_testbed::sim::SimTime;
 use std::time::Duration;
 
@@ -22,7 +24,8 @@ fn run(label: &str, faults: FaultPlan) -> RunMetrics {
     let cfg = ExperimentConfig::replicated(3, 120).with_target(1200).with_faults(faults);
     let metrics = run_experiment(cfg);
     let crashed: Vec<bool> = (0..3u16).map(|s| metrics.crashed_sites.contains(&s)).collect();
-    check_logs(&metrics.commit_logs, &crashed).expect("safety violated");
+    check_logs_rejoined(&metrics.commit_logs, &crashed, &metrics.rejoin_cuts())
+        .expect("safety violated");
     println!("{}  (safety ok)", report::summary_line(&format!("{label:<22}"), &metrics));
     metrics
 }
@@ -64,6 +67,43 @@ fn main() {
         "correlated burst 15%",
         FaultPlan::correlated_burst(vec![0, 1, 2], Duration::from_millis(10), 0.15),
     );
+    // Site 2 crashes at 20s and restarts at 40s: the fresh incarnation
+    // announces itself to the primary component, catches up through a
+    // snapshot + delta-log state transfer from a live member, and resumes
+    // certifying — the `rec=` section of its summary line is the recovery
+    // ledger (rejoins/snapshots, transfer KB, replayed entries, mean
+    // time-to-useful).
+    let rejoin = run(
+        "crash+rejoin @20/40s",
+        FaultPlan::crash_restart(2, SimTime::from_secs(20), SimTime::from_secs(40)),
+    );
+    // Flapping partition: the same minority split re-forms three times
+    // (2s split / 2s heal from 10s on). The first flap outlives the
+    // failure detector, so site 2 is excluded and halts; the later flaps
+    // hit an already-dead site. A restart at 30s then brings it back
+    // through the rejoin path — a partition-halt is as recoverable as a
+    // crash.
+    let flap = run(
+        "flapping x3 + rejoin",
+        FaultPlan::flapping_partition(
+            vec![vec![0, 1], vec![2]],
+            SimTime::from_secs(10),
+            Duration::from_secs(2),
+            3,
+        )
+        .with(FaultSpec::Restart { site: 2, at: SimTime::from_secs(30) }),
+    );
+    // Rolling kill-and-replace: every site is killed in turn and comes
+    // back 10s later, staggered 25s apart so a majority always survives.
+    let rolling = run(
+        "kill-and-replace x3",
+        FaultPlan::kill_and_replace(
+            3,
+            SimTime::from_secs(15),
+            Duration::from_secs(25),
+            Duration::from_secs(10),
+        ),
+    );
 
     println!();
     println!(
@@ -95,5 +135,30 @@ fn main() {
     println!(
         "duplicate delivery: {} copies injected, {} absorbed by the dedup path, logs identical",
         dup.fault_work.dup_injected, dup.fault_work.dup_discarded
+    );
+    let r = rejoin.rejoins[0];
+    println!(
+        "crash+rejoin: site {} kept {} commits, caught up to {} via {} KB of state transfer, \
+         replayed {} delta entries, useful again after {:.0} ms",
+        r.site,
+        r.kept,
+        r.cut,
+        rejoin.recovery_work.total_bytes() / 1024,
+        rejoin.recovery_work.replayed_entries,
+        rejoin.recovery_work.mean_ttu_ms(),
+    );
+    println!(
+        "kill-and-replace: {}/3 sites rejoined ({} KB transferred, mean ttu {:.0} ms) and the \
+         logs still form one chain",
+        rolling.recovery_work.rejoins,
+        rolling.recovery_work.total_bytes() / 1024,
+        rolling.recovery_work.mean_ttu_ms(),
+    );
+    println!(
+        "flapping partition: {} view installs, then the halted minority rejoined ({} rejoin, \
+         ttu {:.0} ms)",
+        flap.fault_work.view_installs,
+        flap.recovery_work.rejoins,
+        flap.recovery_work.mean_ttu_ms(),
     );
 }

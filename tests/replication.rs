@@ -496,3 +496,114 @@ fn protocol_cpu_stays_in_the_papers_band() {
     assert!(real > 0.0, "protocol CPU must be visible");
     assert!(real < 0.15, "protocol CPU {real:.3} unexpectedly high");
 }
+
+#[test]
+fn crashed_then_restarted_site_rejoins_and_commits() {
+    use dbsm_testbed::fault::check_logs_rejoined;
+    // Site 2 crashes at 15 s and restarts at 30 s: its fresh incarnation
+    // must announce itself, catch up via snapshot + delta-log state
+    // transfer, re-enter the view and resume committing.
+    // 24 clients at 1 s think complete ~24 txns/s, so the 1000-txn target
+    // keeps the run alive well past the 20 s restart.
+    let mut cfg = ExperimentConfig::replicated(3, 24)
+        .with_target(1000)
+        .with_faults(FaultPlan::crash_restart(2, SimTime::from_secs(10), SimTime::from_secs(20)));
+    cfg.think_mean = Duration::from_secs(1);
+    cfg.max_sim = Duration::from_secs(300);
+    let m = run_experiment(cfg);
+    assert!(m.committed() > 700, "committed {}", m.committed());
+    // Exactly one rejoin, served by exactly one snapshot, priced in bytes.
+    assert_eq!(m.recovery_work.rejoins, 1, "rejoins {:?}", m.rejoins);
+    assert_eq!(m.recovery_work.snapshots_served, 1);
+    assert!(m.recovery_work.snapshot_bytes > 0);
+    assert!(m.recovery_work.mean_ttu_ms() > 0.0);
+    let r = m.rejoins[0];
+    assert_eq!(r.site, 2);
+    assert!(r.kept <= r.cut, "kept {} cut {}", r.kept, r.cut);
+    assert_eq!(
+        m.recovery_work.replayed_entries,
+        (r.cut - r.kept) as u64,
+        "delta log covers exactly the missed entries"
+    );
+    // The rejoined site committed new transactions past the transfer cut.
+    assert!(!m.crashed_sites.contains(&2), "site 2 is live again");
+    assert!(
+        m.commit_logs[2].len() > r.kept,
+        "post-rejoin commits: log {} kept {}",
+        m.commit_logs[2].len(),
+        r.kept
+    );
+    // And the full chain rule holds: pre-crash prefix, transferred gap,
+    // post-rejoin continuation from the cut.
+    let crashed = crashed_flags(&m, 3);
+    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+        .expect("rejoined log chains through the cut");
+    // CI's recovery smoke step greps this line into the step summary.
+    println!(
+        "recovery smoke: site 2 rejoined via {} KB transfer, replayed {} entries, \
+         time-to-useful {:.0} ms",
+        m.recovery_work.total_bytes() / 1024,
+        m.recovery_work.replayed_entries,
+        m.recovery_work.mean_ttu_ms()
+    );
+}
+
+#[test]
+fn kill_and_replace_completes_with_chain_checked_logs() {
+    use dbsm_testbed::fault::check_logs_rejoined;
+    // Rolling kill-and-replace: each of the three sites is killed in turn
+    // and restarts after a short downtime, staggered so a majority always
+    // survives. Every site must come back through the rejoin path.
+    // Kills at 8/23/38 s, each site back 5 s later; the 1500-txn target
+    // keeps traffic flowing past the last rejoin.
+    let mut cfg = ExperimentConfig::replicated(3, 24).with_target(1500).with_faults(
+        FaultPlan::kill_and_replace(
+            3,
+            SimTime::from_secs(8),
+            Duration::from_secs(15),
+            Duration::from_secs(5),
+        ),
+    );
+    cfg.think_mean = Duration::from_secs(1);
+    cfg.max_sim = Duration::from_secs(300);
+    let m = run_experiment(cfg);
+    assert!(m.committed() > 1000, "committed {}", m.committed());
+    assert_eq!(m.recovery_work.rejoins, 3, "all sites rejoined: {:?}", m.rejoins);
+    assert_eq!(m.recovery_work.snapshots_served, 3);
+    assert!(m.crashed_sites.is_empty(), "no site left behind: {:?}", m.crashed_sites);
+    let crashed = crashed_flags(&m, 3);
+    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+        .expect("every replaced site chains through its cut");
+}
+
+#[test]
+fn partial_placement_rejoin_transfers_only_the_sites_spans() {
+    use dbsm_testbed::fault::check_logs_rejoined;
+    // Under a 2-of-6 placement the rejoiner re-requests only its spans'
+    // rows: the snapshot is priced per owned warehouse, a fraction of the
+    // full-replication transfer.
+    let restart = FaultPlan::crash_restart(5, SimTime::from_secs(8), SimTime::from_secs(16));
+    let mut cfg = ExperimentConfig::replicated(6, 60)
+        .with_target(1500)
+        .with_replication_factor(2)
+        .with_faults(restart.clone());
+    cfg.think_mean = Duration::from_secs(1);
+    cfg.max_sim = Duration::from_secs(300);
+    let m = run_experiment(cfg);
+    assert_eq!(m.recovery_work.rejoins, 1, "rejoins {:?}", m.rejoins);
+    let crashed = crashed_flags(&m, 6);
+    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+        .expect("partial-placement rejoin chains through the cut");
+    // Full replication ships all warehouses; the 2-of-6 span ships ~1/3.
+    let mut full = ExperimentConfig::replicated(6, 60).with_target(1500).with_faults(restart);
+    full.think_mean = Duration::from_secs(1);
+    full.max_sim = Duration::from_secs(300);
+    let f = run_experiment(full);
+    assert_eq!(f.recovery_work.rejoins, 1);
+    assert!(
+        m.recovery_work.snapshot_bytes * 2 < f.recovery_work.snapshot_bytes,
+        "span-restricted snapshot {} vs full {}",
+        m.recovery_work.snapshot_bytes,
+        f.recovery_work.snapshot_bytes
+    );
+}
