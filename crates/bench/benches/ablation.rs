@@ -457,6 +457,73 @@ fn bench_partial_replication(c: &mut Criterion) {
     }
 }
 
+fn bench_vote_wire(c: &mut Criterion) {
+    // The decentralized-vote question: with certification verdicts
+    // multicast as wire-level votes (piggybacked on outgoing data frames
+    // where MTU slack allows) instead of modeled as a fixed RTT, what does
+    // the vote round actually cost — and how much of it does the pipelined
+    // path hide by pre-computing votes at tentative delivery, overlapping
+    // the vote round with the ordering round? The sweep crosses sites
+    // {3, 6, 9, 12} with replication factor {2, 3} under BOTH commit
+    // paths (rf >= sites points are full replication — no wire votes —
+    // and are skipped). Rows land in BENCH_cert.json keyed by
+    // (commit_path, sites, replication_factor), carrying the schema-v4
+    // wire ledger: votes sent/received, piggyback rate, resends, and the
+    // mean origin-side wait from delivery to quorum decision.
+    let rows: RefCell<Vec<CertBenchRow>> = RefCell::new(Vec::new());
+    {
+        let mut g = c.benchmark_group("ablation_vote_wire");
+        g.sample_size(1);
+        g.measurement_time(Duration::from_secs(1));
+        let clients = 12_000usize;
+        for sites in [3usize, 6, 9, 12] {
+            for factor in [2usize, 3] {
+                if factor >= sites {
+                    continue; // full replication: no wire votes to measure
+                }
+                for path in [CommitPath::Synchronous, CommitPath::Pipelined] {
+                    let id = format!("sites_{sites}_rf_{factor}_{}", path.name());
+                    let mut recorded = false;
+                    g.bench_function(&id, |b| {
+                        b.iter(|| {
+                            // Same steady-state budget, snapshot window and
+                            // CPU configuration as the partial-replication
+                            // sweep, so its synchronous rows are directly
+                            // comparable.
+                            let mut cfg = ExperimentConfig::replicated(sites, clients)
+                                .with_target(20_000)
+                                .with_cert_backend(CertBackendKind::Indexed)
+                                .with_replication_factor(factor)
+                                .with_commit_path(path);
+                            cfg.history_window = 1 << 17;
+                            cfg.cpus_per_site = 3;
+                            let m = run_experiment(cfg.clone());
+                            if !recorded {
+                                recorded = true;
+                                println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                                rows.borrow_mut()
+                                    .push(CertBenchRow::from_metrics("indexed", 1, &cfg, &m));
+                            }
+                            black_box((
+                                m.tpm(),
+                                m.vote_wire.sent,
+                                m.vote_wire.piggyback_rate(),
+                                m.vote_wire.mean_wait_ms(),
+                            ))
+                        })
+                    });
+                }
+            }
+        }
+        g.finish();
+    }
+    let rows = rows.into_inner();
+    if !rows.is_empty() {
+        let path = merge_and_write("ablation_cert_sharding", &rows).expect("merge BENCH_cert.json");
+        println!("merged {} fresh rows into {}", rows.len(), path.display());
+    }
+}
+
 criterion_group!(
     benches,
     bench_locking_policy,
@@ -468,5 +535,6 @@ criterion_group!(
     bench_cert_backend,
     bench_cert_sharding,
     bench_partial_replication,
+    bench_vote_wire,
 );
 criterion_main!(benches);

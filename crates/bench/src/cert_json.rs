@@ -27,6 +27,8 @@
 //!       "stall_ns": 4000, "spec_hits": 870, "spec_revalidated": 25,
 //!       "spec_rollbacks": 2, "spec_misses": 3,
 //!       "span_fraction": 1.0, "vote_rounds": 0, "cross_span_txns": 0,
+//!       "votes_sent": 0, "votes_received": 0, "vote_piggyback_rate": 0,
+//!       "vote_resends": 0, "mean_vote_wait_ms": 0,
 //!       "config_hash": "f2a90c4d13b7e6a1"
 //!     }
 //!   ]
@@ -36,18 +38,23 @@
 //! Rows are keyed by
 //! `(backend, shards, clients, commit_path, sites, replication_factor)` —
 //! schema v3 added the last two so the partial-replication sweep can put
-//! the same backend at several sites × replication-factor points. The
+//! the same backend at several sites × replication-factor points, and
+//! schema v4 added the decentralized-vote wire ledger (`votes_sent`,
+//! `votes_received`, `vote_piggyback_rate`, `vote_resends`,
+//! `mean_vote_wait_ms` — all zero under full replication, where no wire
+//! votes flow). The
 //! `config_hash` fingerprints everything else a row's numbers depend on
 //! (schema version, sites, replication factor, CPUs per site, target
 //! transactions, history window, seed):
 //! [`merge_rows`]
 //! preserves rows a partial sweep didn't re-run, but refuses to mix rows
 //! whose hashes disagree for the same key — a silent half-updated artifact
-//! would be worse than no artifact. The parser reads schema v2 documents
-//! too (the v3 fields default: `sites`/`replication_factor` 0,
-//! `span_fraction` 1.0, vote counters 0), so the CI gate keeps passing on
-//! artifacts written before the bump; any v2 row a sweep re-runs is
-//! refused by the hash check and forces a clean re-sweep.
+//! would be worse than no artifact. The parser reads schema v2 and v3
+//! documents too (the v3 fields default: `sites`/`replication_factor` 0,
+//! `span_fraction` 1.0, vote counters 0; the v4 wire-vote fields default
+//! to 0), so the CI gate keeps passing on artifacts written before the
+//! bump; any old-schema row a sweep re-runs is refused by the hash check
+//! and forces a clean re-sweep.
 
 use dbsm_core::{CertCostModel, ExperimentConfig, RunMetrics};
 use std::fmt::Write as _;
@@ -56,7 +63,7 @@ use std::path::{Path, PathBuf};
 /// Bumped whenever a schema or pricing change makes old rows incomparable
 /// with fresh ones; feeds [`config_hash`], so a bump forces a full re-sweep
 /// instead of a silent mixed-schema merge.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One row of the certification sweep: a backend at a client count, with
 /// the throughput and the work-ledger split the sweep exists to track.
@@ -122,6 +129,18 @@ pub struct CertBenchRow {
     pub vote_rounds: u64,
     /// Update transactions that crossed spans and voted (schema v3).
     pub cross_span_txns: u64,
+    /// Wire-level certification votes multicast, all sites (schema v4).
+    pub votes_sent: u64,
+    /// Wire-level votes received, all sites (schema v4).
+    pub votes_received: u64,
+    /// Fraction of sent votes that rode outgoing data frames instead of
+    /// paying their own packet (schema v4).
+    pub vote_piggyback_rate: f64,
+    /// Vote retransmissions after loss (schema v4).
+    pub vote_resends: u64,
+    /// Mean origin-side wait from delivery to quorum decision, ms
+    /// (schema v4).
+    pub mean_vote_wait_ms: f64,
     /// Hex fingerprint of the row's configuration (see [`config_hash`]).
     pub config_hash: String,
 }
@@ -227,6 +246,11 @@ impl CertBenchRow {
             span_fraction: m.cert_work.span_fraction(),
             vote_rounds: m.cert_work.vote_rounds,
             cross_span_txns: m.cert_work.cross_span_txns,
+            votes_sent: m.vote_wire.sent,
+            votes_received: m.vote_wire.received,
+            vote_piggyback_rate: m.vote_wire.piggyback_rate(),
+            vote_resends: m.vote_wire.resends,
+            mean_vote_wait_ms: m.vote_wire.mean_wait_ms(),
             config_hash,
         }
     }
@@ -293,6 +317,8 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
              \"service_ns\": {}, \"merge_ns\": {}, \"stall_ns\": {}, \"spec_hits\": {}, \
              \"spec_revalidated\": {}, \"spec_rollbacks\": {}, \"spec_misses\": {}, \
              \"span_fraction\": {}, \"vote_rounds\": {}, \"cross_span_txns\": {}, \
+             \"votes_sent\": {}, \"votes_received\": {}, \"vote_piggyback_rate\": {}, \
+             \"vote_resends\": {}, \"mean_vote_wait_ms\": {}, \
              \"config_hash\": {}}}",
             json_str(&r.backend),
             r.shards,
@@ -323,6 +349,11 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
             json_num(r.span_fraction),
             r.vote_rounds,
             r.cross_span_txns,
+            r.votes_sent,
+            r.votes_received,
+            json_num(r.vote_piggyback_rate),
+            r.vote_resends,
+            json_num(r.mean_vote_wait_ms),
             json_str(&r.config_hash),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -611,8 +642,9 @@ impl Json {
         matches!(self, Json::Obj(entries) if entries.iter().any(|(k, _)| k == key))
     }
 
-    /// A key schema v3 added: absent (v2 row) falls back to `default`, but
-    /// a present key with the wrong type is still a hard error.
+    /// A key a later schema added: absent (older row) falls back to
+    /// `default`, but a present key with the wrong type is still a hard
+    /// error.
     fn uint_field_or(&self, key: &str, default: u64) -> Result<u64, String> {
         if self.has_key(key) {
             self.uint_field(key)
@@ -621,7 +653,7 @@ impl Json {
         }
     }
 
-    /// Like [`Json::uint_field_or`] for float-valued v3 keys.
+    /// Like [`Json::uint_field_or`] for float-valued late-schema keys.
     fn num_field_or(&self, key: &str, default: f64) -> Result<f64, String> {
         if self.has_key(key) {
             self.num_field(key)
@@ -671,6 +703,11 @@ fn row_from_json(v: &Json) -> Result<CertBenchRow, String> {
         span_fraction: v.num_field_or("span_fraction", 1.0)?,
         vote_rounds: v.uint_field_or("vote_rounds", 0)?,
         cross_span_txns: v.uint_field_or("cross_span_txns", 0)?,
+        votes_sent: v.uint_field_or("votes_sent", 0)?,
+        votes_received: v.uint_field_or("votes_received", 0)?,
+        vote_piggyback_rate: v.num_field_or("vote_piggyback_rate", 0.0)?,
+        vote_resends: v.uint_field_or("vote_resends", 0)?,
+        mean_vote_wait_ms: v.num_field_or("mean_vote_wait_ms", 0.0)?,
         config_hash: v.str_field("config_hash")?,
     })
 }
@@ -798,6 +835,11 @@ mod tests {
             span_fraction: 1.0,
             vote_rounds: 0,
             cross_span_txns: 0,
+            votes_sent: 140,
+            votes_received: 270,
+            vote_piggyback_rate: 0.62,
+            vote_resends: 4,
+            mean_vote_wait_ms: 1.8,
             config_hash: config_hash("sharded", 8, 10000, "pipelined", 3, 3, 1, 600, 4096, 42),
         }
     }
@@ -839,6 +881,11 @@ mod tests {
             "span_fraction",
             "vote_rounds",
             "cross_span_txns",
+            "votes_sent",
+            "votes_received",
+            "vote_piggyback_rate",
+            "vote_resends",
+            "mean_vote_wait_ms",
             "config_hash",
         ] {
             assert!(doc.contains(&format!("\"{key}\"")), "missing {key}:\n{doc}");
@@ -1001,7 +1048,8 @@ mod tests {
     #[test]
     fn typed_parser_accepts_schema_v2_rows_with_defaults() {
         // A schema-v2 row: none of the v3 keys (sites, replication_factor,
-        // span_fraction, vote_rounds, cross_span_txns) are present.
+        // span_fraction, vote_rounds, cross_span_txns) nor the v4
+        // wire-vote keys are present.
         let doc = r#"{"group": "g", "rows": [
             {"backend": "sharded", "shards": 8, "clients": 10000,
              "commit_path": "pipelined", "tpm": 35966.4,
@@ -1022,8 +1070,46 @@ mod tests {
         assert_eq!(row.span_fraction, 1.0);
         assert_eq!(row.vote_rounds, 0);
         assert_eq!(row.cross_span_txns, 0);
+        assert_eq!(row.votes_sent, 0);
+        assert_eq!(row.votes_received, 0);
+        assert_eq!(row.vote_piggyback_rate, 0.0);
+        assert_eq!(row.vote_resends, 0);
+        assert_eq!(row.mean_vote_wait_ms, 0.0);
         // A v3 key present with the wrong type is still a hard error.
         let bad = doc.replace("\"spec_misses\": 3,", "\"spec_misses\": 3, \"sites\": \"three\",");
+        assert!(parse_document(&bad).unwrap_err().contains("must be a number"));
+    }
+
+    #[test]
+    fn typed_parser_accepts_schema_v3_rows_with_defaults() {
+        // A schema-v3 row carries the partial-replication fields but none
+        // of the v4 wire-vote keys: those default to zero.
+        let doc = r#"{"group": "g", "rows": [
+            {"backend": "indexed", "shards": 1, "clients": 12000,
+             "commit_path": "sync", "sites": 6, "replication_factor": 2,
+             "tpm": 20000.0, "mean_latency_ms": 40.0, "abort_pct": 1.5,
+             "certifications": 900, "comparisons": 0, "probes": 8000,
+             "critical_probes": 8000, "mean_shards_touched": 0.0,
+             "parallel_speedup": 1.0, "shard_imbalance": 1.0,
+             "total_work_ns": 100000, "critical_path_ns": 100000,
+             "queue_ns": 0, "service_ns": 0, "merge_ns": 0,
+             "stall_ns": 5000, "spec_hits": 0, "spec_revalidated": 0,
+             "spec_rollbacks": 0, "spec_misses": 0,
+             "span_fraction": 0.4, "vote_rounds": 120, "cross_span_txns": 80,
+             "config_hash": "deadbeefdeadbeef"}
+        ]}"#;
+        let parsed = parse_document(doc).expect("v3 rows stay readable");
+        let row = &parsed.rows[0];
+        assert_eq!((row.sites, row.replication_factor), (6, 2));
+        assert_eq!(row.vote_rounds, 120);
+        assert_eq!(row.votes_sent, 0);
+        assert_eq!(row.votes_received, 0);
+        assert_eq!(row.vote_piggyback_rate, 0.0);
+        assert_eq!(row.vote_resends, 0);
+        assert_eq!(row.mean_vote_wait_ms, 0.0);
+        // A v4 key present with the wrong type is still a hard error.
+        let bad =
+            doc.replace("\"vote_rounds\": 120,", "\"vote_rounds\": 120, \"votes_sent\": \"many\",");
         assert!(parse_document(&bad).unwrap_err().contains("must be a number"));
     }
 }

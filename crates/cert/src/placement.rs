@@ -460,6 +460,50 @@ impl<P: IndexPlacement> HistoryCertifier<P> {
         }
     }
 
+    /// Resolves a request at total-order delivery time against its
+    /// speculation into this site's *vote* — the probe half of
+    /// [`HistoryCertifier::confirm`], with no commit. The conflict answer is
+    /// bit-identical to what [`HistoryCertifier::vote`] would return at the
+    /// same point, but a speculative hit or a quiet basis costs zero delta
+    /// probes on the delivery critical path: the pipelined partial-
+    /// replication path overlaps the span probe with the ordering round and
+    /// only pays here for the delta window. The merged decision is applied
+    /// separately via [`HistoryCertifier::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryTruncated`] if `req.start_seq` predates the garbage
+    /// collection low-water mark.
+    pub fn confirm_vote(
+        &mut self,
+        req: &CertRequest,
+    ) -> Result<(Option<u64>, CertWork, SpecResolution), HistoryTruncated> {
+        if req.start_seq < self.low_water {
+            return Err(HistoryTruncated { start_seq: req.start_seq, low_water: self.low_water });
+        }
+        let Some(spec) = self.specs.remove(&(req.site.0, req.txn)) else {
+            let (conflict, work) = self.vote(req)?;
+            return Ok((conflict, work, SpecResolution::Miss));
+        };
+        debug_assert_eq!(spec.start_seq, req.start_seq, "speculation for a different snapshot");
+        if let Some(conflict_seq) = spec.conflict {
+            // Later commits only append higher sequence numbers: the
+            // speculative hit is still the lowest one.
+            return Ok((Some(conflict_seq), CertWork::default(), SpecResolution::Hit));
+        }
+        if spec.basis == self.last_committed() {
+            // Nothing committed since the speculative pass covered the full
+            // window: a clean vote with zero delta work.
+            return Ok((None, CertWork::default(), SpecResolution::Hit));
+        }
+        // Re-probe only the delta window (basis, last_committed].
+        let delta_start = spec.basis.max(req.start_seq);
+        let (conflict, work) = self.probe_conflicts(&req.read_set, delta_start);
+        let res =
+            if conflict.is_some() { SpecResolution::Rollback } else { SpecResolution::Revalidated };
+        Ok((conflict, work, res))
+    }
+
     /// Discards history at or below `stable_seq` (clamped to
     /// [`HistoryCertifier::last_committed`]), incrementally evicting the
     /// retired entries from the placement and pruning speculations whose
@@ -631,6 +675,79 @@ mod tests {
         }
         assert_eq!(sync.last_committed(), pipe.last_committed());
         assert_eq!(sync.history_len(), pipe.history_len());
+    }
+
+    #[test]
+    fn confirm_vote_matches_plain_vote_across_resolutions() {
+        // Drive a (speculate → interleaved commits → confirm_vote) stream
+        // next to an apply-only twin that votes synchronously: the conflict
+        // answers must agree bit for bit, and the cheap resolutions must
+        // show up with zero delta work.
+        let mut sync = IndexedCertifier::new();
+        let mut pipe = IndexedCertifier::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut seen = [false; 4];
+        let mut pending: Vec<CertRequest> = Vec::new();
+        for i in 0..300u64 {
+            let reads: Vec<TupleId> =
+                (0..rng() % 5).map(|_| id((rng() % 3) as u16, rng() % 23 + 1)).collect();
+            let writes: Vec<TupleId> =
+                (0..rng() % 3).map(|_| id((rng() % 3) as u16, rng() % 23 + 1)).collect();
+            let r = req((i % 3) as u16, i, i.saturating_sub(rng() % 4), &reads, &writes);
+            pipe.speculate(&r);
+            pending.push(r);
+            while pending.len() > (rng() % 4) as usize {
+                let r = pending.remove(0);
+                let (a, _) = sync.vote(&r).expect("sync vote");
+                let (b, w, res) = pipe.confirm_vote(&r).expect("pipelined vote");
+                assert_eq!(a, b, "request {} diverged", r.txn);
+                let outcome = match a {
+                    Some(conflict_seq) => Outcome::Abort { conflict_seq },
+                    None => Outcome::Commit(sync.last_committed() + 1),
+                };
+                sync.apply(&r, outcome);
+                pipe.apply(&r, outcome);
+                if res == SpecResolution::Hit {
+                    assert_eq!(w, CertWork::default(), "hits are free on the critical path");
+                }
+                seen[res as usize] = true;
+            }
+        }
+        assert_eq!(sync.last_committed(), pipe.last_committed());
+        assert!(seen[SpecResolution::Hit as usize], "stream must exercise hits");
+        assert!(seen[SpecResolution::Revalidated as usize], "stream must exercise delta probes");
+        assert!(seen[SpecResolution::Rollback as usize], "stream must exercise overturns");
+    }
+
+    #[test]
+    fn confirm_vote_without_speculation_is_a_full_vote() {
+        let mut c = IndexedCertifier::new();
+        c.certify(&req(0, 1, 0, &[], &[id(1, 5)])).expect("writer"); // seq 1
+        let r = req(1, 2, 0, &[id(1, 5)], &[]);
+        let (v, w, res) = c.confirm_vote(&r).expect("vote");
+        assert_eq!(v, Some(1));
+        assert_eq!(res, SpecResolution::Miss);
+        assert!(w.probes > 0);
+        assert_eq!(c.last_committed(), 1, "confirm_vote never commits");
+    }
+
+    #[test]
+    fn confirm_vote_reports_truncation_like_confirm() {
+        let mut c = IndexedCertifier::new();
+        for i in 0..6u64 {
+            c.certify(&req(0, i, i, &[], &[id(1, i + 1)])).expect("fill");
+        }
+        let stale = req(1, 100, 1, &[id(1, 1)], &[]);
+        c.speculate(&stale);
+        c.gc(4);
+        let err = c.confirm_vote(&stale).expect_err("stale snapshot");
+        assert_eq!(err, HistoryTruncated { start_seq: 1, low_water: 4 });
     }
 
     #[test]

@@ -7,8 +7,8 @@ use crate::experiment::{CertCostModel, CommitPath, ExperimentConfig};
 use crate::metrics::{RejoinRecord, RunMetrics, SiteUsage};
 use crate::placement::PlacementMap;
 use dbsm_cert::{
-    marshal, unmarshal, CertBackend, CertBackendKind, CertRequest, IndexedCertifier,
-    Outcome as CertOutcome, ShardedCertifier, SiteId, SpanCertifier, SpanPlacement,
+    marshal, merge_votes, unmarshal, CertBackend, CertBackendKind, CertRequest, IndexedCertifier,
+    Outcome as CertOutcome, RwSet, ShardedCertifier, SiteId, SpanCertifier, SpanPlacement,
 };
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
@@ -17,16 +17,44 @@ use dbsm_net::{
     Addr, BurstyLoss, GroupId, HostId, Network, NetworkBuilder, Port, RandomLoss, SegmentConfig,
     WindowedBurst,
 };
-use dbsm_sim::{derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, ServerBank, Sim, SimTime};
+use dbsm_sim::{
+    derive_seed, derive_seed_indexed, CpuBank, ProfilerMode, RealContext, ServerBank, Sim, SimTime,
+};
 use dbsm_tpcc::{TpccConfig, TpccGen, TxnClass};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
 
 struct PendingCert {
     db_txn: TxnId,
     sent_at: SimTime,
+}
+
+/// One delivered-but-undecided update transaction in a site's
+/// partial-replication FIFO. Deliveries follow the total order, so the
+/// One collected wire verdict: `(voter site, conflicting sequence number
+/// if that voter's span saw a conflict)`.
+type SiteVote = (u16, Option<u64>);
+
+/// FIFO *is* this site's copy of the global sequence: entries are decided
+/// and popped strictly in order, each once its wire votes cover every
+/// read-set span (or once another site's first decision lands in the
+/// shared `decided` map).
+struct FifoEntry {
+    req: CertRequest,
+    delivered_at: SimTime,
+    /// Collected `(voter site, conflict)` verdicts, first vote per voter
+    /// wins (wire retransmissions re-deliver identical votes).
+    votes: Vec<SiteVote>,
+    /// Whether this site has already cast (or decided it never will cast)
+    /// its own vote for the entry.
+    cast: bool,
+    /// The entry's write-set restricted to this site's span, precomputed at
+    /// delivery: a *later* entry may not vote while an earlier undecided
+    /// entry's local writes intersect its read-set — the earlier outcome
+    /// could change the probe.
+    local_writes: RwSet,
 }
 
 struct SiteState {
@@ -43,6 +71,18 @@ struct SiteState {
     /// When each speculation's shard-server fan-out completes, keyed by
     /// `(origin site, txn)` — consulted at total-order confirmation.
     spec_ready: HashMap<(u16, u64), SimTime>,
+    /// Partial replication: delivered updates awaiting a decision, in total
+    /// order (empty under full replication, where delivery decides).
+    fifo: VecDeque<FifoEntry>,
+    /// Wire votes that arrived before their transaction's delivery, keyed
+    /// by `(origin site, txn)` — votes travel on their own (piggybacked)
+    /// channel and may beat the data frame's total-order slot.
+    vote_stash: HashMap<(u16, u64), Vec<SiteVote>>,
+    /// Rejoin bookkeeping: keys decided *before* this site's adopted
+    /// snapshot was cut. Their deliveries are skipped outright — the
+    /// snapshot already contains them — while later deliveries run the
+    /// normal FIFO. Empty unless the site rejoined.
+    skip_keys: HashSet<(u16, u64)>,
     txn_seq: u64,
     pending: HashMap<u64, PendingCert>,
     crashed: bool,
@@ -83,21 +123,21 @@ impl SiteState {
 #[derive(Clone, Copy)]
 struct Decision {
     outcome: CertOutcome,
-    /// Remote span owners whose per-span verdict had to be merged in —
-    /// zero for transactions entirely local to the origin's span.
-    voters: u64,
 }
 
-/// Cluster-level partial-replication state. The `oracle` is a
-/// full-replication certifier driven once per message, at its *first*
-/// delivery (first deliveries follow the total order, so the oracle
-/// certifies in sequence): it stands in for the deterministic vote/merge
-/// round — every covering set of span votes merges to exactly its verdict
-/// (see `dbsm_cert::merge_votes`) — using the CSRT's global-observation
-/// privilege, while each site's `SpanCertifier` performs and is billed for
-/// the span-restricted work the site would really do. The latency of the
-/// verdict exchange is charged separately as `CertCostModel::vote_rtt` on
-/// every cross-span transaction.
+/// Cluster-level partial-replication state. Decisions are made by the
+/// sites themselves: each covering span owner certifies its slice and
+/// multicasts a wire-level vote ([`dbsm_gcs::Gcs::cast_vote`]); whichever
+/// site first collects a covering vote set decides by
+/// [`dbsm_cert::merge_votes`] and publishes the verdict here. The
+/// `oracle` is a full-replication certifier driven once per message at
+/// that first decision (first decisions follow the total order, so the
+/// oracle certifies in sequence): it cross-checks — `debug_assert` — that
+/// the merged wire verdict equals the global one, and provides the full
+/// history rejoining sites rebuild their span certifiers from. The
+/// `decided` map stands in for the origin's decision dissemination: later
+/// sites popping the same entry read the published verdict instead of
+/// waiting out a redundant vote collection.
 struct PartialState {
     oracle: IndexedCertifier,
     /// Verdicts keyed by `(origin site, txn)` — bounded by the run's
@@ -119,6 +159,13 @@ struct TransferPacket {
     span: Option<SpanCertifier>,
     cut: usize,
     snapshot_bytes: u64,
+    /// Partial placement: the donor's delivered-but-undecided FIFO entries,
+    /// votes included, so the joiner can pick up the open vote rounds (its
+    /// own `cast` flags reset — it votes for itself after the transfer).
+    fifo: Vec<FifoEntry>,
+    /// Keys decided before the snapshot cut: the joiner skips their
+    /// deliveries outright, the snapshot already reflects them.
+    decided: HashSet<(u16, u64)>,
 }
 
 struct Shared {
@@ -266,6 +313,9 @@ impl Cluster {
                 span,
                 servers,
                 spec_ready: HashMap::new(),
+                fifo: VecDeque::new(),
+                vote_stash: HashMap::new(),
+                skip_keys: HashSet::new(),
                 txn_seq: 0,
                 pending: HashMap::new(),
                 crashed: false,
@@ -339,6 +389,16 @@ impl Cluster {
                         return;
                     }
                     let Ok(req) = unmarshal(payload) else { return };
+                    if let Some(p) = this.partial_map() {
+                        // Partial replication speculates on the span
+                        // certifier, and only at sites that will actually
+                        // vote — the speculation is the vote's probe,
+                        // precomputed so the vote round overlaps the
+                        // ordering round.
+                        if !this.casts_vote(p, i, &req) {
+                            return;
+                        }
+                    }
                     // Real code: unmarshal + dispatch of the speculative
                     // probe — outside the certifier's serial section, so
                     // cheaper than a synchronous certification entry.
@@ -347,7 +407,10 @@ impl Cluster {
                     let mut sh = this.shared.borrow_mut();
                     let sh = &mut *sh;
                     let st = &mut sh.sites[i];
-                    let probe = st.certifier.speculate(&req);
+                    let probe = match &mut st.span {
+                        Some(span) if this.partial_map().is_some() => span.speculate(&req),
+                        _ => st.certifier.speculate(&req),
+                    };
                     let fanout = st.servers.submit_fanout(
                         now,
                         probe.loads.iter().map(|&(srv, p)| (srv, this.costs.probe_service(p))),
@@ -359,21 +422,15 @@ impl Cluster {
                 }
                 Upcall::Deliver { payload, .. } => {
                     let Ok(req) = unmarshal(payload) else { return };
+                    if this.partial_map().is_some() {
+                        // Partial replication (either commit path): enqueue
+                        // on the delivery FIFO, then cast/collect wire votes
+                        // until the head decides.
+                        this.partial_enqueue(i, req, ctx.now());
+                        this.advance_partial(i, ctx);
+                        return;
+                    }
                     match this.cfg.commit_path {
-                        CommitPath::Synchronous if this.partial_map().is_some() => {
-                            // Partial replication: this site votes on its
-                            // span — the only certification work it is
-                            // billed for — and the merged verdict (computed
-                            // once per message) decides. Cross-span
-                            // transactions additionally wait out the vote
-                            // round trip before the engine hears a decision.
-                            let (outcome, work, vote_delay) = this.partial_certify(i, &req);
-                            ctx.charge(this.costs.certify(work));
-                            let this2 = this.clone();
-                            ctx.schedule(vote_delay, move || {
-                                this2.deliver_decision(i, req, outcome);
-                            });
-                        }
                         CommitPath::Synchronous => {
                             // Real code: unmarshal + certify, charging its CPU
                             // cost — the full conflict check stalls the
@@ -426,6 +483,42 @@ impl Cluster {
                             });
                         }
                     }
+                }
+                Upcall::Vote { voter, vote } => {
+                    // A wire-level certification vote (possibly our own,
+                    // looped back). Route it to the delivery FIFO entry it
+                    // belongs to, stash it if it beat the delivery, drop it
+                    // if the transaction is already decided — then try to
+                    // advance the FIFO.
+                    if this.partial_map().is_none() {
+                        return;
+                    }
+                    let key = (vote.origin, vote.txn);
+                    {
+                        let mut sh = this.shared.borrow_mut();
+                        let sh = &mut *sh;
+                        let st = &mut sh.sites[i];
+                        if let Some(entry) =
+                            st.fifo.iter_mut().find(|e| (e.req.site.0, e.req.txn) == key)
+                        {
+                            if !entry.votes.iter().any(|&(v, _)| v == voter.0) {
+                                entry.votes.push((voter.0, vote.conflict));
+                            }
+                        } else if !st.skip_keys.contains(&key)
+                            && !sh
+                                .partial
+                                .as_ref()
+                                .expect("partial state")
+                                .decided
+                                .contains_key(&key)
+                        {
+                            let votes = st.vote_stash.entry(key).or_default();
+                            if !votes.iter().any(|&(v, _)| v == voter.0) {
+                                votes.push((voter.0, vote.conflict));
+                            }
+                        }
+                    }
+                    this.advance_partial(i, ctx);
                 }
                 Upcall::ViewChange(_) => {}
                 Upcall::Excluded => {
@@ -605,24 +698,51 @@ impl Cluster {
         let mut sh = self.shared.borrow_mut();
         let sh = &mut *sh;
         let certifier = sh.sites[donor].certifier.clone_box();
-        let (span, owned) = match self.partial_map() {
+        let (span, owned, cut, fifo, decided) = match self.partial_map() {
             Some(p) => {
                 let spans = p.spans_of(joiner as usize, warehouses);
                 let owned = spans.len() as u64;
                 let place = SpanPlacement::new(dbsm_tpcc::schema::home_warehouse_shard_key, spans);
-                let oracle = &sh.partial.as_ref().expect("partial state").oracle;
-                (Some(oracle.reproject(place)), owned)
+                let partial = sh.partial.as_ref().expect("partial state");
+                let span = partial.oracle.reproject(place);
+                // Decisions decouple from deliveries here: the snapshot is
+                // the oracle's state, so the cut is the oracle's commit
+                // count — the decided prefix of the total order, which may
+                // run ahead of the donor's own popped prefix.
+                let cut = partial.oracle.last_committed() as usize;
+                // Open vote rounds ride along: the donor's
+                // delivered-but-undecided entries with the votes collected
+                // so far. The joiner re-votes for itself (`cast` reset) and
+                // indexes them by *its* span.
+                let fifo: Vec<FifoEntry> = sh.sites[donor]
+                    .fifo
+                    .iter()
+                    .filter(|e| !partial.decided.contains_key(&(e.req.site.0, e.req.txn)))
+                    .map(|e| FifoEntry {
+                        req: e.req.clone(),
+                        delivered_at: e.delivered_at,
+                        votes: e.votes.clone(),
+                        cast: false,
+                        local_writes: span.local_subset(&e.req.write_set),
+                    })
+                    .collect();
+                let decided: HashSet<(u16, u64)> = partial.decided.keys().copied().collect();
+                (Some(span), owned, cut, fifo, decided)
             }
-            None => (None, warehouses as u64),
+            None => {
+                // The cut is a *reference-chain* position: a donor that
+                // itself rejoined earlier has a transfer gap in its local
+                // log, so its length alone would understate where the
+                // chain stands.
+                let cut = sh.metrics.commit_logs[donor].len() + sh.sites[donor].ref_gap;
+                (None, warehouses as u64, cut, Vec::new(), HashSet::new())
+            }
         };
         let snapshot_bytes = owned * self.costs.snapshot_bytes_per_warehouse;
-        // The cut is a *reference-chain* position: a donor that itself
-        // rejoined earlier has a transfer gap in its local log, so its
-        // length alone would understate where the chain stands.
-        let cut = sh.metrics.commit_logs[donor].len() + sh.sites[donor].ref_gap;
         sh.metrics.recovery_work.snapshots_served += 1;
         sh.metrics.recovery_work.snapshot_bytes += snapshot_bytes;
-        sh.transfers.insert(joiner, TransferPacket { certifier, span, cut, snapshot_bytes });
+        sh.transfers
+            .insert(joiner, TransferPacket { certifier, span, cut, snapshot_bytes, fifo, decided });
         snapshot_bytes
     }
 
@@ -651,6 +771,32 @@ impl Cluster {
             st.servers = ServerBank::new(st.certifier.servers());
             if packet.span.is_some() {
                 st.span = packet.span;
+                // The seeded FIFO replaces the first incarnation's: the
+                // donor's open vote rounds continue from the snapshot.
+                // Wire votes that raced ahead of the adoption survive in
+                // the stash — merge them into the seeded entries (first
+                // vote per voter wins), drop the ones the snapshot already
+                // decided, keep the rest for future deliveries.
+                st.fifo = packet.fifo.into();
+                st.skip_keys = packet.decided;
+                let stash = std::mem::take(&mut st.vote_stash);
+                for (key, votes) in stash {
+                    if st.skip_keys.contains(&key) {
+                        continue;
+                    }
+                    match st.fifo.iter_mut().find(|e| (e.req.site.0, e.req.txn) == key) {
+                        Some(entry) => {
+                            for (v, c) in votes {
+                                if !entry.votes.iter().any(|&(w, _)| w == v) {
+                                    entry.votes.push((v, c));
+                                }
+                            }
+                        }
+                        None => {
+                            st.vote_stash.insert(key, votes);
+                        }
+                    }
+                }
             }
             st.spec_ready.clear();
             st.commits_since_gc = 0;
@@ -706,6 +852,12 @@ impl Cluster {
         for client in parked {
             self.schedule_client(client);
         }
+        // A rejoined voter resumes voting *now*, not at the next delivery:
+        // the seeded FIFO may already hold entries waiting on its vote.
+        if self.partial_map().is_some() {
+            let this = self.clone();
+            self.sites[site].cpu.submit_real(Box::new(move |ctx| this.advance_partial(site, ctx)));
+        }
     }
 
     /// Runs the experiment: starts the clients, advances the simulation
@@ -745,6 +897,7 @@ impl Cluster {
                 let m = b.metrics();
                 metrics.ann_work.record_site(&m);
                 metrics.fault_work.record_site(&m);
+                metrics.vote_wire.record_site(&m);
             }
         }
         let net_stats = self.net.stats();
@@ -932,70 +1085,217 @@ impl Cluster {
         }));
     }
 
-    /// One site's partial-replication handling of a delivered update
-    /// transaction: vote on the local span (the real, billed work), fetch
-    /// or compute the merged verdict, and advance the span certifier.
-    /// Returns the verdict, the local work, and the vote-round latency the
-    /// engine-side decision must wait out (zero for span-local
-    /// transactions).
-    fn partial_certify(
-        &self,
-        site: usize,
-        req: &CertRequest,
-    ) -> (CertOutcome, dbsm_cert::CertWork, Duration) {
+    /// True when `site` casts a wire vote on `req`: it owns at least one
+    /// read- or write-set span. Table-level (wildcard) reads probe every
+    /// span, so every site's slice of the table contributes to the verdict
+    /// and everyone votes; a transaction touching no span at all (global
+    /// tuples only) is also voted by everyone — any single vote covers it,
+    /// and the origin may be down.
+    fn casts_vote(&self, p: &PlacementMap, site: usize, req: &CertRequest) -> bool {
+        if req.read_set.ids().iter().any(|id| id.is_table_level()) {
+            return true;
+        }
+        let mut any_span = false;
+        for &id in req.read_set.ids().iter().chain(req.write_set.ids()) {
+            if let Some(span) = dbsm_tpcc::schema::home_warehouse_shard_key(id) {
+                any_span = true;
+                if p.owns(site, span) {
+                    return true;
+                }
+            }
+        }
+        !any_span
+    }
+
+    /// True when `entry`'s collected votes decide it: every read-set tuple
+    /// is covered by a voter that indexes it. A row with a home warehouse
+    /// needs a vote from one of that span's owners; a span-less row is
+    /// indexed by every replica, so any vote covers it; a table-level
+    /// (wildcard) read probes every span and needs the voters to jointly
+    /// own all of them. Write-set tuples need no witness — conflicts are
+    /// detected by the *reading* side against committed writes.
+    fn votes_cover(&self, p: &PlacementMap, warehouses: u64, entry: &FifoEntry) -> bool {
+        let reads = entry.req.read_set.ids();
+        if reads.is_empty() {
+            return true;
+        }
+        if entry.votes.is_empty() {
+            return false;
+        }
+        let owned = |span: u64| entry.votes.iter().any(|&(v, _)| p.owns(v as usize, span));
+        reads.iter().all(|&id| {
+            if id.is_table_level() {
+                (0..warehouses).all(owned)
+            } else {
+                match dbsm_tpcc::schema::home_warehouse_shard_key(id) {
+                    Some(span) => owned(span),
+                    None => true,
+                }
+            }
+        })
+    }
+
+    /// Enqueues a delivered update transaction on `site`'s
+    /// partial-replication FIFO (both commit paths), folding in any wire
+    /// votes that arrived ahead of the delivery. Skips transactions the
+    /// site's adopted rejoin snapshot already covers.
+    fn partial_enqueue(&self, site: usize, req: CertRequest, now: SimTime) {
         let mut sh = self.shared.borrow_mut();
         let sh = &mut *sh;
         let st = &mut sh.sites[site];
-        let span = st.span.as_mut().expect("partial site has a span certifier");
-        // Real code: the span-restricted conflict probe over only the
-        // locally indexed warehouses — this is where partial replication
-        // shrinks per-site certification work to ~k/N.
-        let (local_conflict, work) = span.vote(req).expect("history window exceeded");
+        let key = (req.site.0, req.txn);
+        if st.skip_keys.contains(&key) {
+            return;
+        }
+        let span = st.span.as_ref().expect("partial site has a span certifier");
         let (covered, total) = {
             let (rc, rt) = span.coverage(&req.read_set);
             let (wc, wt) = span.coverage(&req.write_set);
             (rc + wc, rt + wt)
         };
-        sh.metrics.cert_work.record(work);
         sh.metrics.cert_work.record_span(covered as u64, total as u64);
-        sh.metrics.cert_work.stall_ns += self.costs.certify_data(work).as_nanos() as u64;
-        // Merged verdict: computed once, at the message's first delivery
-        // (first deliveries follow the total order, so the oracle runs in
-        // sequence — see `PartialState`).
-        let partial = sh.partial.as_mut().expect("partial state present");
-        let key = (req.site.0, req.txn);
-        let decision = if let Some(d) = partial.decided.get(&key) {
-            *d
-        } else {
-            let (outcome, _) = partial.oracle.certify(req).expect("history window exceeded");
-            if outcome.is_commit() {
-                partial.commits_since_gc += 1;
-                if partial.commits_since_gc >= 512 {
-                    partial.commits_since_gc = 0;
-                    let last = partial.oracle.last_committed();
-                    partial.oracle.gc(last.saturating_sub(self.cfg.history_window));
+        let local_writes = span.local_subset(&req.write_set);
+        let votes = st.vote_stash.remove(&key).unwrap_or_default();
+        st.fifo.push_back(FifoEntry { req, delivered_at: now, votes, cast: false, local_writes });
+    }
+
+    /// Advances `site`'s partial-replication FIFO as far as it will go:
+    /// first decides and pops entries off the head (a head decides when its
+    /// votes cover the read-set, or when another site's published verdict
+    /// is available), then casts this site's wire votes for entries whose
+    /// turn has come — popping may unblock deferred votes, and freshly
+    /// cast votes return as loopback [`Upcall::Vote`]s which re-enter here.
+    fn advance_partial(&self, site: usize, ctx: &mut RealContext<'_>) {
+        let Some(p) = self.partial_map() else { return };
+        let warehouses = dbsm_tpcc::schema::warehouses_for_clients(self.cfg.clients) as u64;
+        let now = ctx.now();
+
+        // Phase 1: decide + pop. Collected under one borrow, applied after.
+        let mut popped: Vec<(CertRequest, CertOutcome, Option<PendingCert>, Option<SimTime>)> =
+            Vec::new();
+        {
+            let mut sh = self.shared.borrow_mut();
+            let sh = &mut *sh;
+            while let Some(head) = sh.sites[site].fifo.front() {
+                let key = (head.req.site.0, head.req.txn);
+                let published =
+                    sh.partial.as_ref().expect("partial state").decided.get(&key).copied();
+                let outcome = match published {
+                    Some(d) => d.outcome,
+                    None if self.votes_cover(p, warehouses, head) => {
+                        match merge_votes(head.votes.iter().map(|&(_, c)| c)) {
+                            Some(conflict_seq) => CertOutcome::Abort { conflict_seq },
+                            None => CertOutcome::Commit(sh.sites[site].last_committed() + 1),
+                        }
+                    }
+                    None => break,
+                };
+                let entry = sh.sites[site].fifo.pop_front().expect("head just inspected");
+                if published.is_none() {
+                    // First decision cluster-wide: cross-check the merged
+                    // wire verdict against the full-replication oracle and
+                    // publish it for the other sites' pops.
+                    let partial = sh.partial.as_mut().expect("partial state");
+                    let (oracle_outcome, _) =
+                        partial.oracle.certify(&entry.req).expect("history window exceeded");
+                    debug_assert_eq!(
+                        oracle_outcome, outcome,
+                        "merged wire votes diverged from the certification oracle"
+                    );
+                    let _ = oracle_outcome;
+                    if outcome.is_commit() {
+                        partial.commits_since_gc += 1;
+                        if partial.commits_since_gc >= 512 {
+                            partial.commits_since_gc = 0;
+                            let last = partial.oracle.last_committed();
+                            partial.oracle.gc(last.saturating_sub(self.cfg.history_window));
+                        }
+                    }
+                    let voters = self.voters_for(&entry.req);
+                    sh.metrics.cert_work.vote_rounds += voters;
+                    sh.metrics.cert_work.cross_span_txns += u64::from(voters > 0);
+                    partial.decided.insert(key, Decision { outcome });
                 }
+                let pending = self.decision_bookkeeping(sh, site, &entry.req, outcome);
+                sh.sites[site]
+                    .span
+                    .as_mut()
+                    .expect("partial site has a span certifier")
+                    .apply(&entry.req, outcome);
+                if entry.req.site.0 as usize == site {
+                    sh.metrics.vote_wire.decided += 1;
+                    sh.metrics.vote_wire.wait_ns +=
+                        now.saturating_duration_since(entry.delivered_at).as_nanos() as u64;
+                }
+                let ready_at = sh.sites[site].spec_ready.remove(&key);
+                popped.push((entry.req, outcome, pending, ready_at));
             }
-            let voters = self.voters_for(req);
-            sh.metrics.cert_work.vote_rounds += voters;
-            sh.metrics.cert_work.cross_span_txns += u64::from(voters > 0);
-            let d = Decision { outcome, voters };
-            partial.decided.insert(key, d);
-            d
-        };
-        // Span votes are exact restrictions of the global check: a merged
-        // commit implies no site saw a local conflict.
-        if decision.outcome.is_commit() {
-            debug_assert!(local_conflict.is_none(), "span vote contradicts merged verdict");
         }
-        let _ = local_conflict;
-        sh.sites[site]
-            .span
-            .as_mut()
-            .expect("partial site has a span certifier")
-            .apply(req, decision.outcome);
-        let vote_delay = if decision.voters > 0 { self.costs.vote_rtt } else { Duration::ZERO };
-        (decision.outcome, work, vote_delay)
+        for (req, outcome, pending, ready_at) in popped {
+            // Pipelined deliveries wait out the speculative probe's shard
+            // servers; synchronous ones have no speculation and apply now.
+            let delay = ready_at.map_or(Duration::ZERO, |t| t.saturating_duration_since(now));
+            let this = self.clone();
+            ctx.schedule(delay, move || this.apply_decision(site, req, outcome, pending));
+        }
+
+        // Phase 2: cast votes whose turn has come. An entry votes once no
+        // earlier undecided entry's local writes can still change its
+        // probe; a blocked entry does not block later ones.
+        let mut casts: Vec<(u16, u64, Option<u64>)> = Vec::new();
+        {
+            let mut sh = self.shared.borrow_mut();
+            let sh = &mut *sh;
+            let SiteState { span, fifo, crashed, .. } = &mut sh.sites[site];
+            if *crashed {
+                return;
+            }
+            let span = span.as_mut().expect("partial site has a span certifier");
+            let mut charge = Duration::ZERO;
+            for k in 0..fifo.len() {
+                if fifo[k].cast {
+                    continue;
+                }
+                if !self.casts_vote(p, site, &fifo[k].req) {
+                    fifo[k].cast = true;
+                    continue;
+                }
+                if (0..k).any(|j| fifo[j].local_writes.intersects(&fifo[k].req.read_set)) {
+                    continue;
+                }
+                // Real code: the span-restricted conflict probe over only
+                // the locally indexed warehouses — this is where partial
+                // replication shrinks per-site certification work to ~k/N.
+                let req = fifo[k].req.clone();
+                let (conflict, work) = match self.cfg.commit_path {
+                    CommitPath::Pipelined => {
+                        let (conflict, work, res) =
+                            span.confirm_vote(&req).expect("history window exceeded");
+                        sh.metrics.cert_work.record_spec(res);
+                        charge += self.costs.confirm(work);
+                        (conflict, work)
+                    }
+                    CommitPath::Synchronous => {
+                        let (conflict, work) = span.vote(&req).expect("history window exceeded");
+                        charge += self.costs.certify(work);
+                        (conflict, work)
+                    }
+                };
+                sh.metrics.cert_work.record(work);
+                sh.metrics.cert_work.stall_ns += self.costs.certify_data(work).as_nanos() as u64;
+                fifo[k].cast = true;
+                casts.push((req.site.0, req.txn, conflict));
+            }
+            if charge > Duration::ZERO {
+                ctx.charge(charge);
+            }
+        }
+        if !casts.is_empty() {
+            let bridge = self.sites[site].bridge.as_ref().expect("replicated site");
+            for (origin, txn, conflict) in casts {
+                bridge.cast_vote(origin, txn, conflict);
+            }
+        }
     }
 
     /// How many remote span owners must vote on `req`: the distinct primary

@@ -216,12 +216,14 @@ impl ExperimentConfig {
     }
 
     /// Checks the configuration: the fault plan against the site count,
-    /// the placement map (when set) against the site count, partial
-    /// replication against the commit path (the pipelined speculation has
-    /// no vote round yet), and — the combination that silently produced
-    /// unroutable transactions before — the fault plan against the
-    /// placement via [`FaultPlan::validate_coverage`]: no partition or
-    /// crash schedule may leave some warehouse with zero live replicas.
+    /// the placement map (when set) against the site count, and — the
+    /// combination that silently produced unroutable transactions before —
+    /// the fault plan against the placement via
+    /// [`FaultPlan::validate_coverage`]: no partition or crash schedule may
+    /// leave some warehouse with zero live replicas. Both commit paths
+    /// combine with partial replication: the pipelined path precomputes
+    /// each site's wire vote at tentative delivery so the vote round
+    /// overlaps the ordering round.
     ///
     /// # Errors
     ///
@@ -232,9 +234,6 @@ impl ExperimentConfig {
         placement.validate(self.sites)?;
         if placement.is_full() {
             return Ok(());
-        }
-        if self.commit_path == CommitPath::Pipelined {
-            return Err(ConfigError::PipelinedPartialReplication);
         }
         let warehouses = dbsm_tpcc::schema::warehouses_for_clients(self.clients);
         let replica_sets: Vec<Vec<u16>> = (0..warehouses as u64)
@@ -254,10 +253,6 @@ pub enum ConfigError {
     Fault(PlanError),
     /// The placement map is malformed.
     Placement(PlacementError),
-    /// Partial replication combined with the pipelined commit path: the
-    /// speculative confirm has no vote round, so span-restricted verdicts
-    /// could not be merged deterministically.
-    PipelinedPartialReplication,
 }
 
 impl fmt::Display for ConfigError {
@@ -265,9 +260,6 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Fault(e) => write!(f, "{e}"),
             ConfigError::Placement(e) => write!(f, "{e}"),
-            ConfigError::PipelinedPartialReplication => {
-                write!(f, "partial replication requires the synchronous commit path")
-            }
         }
     }
 }
@@ -334,11 +326,13 @@ pub struct CertCostModel {
     /// because the speculative pass runs outside the certifier's serial
     /// section — no total-order bookkeeping, no history mutation.
     pub speculate_fixed: Duration,
-    /// Latency of one vote round under partial replication: a cross-span
-    /// transaction's decision waits for the remote span owners' verdicts
-    /// to arrive and merge — one LAN round trip (vote out, verdict back)
-    /// on top of the total-order delivery that carried the request.
-    /// Span-local transactions pay nothing.
+    /// Latency of the verdict exchange for *read-only* cross-span
+    /// validations under partial replication: a read-only transaction is
+    /// never broadcast, so its cross-span check cannot ride the wire-vote
+    /// machinery and instead waits out one modelled LAN round trip (probe
+    /// out, verdicts back). Update transactions pay real wire-vote latency
+    /// instead ([`dbsm_gcs::Gcs::cast_vote`]); span-local reads pay
+    /// nothing.
     pub vote_rtt: Duration,
     /// Snapshot size per warehouse for rejoin state transfer: a restarted
     /// site receives this many bytes per warehouse it replicates (every
@@ -607,14 +601,14 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_pipelined_partial_replication() {
+    fn validate_accepts_pipelined_partial_replication() {
+        // The wire-vote machinery precomputes votes on tentative delivery,
+        // so the pipelined path and partial replication now compose.
         let c = ExperimentConfig::replicated(6, 60)
             .with_replication_factor(2)
             .with_commit_path(CommitPath::Pipelined);
-        let err = c.validate().unwrap_err();
-        assert!(matches!(err, ConfigError::PipelinedPartialReplication));
-        assert!(err.to_string().contains("synchronous"));
-        // A full map on the pipelined path stays legal.
+        assert!(c.validate().is_ok());
+        // A full map on the pipelined path stays legal too.
         let full = ExperimentConfig::replicated(6, 60)
             .with_placement(PlacementMap::round_robin(6, 6))
             .with_commit_path(CommitPath::Pipelined);

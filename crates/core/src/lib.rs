@@ -38,5 +38,6 @@ pub use dbsm_gcs::AnnBatchPolicy;
 pub use experiment::{CertCostModel, CommitPath, ConfigError, ExperimentConfig};
 pub use metrics::{
     AnnWorkTotals, CertWorkTotals, ClassStats, FaultWorkTotals, RunMetrics, SiteUsage,
+    VoteWireTotals,
 };
 pub use placement::{PlacementError, PlacementMap, PlacementStrategy};

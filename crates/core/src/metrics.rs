@@ -358,6 +358,64 @@ impl FaultWorkTotals {
     }
 }
 
+/// Wire-level certification-vote work across one run — the observable for
+/// the decentralized vote round (partial replication): how many `Vote`
+/// records the stacks put on the wire, how many rode outgoing data frames
+/// for free, how many needed resending, and how long origin sites waited
+/// from a transaction's total-order delivery to its quorum decision. All
+/// zeros under full replication (no votes are cast).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VoteWireTotals {
+    /// Vote records sent through the reliable layer, summed over sites.
+    pub sent: u64,
+    /// Vote records received (loopback self-delivery included).
+    pub received: u64,
+    /// Vote records that rode outgoing data frames' MTU slack instead of
+    /// costing a dedicated message.
+    pub piggybacked: u64,
+    /// Vote records retransmitted by the heartbeat resend path.
+    pub resends: u64,
+    /// Update transactions decided at their origin site via the wire-vote
+    /// quorum (one per update transaction under partial replication).
+    pub decided: u64,
+    /// Total nanoseconds origin sites spent between a transaction's
+    /// total-order delivery and its covering-quorum decision.
+    pub wait_ns: u64,
+    /// Vote records sent per site — distinguishes a site that rejoined and
+    /// resumed voting (nonzero in its latest incarnation) from one that
+    /// stayed quiet.
+    pub per_site_sent: Vec<u64>,
+}
+
+impl VoteWireTotals {
+    pub(crate) fn record_site(&mut self, m: &GcsMetrics) {
+        self.sent += m.votes_sent;
+        self.received += m.votes_received;
+        self.piggybacked += m.votes_piggybacked;
+        self.resends += m.vote_resends;
+        self.per_site_sent.push(m.votes_sent);
+    }
+
+    /// Mean milliseconds an origin site waited from total-order delivery
+    /// to the quorum decision.
+    pub fn mean_wait_ms(&self) -> f64 {
+        if self.decided == 0 {
+            0.0
+        } else {
+            self.wait_ns as f64 / 1e6 / self.decided as f64
+        }
+    }
+
+    /// Fraction of sent votes that piggybacked on data frames.
+    pub fn piggyback_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.piggybacked as f64 / self.sent as f64
+        }
+    }
+}
+
 /// Recovery-machinery work across one run — the observable that prices the
 /// snapshot + delta-log rejoin path: how many state transfers live members
 /// served, how many bytes crossed the wire as snapshot versus delta log, how
@@ -440,6 +498,9 @@ pub struct RunMetrics {
     /// Fault-machinery work: duplicates injected/absorbed, partition drops,
     /// view installs.
     pub fault_work: FaultWorkTotals,
+    /// Wire-level certification-vote work: votes sent/piggybacked/resent
+    /// and origin-side quorum wait (partial replication; zero otherwise).
+    pub vote_wire: VoteWireTotals,
     /// Committed transactions per site, in commit order (safety check).
     pub commit_logs: Vec<Vec<(u16, u64)>>,
     /// Per-site resource usage (Fig. 6a/6b, Fig. 7c).
@@ -549,16 +610,17 @@ impl RunMetrics {
         )
     }
 
-    /// Per-site rejoin cuts in the shape [`check_logs_rejoined`] expects,
-    /// sized to `commit_logs`. A site that never rejoined maps to `None`;
-    /// the chain checker supports at most one rejoin per site, so the last
-    /// completed rejoin wins should a plan restart the same site twice.
+    /// Per-site rejoin cuts in the shape [`check_logs_rejoined_multi`]
+    /// expects, sized to `commit_logs`. A site that never rejoined maps to
+    /// an empty list; a site a plan restarted several times keeps **every**
+    /// completed rejoin's cut, in completion order — the chain checker
+    /// re-bases each log segment on the cut that preceded it.
     ///
-    /// [`check_logs_rejoined`]: dbsm_fault::check_logs_rejoined
-    pub fn rejoin_cuts(&self) -> Vec<Option<dbsm_fault::RejoinCut>> {
-        let mut cuts = vec![None; self.commit_logs.len()];
+    /// [`check_logs_rejoined_multi`]: dbsm_fault::check_logs_rejoined_multi
+    pub fn rejoin_cuts(&self) -> Vec<Vec<dbsm_fault::RejoinCut>> {
+        let mut cuts = vec![Vec::new(); self.commit_logs.len()];
         for r in &self.rejoins {
-            cuts[r.site as usize] = Some(dbsm_fault::RejoinCut { kept: r.kept, cut: r.cut });
+            cuts[r.site as usize].push(dbsm_fault::RejoinCut { kept: r.kept, cut: r.cut });
         }
         cuts
     }
@@ -733,15 +795,42 @@ mod tests {
     }
 
     #[test]
-    fn rejoin_cuts_map_records_to_sites_last_wins() {
+    fn rejoin_cuts_keep_every_rejoin_per_site() {
         let mut m = RunMetrics::new(3);
         m.rejoins.push(RejoinRecord { site: 2, kept: 4, cut: 9, ttu: SimTime::from_secs(1) });
         m.rejoins.push(RejoinRecord { site: 2, kept: 9, cut: 20, ttu: SimTime::from_secs(1) });
         let cuts = m.rejoin_cuts();
         assert_eq!(cuts.len(), 3);
-        assert_eq!(cuts[0], None);
-        assert_eq!(cuts[1], None);
-        assert_eq!(cuts[2], Some(dbsm_fault::RejoinCut { kept: 9, cut: 20 }));
+        assert!(cuts[0].is_empty());
+        assert!(cuts[1].is_empty());
+        assert_eq!(
+            cuts[2],
+            vec![
+                dbsm_fault::RejoinCut { kept: 4, cut: 9 },
+                dbsm_fault::RejoinCut { kept: 9, cut: 20 },
+            ],
+        );
+    }
+
+    #[test]
+    fn vote_wire_totals_accumulate_and_average() {
+        let mut t = VoteWireTotals::default();
+        t.record_site(&GcsMetrics {
+            votes_sent: 10,
+            votes_received: 30,
+            votes_piggybacked: 6,
+            vote_resends: 2,
+            ..GcsMetrics::default()
+        });
+        t.record_site(&GcsMetrics { votes_received: 10, ..GcsMetrics::default() });
+        assert_eq!((t.sent, t.received, t.piggybacked, t.resends), (10, 40, 6, 2));
+        assert_eq!(t.per_site_sent, vec![10, 0]);
+        assert!((t.piggyback_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(t.mean_wait_ms(), 0.0, "no decisions recorded yet");
+        t.decided = 4;
+        t.wait_ns = 2_000_000;
+        assert!((t.mean_wait_ms() - 0.5).abs() < 1e-12);
+        assert_eq!(VoteWireTotals::default().piggyback_rate(), 0.0);
     }
 
     #[test]

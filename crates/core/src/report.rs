@@ -68,13 +68,18 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// examined read/write-set entries were local to the certifying site's
 /// replicated span (1.00 under full replication) and `vote=` counts the
 /// partial-replication vote rounds over the cross-span transactions that
-/// needed them. The `rec=` section is the recovery ledger: completed
+/// needed them. The `wire=` section is the decentralized vote traffic
+/// ledger: votes `s`ent, `r`eceived, `p`iggybacked on data frames, and
+/// retransmitted (`x`), with `wait=` the mean origin-side gap between a
+/// transaction's delivery and its quorum decision — all zero under full
+/// replication, where no wire votes flow. The `rec=` section is the
+/// recovery ledger: completed
 /// rejoins over snapshots served, snapshot+delta transfer kilobytes,
 /// delta-log entries replayed, and the mean time-to-useful per rejoin —
 /// all zero for runs without restarts.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{} rec={}/{}sn {}+{}KB replay={} ttu={:.0}ms",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{} wire=s{}/r{}/p{}/x{} wait={:.1}ms rec={}/{}sn {}+{}KB replay={} ttu={:.0}ms",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -103,6 +108,11 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.cert_work.span_fraction(),
         m.cert_work.vote_rounds,
         m.cert_work.cross_span_txns,
+        m.vote_wire.sent,
+        m.vote_wire.received,
+        m.vote_wire.piggybacked,
+        m.vote_wire.resends,
+        m.vote_wire.mean_wait_ms(),
         m.recovery_work.rejoins,
         m.recovery_work.snapshots_served,
         m.recovery_work.snapshot_bytes / 1024,
@@ -217,5 +227,20 @@ mod tests {
         m.cert_work.cross_span_txns = 4;
         let line = summary_line("x", &m);
         assert!(line.contains("span=0.17 vote=7/4"), "{line}");
+    }
+
+    #[test]
+    fn summary_line_reports_wire_vote_traffic() {
+        let mut m = RunMetrics::new(1);
+        // Full replication: no wire votes flow.
+        assert!(summary_line("x", &m).contains("wire=s0/r0/p0/x0 wait=0.0ms"));
+        m.vote_wire.sent = 12;
+        m.vote_wire.received = 24;
+        m.vote_wire.piggybacked = 9;
+        m.vote_wire.resends = 2;
+        m.vote_wire.decided = 4;
+        m.vote_wire.wait_ns = 6_000_000;
+        let line = summary_line("x", &m);
+        assert!(line.contains("wire=s12/r24/p9/x2 wait=1.5ms"), "{line}");
     }
 }

@@ -67,4 +67,6 @@ mod plan;
 mod safety;
 
 pub use plan::{FaultPlan, FaultSpec, PlanError, Target};
-pub use safety::{check_logs, check_logs_rejoined, CommitLog, Divergence, RejoinCut};
+pub use safety::{
+    check_logs, check_logs_rejoined, check_logs_rejoined_multi, CommitLog, Divergence, RejoinCut,
+};

@@ -145,6 +145,9 @@ pub struct RejoinCut {
 /// rejoined site may trail the reference — it commits from `cut` onward at
 /// its own pace — but may never contradict it.
 ///
+/// This is the single-rejoin convenience form; a site that rejoined more
+/// than once has several cuts and needs [`check_logs_rejoined_multi`].
+///
 /// # Errors
 ///
 /// Returns the first [`Divergence`] found.
@@ -173,8 +176,71 @@ pub fn check_logs_rejoined(
     crashed: &[bool],
     rejoins: &[Option<RejoinCut>],
 ) -> Result<(), Divergence> {
+    let multi: Vec<Vec<RejoinCut>> = rejoins.iter().map(|r| r.iter().copied().collect()).collect();
+    check_logs_rejoined_multi(logs, crashed, &multi)
+}
+
+/// Reference-chain position of `pos` in a log that rejoined through
+/// `cuts` (sorted by `kept`): positions before the first cut's `kept`
+/// align one-to-one with the reference; a later position continues from
+/// the **most recent** transfer cut whose `kept` it reached — each rejoin
+/// re-bases the suffix that follows it.
+fn ref_position(pos: usize, cuts: &[RejoinCut]) -> usize {
+    match cuts.iter().rev().find(|c| c.kept <= pos) {
+        Some(c) => c.cut + (pos - c.kept),
+        None => pos,
+    }
+}
+
+/// [`check_logs_rejoined`] for sites that may have rejoined **more than
+/// once**: `rejoins[site]` lists every completed rejoin's cut, in
+/// completion order (`kept` is non-decreasing — a site's log only grows
+/// between rejoins). Each log segment between consecutive cuts must align
+/// with the reference from the preceding cut's position; the final segment
+/// continues from the last cut. With exactly one cut per site this is
+/// [`check_logs_rejoined`]; with an empty list the site follows the plain
+/// equality/prefix rules.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `logs`, `crashed` and `rejoins` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use dbsm_fault::{check_logs_rejoined_multi, RejoinCut};
+///
+/// let reference = vec![(0u16, 1u64), (1, 1), (0, 2), (1, 2), (0, 3)];
+/// // Crashed at 1 commit, caught up to 2, committed (0, 2); crashed again
+/// // at 2 commits, caught up to 4, committed (0, 3).
+/// let twice = vec![(0u16, 1u64), (0, 2), (0, 3)];
+/// check_logs_rejoined_multi(
+///     &[reference.clone(), reference, twice],
+///     &[false, false, false],
+///     &[vec![], vec![], vec![RejoinCut { kept: 1, cut: 2 }, RejoinCut { kept: 2, cut: 4 }]],
+/// )?;
+/// # Ok::<(), dbsm_fault::Divergence>(())
+/// ```
+pub fn check_logs_rejoined_multi(
+    logs: &[CommitLog],
+    crashed: &[bool],
+    rejoins: &[Vec<RejoinCut>],
+) -> Result<(), Divergence> {
     assert_eq!(logs.len(), crashed.len(), "one crash flag per site");
-    assert_eq!(logs.len(), rejoins.len(), "one rejoin cut per site");
+    assert_eq!(logs.len(), rejoins.len(), "one rejoin-cut list per site");
+    // Cuts sorted by `kept` (completion order already is; be defensive).
+    let rejoins: Vec<Vec<RejoinCut>> = rejoins
+        .iter()
+        .map(|cuts| {
+            let mut cuts = cuts.clone();
+            cuts.sort_by_key(|c| c.kept);
+            cuts
+        })
+        .collect();
     // Duplicates first.
     for (site, log) in logs.iter().enumerate() {
         let mut seen = std::collections::HashSet::new();
@@ -187,14 +253,14 @@ pub fn check_logs_rejoined(
     // Rejoined sites follow the chain rule below, never the exact-equality
     // or plain-prefix rules — whatever their final crash flag says.
     let operational: Vec<usize> =
-        (0..logs.len()).filter(|&i| !crashed[i] && rejoins[i].is_none()).collect();
+        (0..logs.len()).filter(|&i| !crashed[i] && rejoins[i].is_empty()).collect();
     // With no never-rejoined survivor there is no complete reference log:
     // every log has a transfer gap, so alignment runs against the *merged*
     // chain instead — each log claims the reference positions its segments
     // cover, and any two logs claiming different transactions for the same
     // position is split-brain (rolling kill-and-replace ends here).
-    if operational.is_empty() && rejoins.iter().any(Option::is_some) {
-        return check_merged_chain(logs, rejoins);
+    if operational.is_empty() && rejoins.iter().any(|r| !r.is_empty()) {
+        return check_merged_chain(logs, &rejoins);
     }
     // Pairwise equality over operational sites (transitively sufficient
     // against the first one).
@@ -227,7 +293,7 @@ pub fn check_logs_rejoined(
         },
     };
     for (site, log) in logs.iter().enumerate() {
-        if !crashed[site] || rejoins[site].is_some() {
+        if !crashed[site] || !rejoins[site].is_empty() {
             continue;
         }
         for (pos, txn) in log.iter().enumerate() {
@@ -236,16 +302,17 @@ pub fn check_logs_rejoined(
             }
         }
     }
-    // Rejoined sites: the log must chain through the transfer cut. The
-    // pre-crash prefix `[..kept]` aligns with the reference from position 0;
-    // the post-rejoin suffix `[kept..]` aligns with the reference from
-    // position `cut`. The gap between them is exactly what the snapshot +
-    // delta log carried.
+    // Rejoined sites: the log must chain through every transfer cut. Each
+    // segment between consecutive cuts aligns with the reference from the
+    // preceding cut's position; the gaps are exactly what the snapshots +
+    // delta logs carried.
     for (site, log) in logs.iter().enumerate() {
-        let Some(RejoinCut { kept, cut }) = rejoins[site] else { continue };
+        let cuts = &rejoins[site];
+        if cuts.is_empty() {
+            continue;
+        }
         for (pos, txn) in log.iter().enumerate() {
-            let ref_pos = if pos < kept { pos } else { cut + (pos - kept) };
-            if reference.get(ref_pos) != Some(txn) {
+            if reference.get(ref_position(pos, cuts)) != Some(txn) {
                 return Err(Divergence::RejoinedNotChained { site: site as u16, position: pos });
             }
         }
@@ -253,18 +320,18 @@ pub fn check_logs_rejoined(
     Ok(())
 }
 
-/// The no-complete-reference case of [`check_logs_rejoined`]: every site
-/// crashed or rejoined, so the reference chain is reconstructed by merging
-/// the positions each log covers — `[0, kept)` plus `[cut, cut + len -
-/// kept)` for a rejoined log, `[0, len)` for a plain-crashed one. Two logs
-/// claiming different transactions for one reference position diverge.
-fn check_merged_chain(logs: &[CommitLog], rejoins: &[Option<RejoinCut>]) -> Result<(), Divergence> {
+/// The no-complete-reference case of [`check_logs_rejoined_multi`]: every
+/// site crashed or rejoined, so the reference chain is reconstructed by
+/// merging the positions each log covers — its pre-crash prefix plus one
+/// re-based segment per cut for a rejoined log, `[0, len)` for a
+/// plain-crashed one. Two logs claiming different transactions for one
+/// reference position diverge.
+fn check_merged_chain(logs: &[CommitLog], rejoins: &[Vec<RejoinCut>]) -> Result<(), Divergence> {
     let mut merged: std::collections::HashMap<usize, (u16, (u16, u64))> =
         std::collections::HashMap::new();
     for (site, log) in logs.iter().enumerate() {
-        let (kept, cut) = rejoins[site].map_or((usize::MAX, 0), |r| (r.kept, r.cut));
         for (pos, txn) in log.iter().enumerate() {
-            let ref_pos = if pos < kept { pos } else { cut + (pos - kept) };
+            let ref_pos = ref_position(pos, &rejoins[site]);
             match merged.entry(ref_pos) {
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert((site as u16, *txn));
@@ -447,6 +514,57 @@ mod tests {
             ),
             Err(Divergence::RejoinedNotChained { site: 2, position: 1 }),
         );
+    }
+
+    #[test]
+    fn two_rejoins_of_one_site_chain_through_both_cuts() {
+        // Reference chain: six commits. Site 2 crashes at 1 commit, rejoins
+        // with cut 2, commits (0, 2) itself, crashes again at 2 commits,
+        // rejoins with cut 4, then commits (2, 2).
+        let reference = log(&[(0, 1), (1, 1), (0, 2), (1, 2), (2, 1), (2, 2)]);
+        let twice = log(&[(0, 1), (0, 2), (2, 1), (2, 2)]);
+        let cuts = vec![RejoinCut { kept: 1, cut: 2 }, RejoinCut { kept: 2, cut: 4 }];
+        assert_eq!(
+            check_logs_rejoined_multi(
+                &[reference.clone(), reference.clone(), twice.clone()],
+                &[false, false, false],
+                &[vec![], vec![], cuts.clone()],
+            ),
+            Ok(()),
+        );
+        // Keeping only the LAST cut — the pre-fix behaviour — mis-aligns
+        // the middle segment: (0, 2) at position 1 would be checked against
+        // reference position 1 = (1, 1).
+        assert_eq!(
+            check_logs_rejoined(
+                &[reference.clone(), reference.clone(), twice.clone()],
+                &[false, false, false],
+                &[None, None, Some(cuts[1])],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 1 }),
+        );
+        // A divergent entry in any segment is still split-brain.
+        let rogue = log(&[(0, 1), (0, 2), (9, 9), (2, 2)]);
+        assert_eq!(
+            check_logs_rejoined_multi(
+                &[reference.clone(), reference, rogue],
+                &[false, false, false],
+                &[vec![], vec![], cuts],
+            ),
+            Err(Divergence::RejoinedNotChained { site: 2, position: 2 }),
+        );
+    }
+
+    #[test]
+    fn ref_position_rebases_on_the_latest_reached_cut() {
+        let cuts = [RejoinCut { kept: 2, cut: 5 }, RejoinCut { kept: 4, cut: 9 }];
+        assert_eq!(ref_position(0, &cuts), 0);
+        assert_eq!(ref_position(1, &cuts), 1);
+        assert_eq!(ref_position(2, &cuts), 5);
+        assert_eq!(ref_position(3, &cuts), 6);
+        assert_eq!(ref_position(4, &cuts), 9);
+        assert_eq!(ref_position(6, &cuts), 11);
+        assert_eq!(ref_position(7, &[]), 7, "no cuts: identity");
     }
 
     #[test]

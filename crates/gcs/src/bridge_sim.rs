@@ -215,6 +215,18 @@ impl SimBridge {
         self.with_gcs(ctx, |gcs, rt| gcs.broadcast(rt, payload));
     }
 
+    /// Casts a certification vote (see [`Gcs::cast_vote`]), submitting the
+    /// protocol work as a real job. Safe to call from inside an upcall
+    /// handler: the job runs after the handler returns, so the loopback
+    /// `Upcall::Vote` is dispatched instead of being silently dropped by the
+    /// re-entrancy guard in `with_gcs`.
+    pub fn cast_vote(&self, origin: u16, txn: u64, conflict: Option<u64>) {
+        let this = self.clone();
+        self.shared.cpu.submit_real(Box::new(move |ctx| {
+            this.with_gcs(ctx, |gcs, rt| gcs.cast_vote(rt, origin, txn, conflict));
+        }));
+    }
+
     /// Protocol metrics snapshot.
     pub fn metrics(&self) -> crate::stack::GcsMetrics {
         self.shared.gcs.borrow().metrics()

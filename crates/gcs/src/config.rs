@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn frag_payload_subtracts_headers() {
         let c = GcsConfig::lan(3);
-        assert_eq!(c.frag_payload(), 1000 - 12 - 16);
+        assert_eq!(c.frag_payload(), 1000 - 12 - 18);
     }
 
     #[test]

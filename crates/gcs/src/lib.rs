@@ -55,8 +55,8 @@ pub use stability::{Gossip, Stability};
 pub use stack::{Gcs, GcsMetrics, Upcall};
 pub use types::{NodeId, NodeSet, View, MAX_NODES};
 pub use wire::{
-    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, WireError,
-    DATA_OVERHEAD, ENVELOPE_OVERHEAD, SEQ_ASSIGN_WIRE,
+    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, WireError, WireVote,
+    DATA_OVERHEAD, ENVELOPE_OVERHEAD, SEQ_ASSIGN_WIRE, WIRE_VOTE_WIRE,
 };
 
 #[cfg(test)]

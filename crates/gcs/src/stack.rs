@@ -36,7 +36,8 @@ use crate::runtime::{ProtocolRuntime, TimerId, TimerKind};
 use crate::stability::Stability;
 use crate::types::{NodeId, NodeSet, View};
 use crate::wire::{
-    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, SEQ_ASSIGN_WIRE,
+    decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, WireVote,
+    SEQ_ASSIGN_WIRE, WIRE_VOTE_WIRE,
 };
 use bytes::{Bytes, BytesMut};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -91,6 +92,16 @@ pub enum Upcall {
     /// application must install the transferred state before acting on
     /// the deliveries that follow.
     Rejoined,
+    /// A certification vote from `voter` (possibly this node, via loopback)
+    /// surfaced by the reliable vote stream. Votes from one voter arrive in
+    /// cast order; the application collects a covering quorum per
+    /// transaction and decides by merging.
+    Vote {
+        /// The site that cast the vote.
+        voter: NodeId,
+        /// The verdict.
+        vote: WireVote,
+    },
 }
 
 /// Protocol counters (diagnostics for the fault-injection analysis, §5.3).
@@ -133,6 +144,17 @@ pub struct GcsMetrics {
     /// Tentative (pre-total-order) deliveries handed up; 0 unless
     /// `tentative_delivery` is configured.
     pub tentative_delivered: u64,
+    /// Certification votes transmitted (first time, standalone or
+    /// piggybacked).
+    pub votes_sent: u64,
+    /// Certification votes received from peers (non-duplicate, surfaced in
+    /// stream order).
+    pub votes_received: u64,
+    /// Votes carried in the MTU slack of outgoing data fragments instead of
+    /// costing a standalone `Vote` message.
+    pub votes_piggybacked: u64,
+    /// Votes retransmitted by the heartbeat-driven reliability arm.
+    pub vote_resends: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -143,6 +165,8 @@ struct FragRecord {
     /// Piggybacked sequencer assignments; part of the fragment's identity so
     /// retransmissions (own buffer and peers' retained caches) carry them.
     ann: Vec<SeqAssign>,
+    /// Piggybacked certification votes; like `ann`, fragment identity.
+    votes: Vec<WireVote>,
     payload: Bytes,
 }
 
@@ -298,6 +322,46 @@ struct StoredMsg {
     last_frag: u64,
 }
 
+/// Certification-vote exchange state: a lightweight reliable stream per
+/// voter, independent of the data windows so verdicts never compete with
+/// application traffic for the buffer share.
+///
+/// Sender side: votes get a monotone per-voter sequence number, sit in
+/// `pending` until they either ride the MTU slack of an outgoing data
+/// fragment or flush as a standalone [`Message::Vote`], and stay in
+/// `outbox` until every current view member has cumulatively acked them
+/// ([`Message::VoteAck`]); the heartbeat timer retransmits the unacked
+/// suffix. Receiver side: per-voter contiguity tracking surfaces votes in
+/// cast order exactly once.
+#[derive(Debug)]
+struct VoteState {
+    /// Next vote sequence number to assign (1-based).
+    next_seq: u64,
+    /// Cast but not yet transmitted votes.
+    pending: Vec<WireVote>,
+    /// Transmitted votes not yet acked by every view member, keyed by seq.
+    outbox: BTreeMap<u64, WireVote>,
+    /// Per-peer cumulative ack of *our* vote stream.
+    acked: Vec<u64>,
+    /// Per-voter highest contiguously received vote sequence number.
+    in_up_to: Vec<u64>,
+    /// Per-voter out-of-order votes beyond the contiguous prefix.
+    in_ooo: Vec<BTreeMap<u64, WireVote>>,
+}
+
+impl VoteState {
+    fn new(n: usize) -> Self {
+        VoteState {
+            next_seq: 1,
+            pending: Vec::new(),
+            outbox: BTreeMap::new(),
+            acked: vec![0; n],
+            in_up_to: vec![0; n],
+            in_ooo: (0..n).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+}
+
 /// A grant issued to a rejoiner, retained so lost `JoinGrant`/`ViewInstall`
 /// packets can be healed by resends (driven by `JoinReq` retries and a short
 /// resend timer).
@@ -360,6 +424,8 @@ pub struct Gcs {
     /// membership, so a rejoiner (possibly the lowest-numbered node) never
     /// races a live sequencer.
     seq_node: NodeId,
+    /// Certification-vote exchange state.
+    votes: VoteState,
 }
 
 impl Gcs {
@@ -415,6 +481,7 @@ impl Gcs {
             last_grant: None,
             grant_resends: 0,
             seq_node,
+            votes: VoteState::new(n),
         }
     }
 
@@ -617,9 +684,19 @@ impl Gcs {
             } else {
                 Vec::new()
             };
+            // Votes fill whatever slack the announcements left.
+            let votes = if idx + 1 == total && kind == PayloadKind::App {
+                let room = self
+                    .cfg
+                    .frag_payload()
+                    .saturating_sub(chunk.len() + ann.len() * SEQ_ASSIGN_WIRE);
+                self.take_vote_piggyback(room)
+            } else {
+                Vec::new()
+            };
             let seq = self.send.next_frag;
             self.send.next_frag += 1;
-            let rec = FragRecord { total, idx, kind, ann, payload: chunk };
+            let rec = FragRecord { total, idx, kind, ann, votes, payload: chunk };
             self.send.buffer.insert(seq, rec.clone());
             let env = Envelope {
                 sender: self.me,
@@ -630,6 +707,7 @@ impl Gcs {
                     frag_idx: idx,
                     kind,
                     ann: rec.ann.clone(),
+                    votes: rec.votes.clone(),
                     payload: rec.payload.clone(),
                     retrans: false,
                 },
@@ -676,6 +754,177 @@ impl Gcs {
         ann
     }
 
+    // ----- certification votes ------------------------------------------
+
+    /// Casts a certification verdict for transaction `(origin, txn)` into
+    /// the group. The vote loops back to this node immediately (as
+    /// [`Upcall::Vote`]) and reaches every peer reliably: it rides the MTU
+    /// slack of outgoing data fragments when application traffic is queued,
+    /// flushes as a standalone [`Message::Vote`] otherwise, and is
+    /// retransmitted by the heartbeat until every view member acked it.
+    /// Dropped while halted or still joining — a crashed voter simply goes
+    /// silent and the survivors' votes cover its spans.
+    pub fn cast_vote(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        origin: u16,
+        txn: u64,
+        conflict: Option<u64>,
+    ) {
+        if self.halted || self.joining {
+            return;
+        }
+        let seq = self.votes.next_seq;
+        self.votes.next_seq += 1;
+        let vote = WireVote { seq, origin, txn, conflict };
+        // Loopback: the local application always sees its own verdict.
+        self.upcalls.push_back(Upcall::Vote { voter: self.me, vote });
+        if self.view.members.len() <= 1 {
+            return; // no peers to inform, and none will ever ack
+        }
+        self.votes.outbox.insert(seq, vote);
+        self.votes.pending.push(vote);
+        if self.send.pending.is_empty() {
+            // No outgoing fragment to ride: flush standalone now. With
+            // traffic queued the vote waits for the next fragment's slack
+            // (the heartbeat arm is the straggler backstop).
+            self.flush_votes(rt);
+        }
+    }
+
+    /// Transmits all pending votes as standalone `Vote` frames.
+    fn flush_votes(&mut self, rt: &mut dyn ProtocolRuntime) {
+        if self.votes.pending.is_empty() || self.halted || self.joining {
+            return;
+        }
+        // One wire message per chunk keeps the u16 count field sound.
+        const MAX_VOTE_CHUNK: usize = 2048;
+        let base = self.vote_base();
+        while !self.votes.pending.is_empty() {
+            let take = self.votes.pending.len().min(MAX_VOTE_CHUNK);
+            let chunk: Vec<WireVote> = self.votes.pending.drain(..take).collect();
+            self.metrics.votes_sent += chunk.len() as u64;
+            let env = Envelope {
+                sender: self.me,
+                view: self.view.id,
+                msg: Message::Vote { base, votes: chunk },
+            };
+            rt.multicast(env.encode());
+        }
+    }
+
+    /// The first un-garbage-collected sequence number of our vote stream.
+    /// GC only advances past votes acked by *every* view member, so for an
+    /// operational receiver a jump to this base is a no-op; a fresh
+    /// rejoiner legitimately skips to it (pre-rejoin outcomes arrive with
+    /// the state transfer).
+    fn vote_base(&self) -> u64 {
+        self.votes.outbox.keys().next().copied().unwrap_or(self.votes.next_seq)
+    }
+
+    /// Drains as many pending votes as fit in `room` payload bytes of an
+    /// outgoing application fragment (the slack left after announcements).
+    fn take_vote_piggyback(&mut self, room: usize) -> Vec<WireVote> {
+        if self.votes.pending.is_empty() {
+            return Vec::new();
+        }
+        let k = (room / WIRE_VOTE_WIRE).min(self.votes.pending.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let votes: Vec<WireVote> = self.votes.pending.drain(..k).collect();
+        self.metrics.votes_sent += votes.len() as u64;
+        self.metrics.votes_piggybacked += votes.len() as u64;
+        votes
+    }
+
+    /// Feeds received votes from `from`'s stream: jump to `base` (0 = no
+    /// jump), buffer out-of-order, surface the contiguous prefix exactly
+    /// once, and cumulatively ack so the voter can garbage-collect.
+    fn on_vote_frame(
+        &mut self,
+        rt: &mut dyn ProtocolRuntime,
+        from: NodeId,
+        base: u64,
+        votes: Vec<WireVote>,
+    ) {
+        let j = from.0 as usize;
+        let jump = base.saturating_sub(1);
+        if jump > self.votes.in_up_to[j] {
+            self.votes.in_up_to[j] = jump;
+            self.votes.in_ooo[j] = self.votes.in_ooo[j].split_off(&(jump + 1));
+        }
+        for v in votes {
+            if v.seq <= self.votes.in_up_to[j] || self.votes.in_ooo[j].contains_key(&v.seq) {
+                continue; // duplicate
+            }
+            self.votes.in_ooo[j].insert(v.seq, v);
+        }
+        loop {
+            let next = self.votes.in_up_to[j] + 1;
+            let Some(v) = self.votes.in_ooo[j].remove(&next) else { break };
+            self.votes.in_up_to[j] = next;
+            self.metrics.votes_received += 1;
+            self.upcalls.push_back(Upcall::Vote { voter: from, vote: v });
+        }
+        let env = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::VoteAck { up_to: self.votes.in_up_to[j] },
+        };
+        rt.unicast(from, env.encode());
+    }
+
+    fn on_vote_ack(&mut self, from: NodeId, up_to: u64) {
+        let j = from.0 as usize;
+        self.votes.acked[j] = self.votes.acked[j].max(up_to);
+        self.gc_votes();
+    }
+
+    /// Garbage-collects the vote outbox up to the minimum cumulative ack
+    /// over the *current* view's peers (re-evaluated after every install:
+    /// a crashed receiver stops gating GC the moment it is excluded).
+    fn gc_votes(&mut self) {
+        let min = self
+            .view
+            .members
+            .iter()
+            .filter(|&m| m != self.me)
+            .map(|m| self.votes.acked[m.0 as usize])
+            .min();
+        match min {
+            None => self.votes.outbox.clear(),
+            Some(min) => {
+                // Pending (never-transmitted) votes always have sequence
+                // numbers above any ack, so splitting cannot lose them.
+                self.votes.outbox = self.votes.outbox.split_off(&(min + 1));
+            }
+        }
+    }
+
+    /// Heartbeat-driven reliability arm: retransmits the unacked suffix of
+    /// the vote stream. Empty in the steady state — acks arrive within a
+    /// round-trip — so this only fires on real loss or a stalled receiver.
+    fn resend_votes(&mut self, rt: &mut dyn ProtocolRuntime) {
+        // The pending suffix of the outbox has never been transmitted —
+        // that is `flush_votes`' job, not a retransmission.
+        let limit = self.votes.pending.first().map_or(u64::MAX, |v| v.seq);
+        if self.votes.outbox.keys().next().is_none_or(|&first| first >= limit) {
+            return;
+        }
+        const MAX_RESEND: usize = 256;
+        let base = self.vote_base();
+        let chunk: Vec<WireVote> =
+            self.votes.outbox.range(..limit).map(|(_, v)| *v).take(MAX_RESEND).collect();
+        self.metrics.vote_resends += chunk.len() as u64;
+        let env = Envelope {
+            sender: self.me,
+            view: self.view.id,
+            msg: Message::Vote { base, votes: chunk },
+        };
+        rt.multicast(env.encode());
+    }
+
     // ----- receive path ------------------------------------------------
 
     /// Entry point for a raw packet from the network.
@@ -708,11 +957,12 @@ impl Gcs {
             return;
         }
         match env.msg {
-            Message::Data { seq, total_frags, frag_idx, kind, ann, payload, retrans } => {
+            Message::Data { seq, total_frags, frag_idx, kind, ann, votes, payload, retrans } => {
                 if retrans {
                     self.metrics.duplicates += 0; // counted below if truly dup
                 }
-                let rec = FragRecord { total: total_frags, idx: frag_idx, kind, ann, payload };
+                let rec =
+                    FragRecord { total: total_frags, idx: frag_idx, kind, ann, votes, payload };
                 self.on_fragment(rt, env.sender, seq, rec);
                 self.try_complete_install(rt);
             }
@@ -741,6 +991,12 @@ impl Gcs {
             }
             Message::JoinReq => {
                 self.on_join_req(rt, env.sender);
+            }
+            Message::Vote { base, votes } => {
+                self.on_vote_frame(rt, env.sender, base, votes);
+            }
+            Message::VoteAck { up_to } => {
+                self.on_vote_ack(env.sender, up_to);
             }
             Message::JoinGrant { .. } => {
                 // Duplicate grant after adoption (or a stray): ignore.
@@ -792,6 +1048,7 @@ impl Gcs {
         let is_self = from == self.me;
         let mut completed: Vec<(u64, PayloadKind, Bytes)> = Vec::new();
         let mut anns: Vec<(SeqAssign, u64)> = Vec::new();
+        let mut piggy_votes: Vec<WireVote> = Vec::new();
         {
             let stream = &mut self.recv[j];
             loop {
@@ -811,6 +1068,11 @@ impl Gcs {
                 // beyond-cut straggler can never apply assignments at some
                 // survivors and not others across a view change.
                 anns.extend(rec.ann.iter().map(|a| (*a, next)));
+                // Piggybacked votes feed the per-voter vote stream (own
+                // votes already looped back at cast time).
+                if !is_self {
+                    piggy_votes.extend(rec.votes.iter().copied());
+                }
                 if let Some(msg) = stream.asm.feed(next, &rec) {
                     completed.push(msg);
                 }
@@ -830,6 +1092,9 @@ impl Gcs {
                 self.apply_assignment(a, from, carrier_seq);
             }
             self.try_deliver(rt);
+        }
+        if !piggy_votes.is_empty() {
+            self.on_vote_frame(rt, from, 0, piggy_votes);
         }
         for (msg_seq, kind, payload) in completed {
             self.on_reliable_msg(rt, from, msg_seq, kind, payload);
@@ -1044,6 +1309,7 @@ impl Gcs {
                             frag_idx: rec.idx,
                             kind: rec.kind,
                             ann: rec.ann,
+                            votes: rec.votes,
                             payload: rec.payload,
                             retrans: true,
                         },
@@ -1429,6 +1695,13 @@ impl Gcs {
             s.gap_since = None;
             s.asm = Assembler::default();
             self.last_heard[node.0 as usize] = now;
+            // A rejoiner restarts its vote stream from seq 1: reset its
+            // receive tracking, and zero its (stale-high) ack of ours so GC
+            // cannot run ahead of what the fresh instance actually holds.
+            let j = node.0 as usize;
+            self.votes.acked[j] = 0;
+            self.votes.in_up_to[j] = 0;
+            self.votes.in_ooo[j].clear();
         }
         // Orphaned assignments: messages sequenced by the old view but whose
         // content died with its sender can never be delivered — skip their
@@ -1460,6 +1733,8 @@ impl Gcs {
         self.phase = Phase::Stable;
         self.suspected = self.suspected.difference(members);
         self.stab.set_members(members);
+        // Excluded receivers stop gating vote GC the moment they are out.
+        self.gc_votes();
         // Sticky sequencer: fail over only when the holder left. A
         // still-member dedicated sequencer is preferred on failover; a
         // *rejoined* one does not reclaim the role (it would race the
@@ -1667,6 +1942,10 @@ impl Gcs {
         self.to.assign_counter = order_base;
         self.to.skipped = skipped.into_iter().collect();
         self.stab = Stability::new(self.me, self.cfg.n_nodes, members);
+        // Fresh vote state: the application resumes casting only after its
+        // state transfer completes, and peers' `Vote` bases skip us past
+        // their pre-rejoin streams.
+        self.votes = VoteState::new(self.cfg.n_nodes);
         self.last_heard = vec![now; self.cfg.n_nodes];
         rt.set_timer(self.cfg.gossip_period, TimerKind::Gossip);
         rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
@@ -1713,6 +1992,11 @@ impl Gcs {
                     msg: Message::Heartbeat { sent: self.send.sent() },
                 };
                 rt.multicast(env.encode());
+                // Vote reliability rides the heartbeat: retransmit the
+                // unacked suffix, then flush stragglers that found no
+                // fragment slack to piggyback on.
+                self.resend_votes(rt);
+                self.flush_votes(rt);
                 rt.set_timer(self.cfg.heartbeat_period, TimerKind::Heartbeat);
             }
             TimerKind::FailureCheck => {
@@ -1853,6 +2137,7 @@ mod tests {
                 frag_idx: 0,
                 kind: PayloadKind::App,
                 ann: Vec::new(),
+                votes: Vec::new(),
                 payload: Bytes::from_static(payload),
                 retrans: false,
             },
@@ -1994,6 +2279,7 @@ mod tests {
                 frag_idx: 0,
                 kind: PayloadKind::App,
                 ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 1, global_seq: 1 }],
+                votes: Vec::new(),
                 payload: Bytes::from_static(b"carrier"),
                 retrans: false,
             },
@@ -2083,6 +2369,7 @@ mod tests {
                 frag_idx: 0,
                 kind: PayloadKind::App,
                 ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 9, global_seq: 5 }],
+                votes: Vec::new(),
                 payload: Bytes::from_static(b"late"),
                 retrans: false,
             },
@@ -2363,6 +2650,7 @@ mod tests {
                     SeqAssign { sender: NodeId(1), msg_seq: 8, global_seq: 9 },
                     SeqAssign { sender: NodeId(1), msg_seq: 9, global_seq: 10 },
                 ],
+                votes: Vec::new(),
                 payload: Bytes::from_static(b"txn2"),
                 retrans: false,
             },
@@ -2409,5 +2697,212 @@ mod tests {
         );
         assert_eq!(g.metrics().tentative_delivered, 0);
         assert_eq!(g.metrics().delivered, 1, "normal delivery unaffected");
+    }
+
+    fn vote_upcalls(ups: &[Upcall]) -> Vec<(NodeId, WireVote)> {
+        ups.iter()
+            .filter_map(|u| match u {
+                Upcall::Vote { voter, vote } => Some((*voter, *vote)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cast_vote_loops_back_and_flushes_standalone() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        g.cast_vote(&mut rt, 1, 7, None);
+        g.cast_vote(&mut rt, 2, 3, Some(41));
+        let ups = g.drain_upcalls();
+        let votes = vote_upcalls(&ups);
+        assert_eq!(votes.len(), 2, "both verdicts looped back: {ups:?}");
+        assert_eq!(votes[0].0, NodeId(0));
+        assert_eq!(votes[0].1, WireVote { seq: 1, origin: 1, txn: 7, conflict: None });
+        assert_eq!(votes[1].1, WireVote { seq: 2, origin: 2, txn: 3, conflict: Some(41) });
+        // Idle sender: each cast flushed immediately as a standalone frame.
+        let wire: Vec<_> = sent_msgs(&rt)
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::Vote { base, votes } => Some((base, votes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wire.len(), 2, "one Vote frame per cast at an idle sender");
+        assert_eq!(wire[0].0, 1, "nothing GC'd: base is the stream start");
+        assert_eq!(g.metrics().votes_sent, 2);
+        assert_eq!(g.metrics().votes_piggybacked, 0);
+        assert_eq!(g.votes.outbox.len(), 2, "retained until every peer acks");
+    }
+
+    #[test]
+    fn received_votes_surface_in_stream_order_and_are_acked() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        let v1 = WireVote { seq: 1, origin: 1, txn: 1, conflict: None };
+        let v2 = WireVote { seq: 2, origin: 1, txn: 2, conflict: Some(9) };
+        // Seq 2 arrives first: buffered, not surfaced.
+        let early = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::Vote { base: 1, votes: vec![v2] },
+        };
+        g.on_packet(&mut rt, early.encode());
+        assert!(vote_upcalls(&g.drain_upcalls()).is_empty(), "gap holds the stream");
+        // Seq 1 closes the gap: both surface, in cast order.
+        let fill = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::Vote { base: 1, votes: vec![v1] },
+        };
+        g.on_packet(&mut rt, fill.encode());
+        let votes = vote_upcalls(&g.drain_upcalls());
+        assert_eq!(votes, vec![(NodeId(1), v1), (NodeId(1), v2)]);
+        assert_eq!(g.metrics().votes_received, 2);
+        // A duplicate is dropped, and every frame is answered with the
+        // cumulative ack.
+        g.on_packet(&mut rt, fill.encode());
+        assert!(vote_upcalls(&g.drain_upcalls()).is_empty(), "duplicate dropped");
+        let acks: Vec<_> = sent_msgs(&rt)
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::VoteAck { up_to } => Some(up_to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![0, 2, 2], "cumulative ack after each frame");
+    }
+
+    #[test]
+    fn votes_piggyback_on_outgoing_fragment_slack() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(2, Duration::from_millis(10)));
+        g.on_start(&mut rt);
+        // Seed pending votes directly (as if cast while traffic was queued).
+        for seq in 1..=3u64 {
+            let v = WireVote { seq, origin: 0, txn: seq, conflict: None };
+            g.votes.outbox.insert(seq, v);
+            g.votes.pending.push(v);
+        }
+        g.votes.next_seq = 4;
+        g.broadcast(&mut rt, Bytes::from_static(b"txn"));
+        let m = g.metrics();
+        assert_eq!(m.votes_piggybacked, 3, "all three rode the fragment slack");
+        assert_eq!(m.votes_sent, 3);
+        let carried = sent_msgs(&rt)
+            .into_iter()
+            .any(|m| matches!(m, Message::Data { votes, .. } if votes.len() == 3));
+        assert!(carried, "outgoing fragment carries the votes");
+        assert!(g.votes.pending.is_empty());
+        // No slack, no piggyback: a full fragment defers to the heartbeat.
+        let v = WireVote { seq: 4, origin: 0, txn: 4, conflict: None };
+        g.votes.outbox.insert(4, v);
+        g.votes.pending.push(v);
+        g.votes.next_seq = 5;
+        let fp = g.cfg.frag_payload();
+        g.broadcast(&mut rt, Bytes::from(vec![0u8; fp]));
+        assert_eq!(g.metrics().votes_piggybacked, 3, "no room on a full fragment");
+        assert_eq!(g.votes.pending.len(), 1);
+        g.on_timer(&mut rt, TimerKind::Heartbeat);
+        assert!(g.votes.pending.is_empty(), "heartbeat flushed the straggler");
+        assert_eq!(g.metrics().votes_sent, 4);
+    }
+
+    #[test]
+    fn unacked_votes_resend_until_acked_then_gc() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        g.cast_vote(&mut rt, 0, 1, None);
+        assert_eq!(g.votes.outbox.len(), 1);
+        g.on_timer(&mut rt, TimerKind::Heartbeat);
+        assert_eq!(g.metrics().vote_resends, 1, "unacked vote retransmitted");
+        // One peer acks: still gated by the other.
+        let ack1 = Envelope { sender: NodeId(1), view: 0, msg: Message::VoteAck { up_to: 1 } };
+        g.on_packet(&mut rt, ack1.encode());
+        assert_eq!(g.votes.outbox.len(), 1, "slowest view member gates GC");
+        let ack2 = Envelope { sender: NodeId(2), view: 0, msg: Message::VoteAck { up_to: 1 } };
+        g.on_packet(&mut rt, ack2.encode());
+        assert!(g.votes.outbox.is_empty(), "acked by all: GC'd");
+        let before = g.metrics().vote_resends;
+        g.on_timer(&mut rt, TimerKind::Heartbeat);
+        assert_eq!(g.metrics().vote_resends, before, "nothing left to resend");
+    }
+
+    #[test]
+    fn view_change_drops_the_dead_receiver_from_vote_gc() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        g.cast_vote(&mut rt, 0, 1, None);
+        // Node 1 acks; node 2 crashes without acking.
+        let ack1 = Envelope { sender: NodeId(1), view: 0, msg: Message::VoteAck { up_to: 1 } };
+        g.on_packet(&mut rt, ack1.encode());
+        assert_eq!(g.votes.outbox.len(), 1, "dead receiver still gates GC");
+        remove_node_2(&mut rt, &mut g);
+        assert!(g.votes.outbox.is_empty(), "install re-evaluates GC against the new view");
+    }
+
+    #[test]
+    fn vote_base_jump_skips_a_rejoiners_pre_crash_stream() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        // A voter whose votes 1..=4 were GC'd before we rejoined announces
+        // base 5: we adopt it rather than waiting forever for 1..=4.
+        let v5 = WireVote { seq: 5, origin: 1, txn: 9, conflict: None };
+        let frame = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::Vote { base: 5, votes: vec![v5] },
+        };
+        g.on_packet(&mut rt, frame.encode());
+        let votes = vote_upcalls(&g.drain_upcalls());
+        assert_eq!(votes, vec![(NodeId(1), v5)], "stream resumes at the base");
+        // A straggler below the base is a duplicate of transferred state.
+        let v4 = WireVote { seq: 4, origin: 1, txn: 8, conflict: None };
+        let late = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::Vote { base: 5, votes: vec![v4] },
+        };
+        g.on_packet(&mut rt, late.encode());
+        assert!(vote_upcalls(&g.drain_upcalls()).is_empty());
+        assert_eq!(g.metrics().votes_received, 1);
+    }
+
+    #[test]
+    fn rejoining_and_halted_nodes_do_not_vote() {
+        let mut rt = MockRt::default();
+        let mut g = Gcs::rejoin(NodeId(2), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        g.cast_vote(&mut rt, 2, 1, None);
+        assert!(vote_upcalls(&g.drain_upcalls()).is_empty(), "joiner casts nothing");
+        assert_eq!(g.metrics().votes_sent, 0);
+        // A halted node neither casts nor processes votes.
+        let mut h = Gcs::new(NodeId(0), fixed_cfg(4, Duration::from_millis(1)));
+        h.on_start(&mut rt);
+        let members: NodeSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        let req = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::FlushReq { new_view: 1, members },
+        };
+        h.on_packet(&mut rt, req.encode());
+        assert!(h.is_halted());
+        h.drain_upcalls();
+        h.cast_vote(&mut rt, 0, 1, None);
+        let frame = Envelope {
+            sender: NodeId(1),
+            view: 0,
+            msg: Message::Vote {
+                base: 1,
+                votes: vec![WireVote { seq: 1, origin: 1, txn: 1, conflict: None }],
+            },
+        };
+        h.on_packet(&mut rt, frame.encode());
+        assert!(vote_upcalls(&h.drain_upcalls()).is_empty(), "halted node is silent");
     }
 }

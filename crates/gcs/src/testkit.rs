@@ -163,6 +163,14 @@ impl TestNet {
         self.with_node(node, |g, rt| g.broadcast(rt, payload));
     }
 
+    /// Casts a certification vote from `node` (see [`Gcs::cast_vote`]).
+    pub fn cast_vote(&mut self, node: NodeId, origin: u16, txn: u64, conflict: Option<u64>) {
+        if self.shared.borrow().crashed.contains(&node.0) {
+            return;
+        }
+        self.with_node(node, |g, rt| g.cast_vote(rt, origin, txn, conflict));
+    }
+
     /// Runs until the event queue is empty or `until_ns` is reached.
     pub fn run_until(&mut self, until_ns: u64) {
         loop {

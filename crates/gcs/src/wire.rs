@@ -53,6 +53,22 @@ pub struct SeqAssign {
     pub global_seq: u64,
 }
 
+/// One certification verdict on the wire: the voting site's span-restricted
+/// answer for transaction `(origin, txn)`. Votes form a per-voter reliable
+/// stream numbered by `seq`, resent until every view member acks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireVote {
+    /// Position in the voter's vote stream (1-based, monotone).
+    pub seq: u64,
+    /// Site that originated the transaction being voted on.
+    pub origin: u16,
+    /// The origin site's transaction number.
+    pub txn: u64,
+    /// `Some(seq)` of the first conflicting committed write, else a clean
+    /// span-restricted pass.
+    pub conflict: Option<u64>,
+}
+
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -70,6 +86,9 @@ pub enum Message {
         /// hot-path announcements that cost zero extra messages. Part of the
         /// fragment's identity: retransmissions carry the same batch.
         ann: Vec<SeqAssign>,
+        /// Certification votes piggybacked after the announcements in the
+        /// remaining MTU slack. Like `ann`, part of the fragment's identity.
+        votes: Vec<WireVote>,
         /// Fragment bytes.
         payload: Bytes,
         /// True when this is a retransmission (metrics only).
@@ -139,6 +158,24 @@ pub enum Message {
         /// The group's current (sticky) sequencer.
         sequencer: NodeId,
     },
+    /// Standalone certification-vote batch (multicast) for verdicts that
+    /// found no outgoing data fragment to ride on.
+    Vote {
+        /// The voter's first un-garbage-collected vote sequence number.
+        /// Receivers jump their expectation forward to it: for operational
+        /// members that is a no-op (GC waits for every member's ack), for a
+        /// rejoiner it skips pre-rejoin votes whose outcomes arrived with
+        /// the state transfer.
+        base: u64,
+        /// The votes, contiguous by `seq` within a batch.
+        votes: Vec<WireVote>,
+    },
+    /// Cumulative acknowledgement of a voter's vote stream (unicast,
+    /// receiver → voter): "I have every vote of yours up to `up_to`".
+    VoteAck {
+        /// Highest contiguously received vote sequence number.
+        up_to: u64,
+    },
 }
 
 /// Decode error.
@@ -174,11 +211,13 @@ pub struct Envelope {
 
 /// Fixed envelope overhead in bytes (magic, kind, sender, view).
 pub const ENVELOPE_OVERHEAD: usize = 1 + 1 + 2 + 8;
-/// Per-fragment data header beyond the envelope (includes the piggyback
-/// count).
-pub const DATA_OVERHEAD: usize = 8 + 2 + 2 + 1 + 1 + 2;
+/// Per-fragment data header beyond the envelope (includes both piggyback
+/// counts: announcements and votes).
+pub const DATA_OVERHEAD: usize = 8 + 2 + 2 + 1 + 1 + 2 + 2;
 /// Wire size of one encoded [`SeqAssign`].
 pub const SEQ_ASSIGN_WIRE: usize = 2 + 8 + 8;
+/// Wire size of one encoded [`WireVote`] (seq, origin, txn, flag, conflict).
+pub const WIRE_VOTE_WIRE: usize = 8 + 2 + 8 + 1 + 8;
 
 fn put_seq_assign(b: &mut BytesMut, a: &SeqAssign) {
     b.put_u16_le(a.sender.0);
@@ -194,6 +233,25 @@ fn get_seq_assign(buf: &mut Bytes) -> SeqAssign {
     }
 }
 
+fn put_wire_vote(b: &mut BytesMut, v: &WireVote) {
+    b.put_u64_le(v.seq);
+    b.put_u16_le(v.origin);
+    b.put_u64_le(v.txn);
+    // Fixed-width option: flag byte + always-present value keeps the record
+    // size constant so truncation checks stay a single multiply.
+    b.put_u8(u8::from(v.conflict.is_some()));
+    b.put_u64_le(v.conflict.unwrap_or(0));
+}
+
+fn get_wire_vote(buf: &mut Bytes) -> WireVote {
+    let seq = buf.get_u64_le();
+    let origin = buf.get_u16_le();
+    let txn = buf.get_u64_le();
+    let some = buf.get_u8() != 0;
+    let val = buf.get_u64_le();
+    WireVote { seq, origin, txn, conflict: some.then_some(val) }
+}
+
 impl Envelope {
     /// Encodes to a fresh buffer.
     pub fn encode(&self) -> Bytes {
@@ -203,15 +261,19 @@ impl Envelope {
         b.put_u16_le(self.sender.0);
         b.put_u64_le(self.view);
         match &self.msg {
-            Message::Data { seq, total_frags, frag_idx, kind, ann, payload, retrans } => {
+            Message::Data { seq, total_frags, frag_idx, kind, ann, votes, payload, retrans } => {
                 b.put_u64_le(*seq);
                 b.put_u16_le(*total_frags);
                 b.put_u16_le(*frag_idx);
                 b.put_u8(kind.to_byte());
                 b.put_u8(u8::from(*retrans));
                 b.put_u16_le(ann.len() as u16);
+                b.put_u16_le(votes.len() as u16);
                 for a in ann {
                     put_seq_assign(&mut b, a);
+                }
+                for v in votes {
+                    put_wire_vote(&mut b, v);
                 }
                 b.put_slice(payload);
             }
@@ -257,6 +319,16 @@ impl Envelope {
                 }
             }
             Message::JoinReq => {}
+            Message::Vote { base, votes } => {
+                b.put_u64_le(*base);
+                b.put_u16_le(votes.len() as u16);
+                for v in votes {
+                    put_wire_vote(&mut b, v);
+                }
+            }
+            Message::VoteAck { up_to } => {
+                b.put_u64_le(*up_to);
+            }
             Message::JoinGrant { new_view, members, cut, order_base, skipped, sequencer } => {
                 b.put_u64_le(*new_view);
                 b.put_u64_le(members.bits());
@@ -286,6 +358,8 @@ impl Envelope {
             Message::ViewInstall { .. } => 6,
             Message::JoinReq => 7,
             Message::JoinGrant { .. } => 8,
+            Message::Vote { .. } => 9,
+            Message::VoteAck { .. } => 10,
         }
     }
 
@@ -317,11 +391,22 @@ impl Envelope {
                 let retrans = buf.get_u8() != 0;
                 let kind = PayloadKind::from_byte(k).ok_or(WireError::BadTag(k))?;
                 let n_ann = buf.get_u16_le() as usize;
-                if buf.len() < n_ann * SEQ_ASSIGN_WIRE {
+                let n_votes = buf.get_u16_le() as usize;
+                if buf.len() < n_ann * SEQ_ASSIGN_WIRE + n_votes * WIRE_VOTE_WIRE {
                     return Err(WireError::Truncated);
                 }
                 let ann = (0..n_ann).map(|_| get_seq_assign(&mut buf)).collect();
-                Message::Data { seq, total_frags, frag_idx, kind, ann, payload: buf, retrans }
+                let votes = (0..n_votes).map(|_| get_wire_vote(&mut buf)).collect();
+                Message::Data {
+                    seq,
+                    total_frags,
+                    frag_idx,
+                    kind,
+                    ann,
+                    votes,
+                    payload: buf,
+                    retrans,
+                }
             }
             1 => {
                 if buf.len() < 4 {
@@ -391,6 +476,24 @@ impl Envelope {
                 Message::ViewInstall { new_view, members, cut }
             }
             7 => Message::JoinReq,
+            9 => {
+                if buf.len() < 10 {
+                    return Err(WireError::Truncated);
+                }
+                let base = buf.get_u64_le();
+                let n = buf.get_u16_le() as usize;
+                if buf.len() < n * WIRE_VOTE_WIRE {
+                    return Err(WireError::Truncated);
+                }
+                let votes = (0..n).map(|_| get_wire_vote(&mut buf)).collect();
+                Message::Vote { base, votes }
+            }
+            10 => {
+                if buf.len() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Message::VoteAck { up_to: buf.get_u64_le() }
+            }
             8 => {
                 if buf.len() < 18 {
                     return Err(WireError::Truncated);
@@ -463,6 +566,7 @@ mod tests {
             frag_idx: 1,
             kind: PayloadKind::App,
             ann: Vec::new(),
+            votes: Vec::new(),
             payload: Bytes::from_static(b"hello"),
             retrans: false,
         });
@@ -472,6 +576,7 @@ mod tests {
             frag_idx: 0,
             kind: PayloadKind::SeqAnn,
             ann: Vec::new(),
+            votes: Vec::new(),
             payload: Bytes::new(),
             retrans: true,
         });
@@ -484,10 +589,23 @@ mod tests {
                 SeqAssign { sender: NodeId(1), msg_seq: 3, global_seq: 9 },
                 SeqAssign { sender: NodeId(2), msg_seq: 4, global_seq: 10 },
             ],
+            votes: vec![
+                WireVote { seq: 1, origin: 2, txn: 17, conflict: None },
+                WireVote { seq: 2, origin: 0, txn: 3, conflict: Some(41) },
+            ],
             payload: Bytes::from_static(b"carried"),
             retrans: false,
         });
         roundtrip(Message::Nak { target: NodeId(2), ranges: vec![(1, 5), (9, 9)] });
+        roundtrip(Message::Vote {
+            base: 4,
+            votes: vec![
+                WireVote { seq: 4, origin: 1, txn: 9, conflict: Some(0) },
+                WireVote { seq: 5, origin: 1, txn: 10, conflict: None },
+            ],
+        });
+        roundtrip(Message::Vote { base: 1, votes: Vec::new() });
+        roundtrip(Message::VoteAck { up_to: 23 });
         roundtrip(Message::Gossip(Gossip {
             round: 8,
             w: NodeSet::first_n(3),
@@ -584,14 +702,49 @@ mod tests {
                 frag_idx: 0,
                 kind: PayloadKind::App,
                 ann: vec![SeqAssign { sender: NodeId(1), msg_seq: 1, global_seq: 1 }],
+                votes: vec![WireVote { seq: 1, origin: 0, txn: 1, conflict: Some(7) }],
                 payload: Bytes::new(),
                 retrans: false,
             },
         };
         let full = env.encode();
         // Cutting inside the piggyback region must be an error, never a
-        // misparse of assignment bytes as payload.
+        // misparse of assignment or vote bytes as payload.
         for cut in ENVELOPE_OVERHEAD + DATA_OVERHEAD..full.len() {
+            assert_eq!(
+                Envelope::decode(full.slice(0..cut)),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
+        }
+        assert!(Envelope::decode(full).is_ok());
+    }
+
+    #[test]
+    fn truncated_vote_batch_rejected() {
+        let env = Envelope {
+            sender: NodeId(2),
+            view: 5,
+            msg: Message::Vote {
+                base: 3,
+                votes: vec![
+                    WireVote { seq: 3, origin: 0, txn: 12, conflict: None },
+                    WireVote { seq: 4, origin: 1, txn: 2, conflict: Some(88) },
+                ],
+            },
+        };
+        let full = env.encode();
+        for cut in ENVELOPE_OVERHEAD..full.len() {
+            assert_eq!(
+                Envelope::decode(full.slice(0..cut)),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
+        }
+        assert!(Envelope::decode(full).is_ok());
+        let ack = Envelope { sender: NodeId(2), view: 5, msg: Message::VoteAck { up_to: 4 } };
+        let full = ack.encode();
+        for cut in ENVELOPE_OVERHEAD..full.len() {
             assert_eq!(
                 Envelope::decode(full.slice(0..cut)),
                 Err(WireError::Truncated),
@@ -625,6 +778,7 @@ mod tests {
                 frag_idx: 0,
                 kind: PayloadKind::App,
                 ann: Vec::new(),
+                votes: Vec::new(),
                 payload: payload.clone(),
                 retrans: false,
             },

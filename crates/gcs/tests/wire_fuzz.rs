@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use dbsm_gcs::{
     decode_seq_ann, encode_seq_ann, Envelope, Gossip, Message, NodeId, NodeSet, PayloadKind,
-    SeqAssign,
+    SeqAssign, WireVote,
 };
 use proptest::prelude::*;
 
@@ -25,6 +25,11 @@ fn arb_seq_assign() -> impl Strategy<Value = SeqAssign> {
     })
 }
 
+fn arb_wire_vote() -> impl Strategy<Value = WireVote> {
+    (any::<u64>(), any::<u16>(), any::<u64>(), prop::option::of(any::<u64>()))
+        .prop_map(|(seq, origin, txn, conflict)| WireVote { seq, origin, txn, conflict })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (
@@ -32,19 +37,24 @@ fn arb_message() -> impl Strategy<Value = Message> {
             1u16..64,
             any::<bool>(),
             prop::collection::vec(arb_seq_assign(), 0..8),
+            prop::collection::vec(arb_wire_vote(), 0..8),
             prop::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_flat_map(|(seq, total, retrans, ann, payload)| {
+            .prop_flat_map(|(seq, total, retrans, ann, votes, payload)| {
                 (0..total).prop_map(move |idx| Message::Data {
                     seq,
                     total_frags: total,
                     frag_idx: idx,
                     kind: if retrans { PayloadKind::SeqAnn } else { PayloadKind::App },
                     ann: ann.clone(),
+                    votes: votes.clone(),
                     payload: Bytes::from(payload.clone()),
                     retrans,
                 })
             }),
+        (any::<u64>(), prop::collection::vec(arb_wire_vote(), 0..16))
+            .prop_map(|(base, votes)| Message::Vote { base, votes }),
+        any::<u64>().prop_map(|up_to| Message::VoteAck { up_to }),
         (0u16..64, prop::collection::vec((any::<u64>(), any::<u64>()), 0..16))
             .prop_map(|(t, ranges)| Message::Nak { target: NodeId(t), ranges }),
         (any::<u64>(), arb_nodeset(), arb_vec64(16)).prop_map(|(round, w, m)| {

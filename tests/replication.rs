@@ -499,7 +499,7 @@ fn protocol_cpu_stays_in_the_papers_band() {
 
 #[test]
 fn crashed_then_restarted_site_rejoins_and_commits() {
-    use dbsm_testbed::fault::check_logs_rejoined;
+    use dbsm_testbed::fault::check_logs_rejoined_multi;
     // Site 2 crashes at 15 s and restarts at 30 s: its fresh incarnation
     // must announce itself, catch up via snapshot + delta-log state
     // transfer, re-enter the view and resume committing.
@@ -536,7 +536,7 @@ fn crashed_then_restarted_site_rejoins_and_commits() {
     // And the full chain rule holds: pre-crash prefix, transferred gap,
     // post-rejoin continuation from the cut.
     let crashed = crashed_flags(&m, 3);
-    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+    check_logs_rejoined_multi(&m.commit_logs, &crashed, &m.rejoin_cuts())
         .expect("rejoined log chains through the cut");
     // CI's recovery smoke step greps this line into the step summary.
     println!(
@@ -550,7 +550,7 @@ fn crashed_then_restarted_site_rejoins_and_commits() {
 
 #[test]
 fn kill_and_replace_completes_with_chain_checked_logs() {
-    use dbsm_testbed::fault::check_logs_rejoined;
+    use dbsm_testbed::fault::check_logs_rejoined_multi;
     // Rolling kill-and-replace: each of the three sites is killed in turn
     // and restarts after a short downtime, staggered so a majority always
     // survives. Every site must come back through the rejoin path.
@@ -572,13 +572,106 @@ fn kill_and_replace_completes_with_chain_checked_logs() {
     assert_eq!(m.recovery_work.snapshots_served, 3);
     assert!(m.crashed_sites.is_empty(), "no site left behind: {:?}", m.crashed_sites);
     let crashed = crashed_flags(&m, 3);
-    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+    check_logs_rejoined_multi(&m.commit_logs, &crashed, &m.rejoin_cuts())
         .expect("every replaced site chains through its cut");
 }
 
 #[test]
+fn voter_crash_mid_vote_round_is_safe_and_survivors_recollect() {
+    use dbsm_testbed::fault::check_logs_rejoined_multi;
+    // A span owner dies with vote rounds in flight: the in-flight
+    // transactions it voted on (or should have) must still decide at the
+    // survivors — every span it owned has a second replica under rf 2, so
+    // the surviving owners' votes still form a covering quorum — and the
+    // DBSM safety condition must hold with the dead site holding a prefix.
+    let m = run_experiment(
+        ExperimentConfig::replicated(6, 120)
+            .with_target(600)
+            .with_replication_factor(2)
+            .with_faults(FaultPlan::crash(5, SimTime::from_secs(10))),
+    );
+    assert_eq!(m.crashed_sites, vec![5], "the voter died: {:?}", m.crashed_sites);
+    assert!(m.committed() > 400, "survivors kept committing: {}", m.committed());
+    assert!(
+        m.commit_logs[0].len() > m.commit_logs[5].len(),
+        "survivors decided vote rounds past the dead voter"
+    );
+    // Wire votes actually flowed, before and after the crash.
+    assert!(m.vote_wire.sent > 0, "wire votes cast: {:?}", m.vote_wire);
+    assert!(m.vote_wire.decided > 0, "origins collected covering quorums");
+    let crashed = crashed_flags(&m, 6);
+    check_logs_rejoined_multi(&m.commit_logs, &crashed, &m.rejoin_cuts())
+        .expect("crashed voter holds a prefix, survivors agree");
+}
+
+#[test]
+fn partition_heal_during_vote_rounds_recovers_the_lost_votes() {
+    // A 300 ms split — below the failure-detector timeout — isolates span
+    // owner 5 with vote rounds in flight: votes multicast across the
+    // boundary die at the partition, cross-span transactions needing site
+    // 5's verdict stall, and after the heal the piggybacked resend path
+    // must recover every lost vote with no membership change. All six
+    // logs end identical.
+    let plan = FaultPlan::partition(
+        vec![vec![0, 1, 2, 3, 4], vec![5]],
+        SimTime::from_secs(10),
+        SimTime::from_millis(10_300),
+    );
+    let m = run_experiment(
+        ExperimentConfig::replicated(6, 120)
+            .with_target(600)
+            .with_replication_factor(2)
+            .with_faults(plan),
+    );
+    assert!(m.crashed_sites.is_empty(), "nobody halted: {:?}", m.crashed_sites);
+    assert_eq!(m.fault_work.view_installs, 0, "heal happened below the membership radar");
+    assert!(m.fault_work.partition_drops > 0, "traffic (votes included) died at the boundary");
+    assert!(m.vote_wire.sent > 0 && m.vote_wire.decided > 0, "{:?}", m.vote_wire);
+    check_logs(&m.commit_logs, &[false; 6]).expect("identical sequences across the heal");
+    assert!(m.committed() > 400, "committed {}", m.committed());
+}
+
+#[test]
+fn rejoined_voter_resumes_voting_past_its_cut() {
+    use dbsm_testbed::fault::check_logs_rejoined_multi;
+    // Crash-restart a span owner under rf 2: while it is down the
+    // survivors decide vote rounds without it; after snapshot + delta-log
+    // transfer and `finish_rejoin` the fresh incarnation must resume
+    // casting wire votes — its per-site sent counter belongs to the new
+    // Gcs instance, so a nonzero count is post-rejoin voting by
+    // construction — and its log must chain through the transfer cut.
+    let mut cfg = ExperimentConfig::replicated(6, 60)
+        .with_target(1500)
+        .with_replication_factor(2)
+        .with_faults(FaultPlan::crash_restart(5, SimTime::from_secs(8), SimTime::from_secs(16)));
+    cfg.think_mean = Duration::from_secs(1);
+    cfg.max_sim = Duration::from_secs(300);
+    let m = run_experiment(cfg);
+    assert_eq!(m.recovery_work.rejoins, 1, "rejoins {:?}", m.rejoins);
+    assert!(!m.crashed_sites.contains(&5), "site 5 is live again");
+    let r = m.rejoins[0];
+    assert_eq!(r.site, 5);
+    assert!(
+        m.commit_logs[5].len() > r.kept,
+        "post-rejoin commits: log {} kept {}",
+        m.commit_logs[5].len(),
+        r.kept
+    );
+    // The fresh incarnation's own vote counter: votes cast after rejoin.
+    assert_eq!(m.vote_wire.per_site_sent.len(), 6, "all six bridges reported");
+    assert!(
+        m.vote_wire.per_site_sent[5] > 0,
+        "rejoined voter cast wire votes past its cut: {:?}",
+        m.vote_wire.per_site_sent
+    );
+    let crashed = crashed_flags(&m, 6);
+    check_logs_rejoined_multi(&m.commit_logs, &crashed, &m.rejoin_cuts())
+        .expect("rejoined voter chains through its cut");
+}
+
+#[test]
 fn partial_placement_rejoin_transfers_only_the_sites_spans() {
-    use dbsm_testbed::fault::check_logs_rejoined;
+    use dbsm_testbed::fault::check_logs_rejoined_multi;
     // Under a 2-of-6 placement the rejoiner re-requests only its spans'
     // rows: the snapshot is priced per owned warehouse, a fraction of the
     // full-replication transfer.
@@ -592,7 +685,7 @@ fn partial_placement_rejoin_transfers_only_the_sites_spans() {
     let m = run_experiment(cfg);
     assert_eq!(m.recovery_work.rejoins, 1, "rejoins {:?}", m.rejoins);
     let crashed = crashed_flags(&m, 6);
-    check_logs_rejoined(&m.commit_logs, &crashed, &m.rejoin_cuts())
+    check_logs_rejoined_multi(&m.commit_logs, &crashed, &m.rejoin_cuts())
         .expect("partial-placement rejoin chains through the cut");
     // Full replication ships all warehouses; the 2-of-6 span ships ~1/3.
     let mut full = ExperimentConfig::replicated(6, 60).with_target(1500).with_faults(restart);

@@ -282,6 +282,40 @@ pub mod prop {
     pub mod collection {
         pub use crate::collection::*;
     }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::option::*;
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`: `None` roughly one time in four, as a
+    /// cheap stand-in for upstream's weighted default.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::RngCore;
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
 }
 
 /// Collection strategies.
