@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dbsm_bench::cert_json::{merge_and_write, CertBenchRow};
 use dbsm_core::{run_experiment, AnnBatchPolicy, CertBackendKind, CommitPath, ExperimentConfig};
 use dbsm_db::CcPolicy;
-use dbsm_fault::FaultPlan;
+use dbsm_fault::{FaultPlan, FaultSpec};
 use dbsm_gcs::GcsConfig;
 use dbsm_sim::SimTime;
 use std::cell::RefCell;
@@ -233,6 +233,29 @@ fn bench_recovery(c: &mut Criterion) {
                 })
             });
         }
+    }
+    // The double-restart point: one site flaps twice (crash, 10s down,
+    // back, 10s up, crash again). Each incarnation must come back through
+    // its own snapshot + delta-log transfer, and the chain checker's
+    // multi-cut rule is what prices it — two rejoins, two transfer cuts.
+    {
+        let id = "clients_2000_flap2_period10s".to_string();
+        let mut printed = false;
+        g.bench_function(&id, |b| {
+            b.iter(|| {
+                let plan =
+                    FaultPlan::flapping_crash(2, SimTime::from_secs(1), Duration::from_secs(10), 2);
+                let mut cfg =
+                    ExperimentConfig::replicated(3, 2000).with_target(3_000).with_faults(plan);
+                cfg.max_sim = Duration::from_secs(120);
+                let m = run_experiment(cfg);
+                if !printed {
+                    printed = true;
+                    println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                }
+                black_box((m.tpm(), m.recovery_work.rejoins, m.recovery_work.mean_ttu_ms()))
+            })
+        });
     }
     g.finish();
 }
@@ -524,6 +547,85 @@ fn bench_vote_wire(c: &mut Criterion) {
     }
 }
 
+fn bench_replacement(c: &mut Criterion) {
+    // Re-placement under churn: at 6 sites the sweep crosses replication
+    // factor {2, 3} with crash counts {0, 1, 2}. Zero crashes is the
+    // baseline; one crash (site 5) removes one replica of its spans but
+    // strands nothing — clients re-route to the surviving replica; two
+    // crashes take the ADJACENT pair {0, 1}, which under round-robin
+    // placement at rf 2 removes BOTH replicas of the spans homed on the
+    // pair, forcing the survivors to elect adopters and re-home those
+    // spans through state transfer. At rf 3 the same pair crash leaves a
+    // third replica alive, so its rows price pure degradation with no
+    // re-homing — the rf axis separates the two effects. Rows land in
+    // BENCH_cert.json under synthetic backend labels `churn{n}` (so they
+    // never collide with the partial-replication sweep's rows at the same
+    // (sites, rf) point), carrying the schema-v5 re-placement ledger.
+    let rows: RefCell<Vec<CertBenchRow>> = RefCell::new(Vec::new());
+    {
+        let mut g = c.benchmark_group("ablation_replacement");
+        g.sample_size(1);
+        g.measurement_time(Duration::from_secs(1));
+        let sites = 6usize;
+        let clients = 12_000usize;
+        for factor in [2usize, 3] {
+            for crashes in [0usize, 1, 2] {
+                let id = format!("rf_{factor}_crash_{crashes}");
+                let backend = format!("churn{crashes}");
+                let mut recorded = false;
+                g.bench_function(&id, |b| {
+                    b.iter(|| {
+                        let plan = match crashes {
+                            0 => FaultPlan::none(),
+                            1 => FaultPlan::crash(5, SimTime::from_secs(3)),
+                            _ => FaultPlan::crash(0, SimTime::from_secs(3))
+                                .with(FaultSpec::Crash { site: 1, at: SimTime::from_secs(5) }),
+                        };
+                        // Same steady-state budget, snapshot window and CPU
+                        // configuration as the partial-replication sweep, so
+                        // the churn0 rows match its no-fault rows.
+                        let mut cfg = ExperimentConfig::replicated(sites, clients)
+                            .with_target(20_000)
+                            .with_cert_backend(CertBackendKind::Indexed)
+                            .with_replication_factor(factor)
+                            .with_faults(plan);
+                        cfg.history_window = 1 << 17;
+                        cfg.cpus_per_site = 3;
+                        let m = run_experiment(cfg.clone());
+                        // A vote round stalled past its re-collect cap would
+                        // park its clients forever and commits would collapse
+                        // well below the no-crash baseline's ~15k — a
+                        // genuine hang, not churn-degraded throughput.
+                        assert!(
+                            m.committed() >= 5_000,
+                            "{id}: run stalled at {} commits",
+                            m.committed()
+                        );
+                        if !recorded {
+                            recorded = true;
+                            println!("    {}", dbsm_core::report::summary_line(&id, &m));
+                            rows.borrow_mut()
+                                .push(CertBenchRow::from_metrics(&backend, 1, &cfg, &m));
+                        }
+                        black_box((
+                            m.tpm(),
+                            m.replacement_work.replacements,
+                            m.replacement_work.rehomed_spans,
+                            m.replacement_work.mean_time_to_serving_ms(),
+                        ))
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+    let rows = rows.into_inner();
+    if !rows.is_empty() {
+        let path = merge_and_write("ablation_cert_sharding", &rows).expect("merge BENCH_cert.json");
+        println!("merged {} fresh rows into {}", rows.len(), path.display());
+    }
+}
+
 criterion_group!(
     benches,
     bench_locking_policy,
@@ -536,5 +638,6 @@ criterion_group!(
     bench_cert_sharding,
     bench_partial_replication,
     bench_vote_wire,
+    bench_replacement,
 );
 criterion_main!(benches);

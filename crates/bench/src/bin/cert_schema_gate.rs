@@ -2,10 +2,11 @@
 //! typed schema parser (every row must carry every required key with the
 //! right type) and prints a one-line digest per sweep row. Exits non-zero
 //! on any violation, so a malformed artifact fails the pipeline at the PR
-//! that broke it instead of at the first consumer. Schema v2 and v3
-//! documents (written before the partial-replication and wire-vote
-//! fields respectively) still pass: the parser defaults the later keys,
-//! and the digest shows `sites=0 rf=0` / `wire=0/0` for them.
+//! that broke it instead of at the first consumer. Schema v2 through v4
+//! documents (written before the partial-replication, wire-vote and
+//! re-placement fields respectively) still pass: the parser defaults the
+//! later keys, and the digest shows `sites=0 rf=0` / `wire=0/0` /
+//! `repl=0/0` for them.
 //!
 //! Usage: `cert_schema_gate [path]` — defaults to the workspace artifact
 //! location (`$DBSM_BENCH_CERT_JSON` or `BENCH_cert.json` at the root).
@@ -43,7 +44,8 @@ fn main() -> ExitCode {
         println!(
             "  {:<10} shards={:<2} clients={:<6} {:<9} sites={:<2} rf={:<2} \
              tpm={:<9.0} lat={:<7.1} stall={}us spec={}/{}/{}/{} \
-             span={:.2} vote={}/{} wire={}/{} pb={:.2} wait={:.1}ms hash={}",
+             span={:.2} vote={}/{} wire={}/{} pb={:.2} wait={:.1}ms \
+             repl={}/{} park={:.0}ms hash={}",
             r.backend,
             r.shards,
             r.clients,
@@ -64,6 +66,9 @@ fn main() -> ExitCode {
             r.votes_received,
             r.vote_piggyback_rate,
             r.mean_vote_wait_ms,
+            r.replacements,
+            r.rehomed_spans,
+            r.parked_ns as f64 / 1e6,
             r.config_hash,
         );
     }

@@ -42,19 +42,21 @@
 //! schema v4 added the decentralized-vote wire ledger (`votes_sent`,
 //! `votes_received`, `vote_piggyback_rate`, `vote_resends`,
 //! `mean_vote_wait_ms` — all zero under full replication, where no wire
-//! votes flow). The
+//! votes flow), and schema v5 added the re-placement ledger
+//! (`replacements`, `rehomed_spans`, `parked_ns` — nonzero only when churn
+//! stranded a span and the survivors re-homed it). The
 //! `config_hash` fingerprints everything else a row's numbers depend on
 //! (schema version, sites, replication factor, CPUs per site, target
 //! transactions, history window, seed):
 //! [`merge_rows`]
 //! preserves rows a partial sweep didn't re-run, but refuses to mix rows
 //! whose hashes disagree for the same key — a silent half-updated artifact
-//! would be worse than no artifact. The parser reads schema v2 and v3
+//! would be worse than no artifact. The parser reads schema v2 through v4
 //! documents too (the v3 fields default: `sites`/`replication_factor` 0,
-//! `span_fraction` 1.0, vote counters 0; the v4 wire-vote fields default
-//! to 0), so the CI gate keeps passing on artifacts written before the
-//! bump; any old-schema row a sweep re-runs is refused by the hash check
-//! and forces a clean re-sweep.
+//! `span_fraction` 1.0, vote counters 0; the v4 wire-vote fields and the
+//! v5 re-placement fields default to 0), so the CI gate keeps passing on
+//! artifacts written before the bump; any old-schema row a sweep re-runs
+//! is refused by the hash check and forces a clean re-sweep.
 
 use dbsm_core::{CertCostModel, ExperimentConfig, RunMetrics};
 use std::fmt::Write as _;
@@ -63,7 +65,7 @@ use std::path::{Path, PathBuf};
 /// Bumped whenever a schema or pricing change makes old rows incomparable
 /// with fresh ones; feeds [`config_hash`], so a bump forces a full re-sweep
 /// instead of a silent mixed-schema merge.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One row of the certification sweep: a backend at a client count, with
 /// the throughput and the work-ledger split the sweep exists to track.
@@ -141,6 +143,14 @@ pub struct CertBenchRow {
     /// Mean origin-side wait from delivery to quorum decision, ms
     /// (schema v4).
     pub mean_vote_wait_ms: f64,
+    /// View changes that stranded spans and triggered re-placement
+    /// (schema v5).
+    pub replacements: u64,
+    /// Spans re-homed onto surviving adopters (schema v5).
+    pub rehomed_spans: u64,
+    /// Total nanoseconds clients of stranded spans spent parked
+    /// (schema v5).
+    pub parked_ns: u64,
     /// Hex fingerprint of the row's configuration (see [`config_hash`]).
     pub config_hash: String,
 }
@@ -251,6 +261,9 @@ impl CertBenchRow {
             vote_piggyback_rate: m.vote_wire.piggyback_rate(),
             vote_resends: m.vote_wire.resends,
             mean_vote_wait_ms: m.vote_wire.mean_wait_ms(),
+            replacements: m.replacement_work.replacements,
+            rehomed_spans: m.replacement_work.rehomed_spans,
+            parked_ns: m.replacement_work.parked_ns,
             config_hash,
         }
     }
@@ -319,6 +332,7 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
              \"span_fraction\": {}, \"vote_rounds\": {}, \"cross_span_txns\": {}, \
              \"votes_sent\": {}, \"votes_received\": {}, \"vote_piggyback_rate\": {}, \
              \"vote_resends\": {}, \"mean_vote_wait_ms\": {}, \
+             \"replacements\": {}, \"rehomed_spans\": {}, \"parked_ns\": {}, \
              \"config_hash\": {}}}",
             json_str(&r.backend),
             r.shards,
@@ -354,6 +368,9 @@ pub fn rows_to_json(group: &str, rows: &[CertBenchRow]) -> String {
             json_num(r.vote_piggyback_rate),
             r.vote_resends,
             json_num(r.mean_vote_wait_ms),
+            r.replacements,
+            r.rehomed_spans,
+            r.parked_ns,
             json_str(&r.config_hash),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -708,6 +725,9 @@ fn row_from_json(v: &Json) -> Result<CertBenchRow, String> {
         vote_piggyback_rate: v.num_field_or("vote_piggyback_rate", 0.0)?,
         vote_resends: v.uint_field_or("vote_resends", 0)?,
         mean_vote_wait_ms: v.num_field_or("mean_vote_wait_ms", 0.0)?,
+        replacements: v.uint_field_or("replacements", 0)?,
+        rehomed_spans: v.uint_field_or("rehomed_spans", 0)?,
+        parked_ns: v.uint_field_or("parked_ns", 0)?,
         config_hash: v.str_field("config_hash")?,
     })
 }
@@ -840,6 +860,9 @@ mod tests {
             vote_piggyback_rate: 0.62,
             vote_resends: 4,
             mean_vote_wait_ms: 1.8,
+            replacements: 1,
+            rehomed_spans: 2,
+            parked_ns: 2_500_000,
             config_hash: config_hash("sharded", 8, 10000, "pipelined", 3, 3, 1, 600, 4096, 42),
         }
     }
@@ -886,6 +909,9 @@ mod tests {
             "vote_piggyback_rate",
             "vote_resends",
             "mean_vote_wait_ms",
+            "replacements",
+            "rehomed_spans",
+            "parked_ns",
             "config_hash",
         ] {
             assert!(doc.contains(&format!("\"{key}\"")), "missing {key}:\n{doc}");
@@ -1110,6 +1136,39 @@ mod tests {
         // A v4 key present with the wrong type is still a hard error.
         let bad =
             doc.replace("\"vote_rounds\": 120,", "\"vote_rounds\": 120, \"votes_sent\": \"many\",");
+        assert!(parse_document(&bad).unwrap_err().contains("must be a number"));
+    }
+
+    #[test]
+    fn typed_parser_accepts_schema_v4_rows_with_defaults() {
+        // A schema-v4 row carries the wire-vote ledger but none of the v5
+        // re-placement keys: those default to zero.
+        let doc = r#"{"group": "g", "rows": [
+            {"backend": "indexed", "shards": 1, "clients": 12000,
+             "commit_path": "sync", "sites": 6, "replication_factor": 2,
+             "tpm": 20000.0, "mean_latency_ms": 40.0, "abort_pct": 1.5,
+             "certifications": 900, "comparisons": 0, "probes": 8000,
+             "critical_probes": 8000, "mean_shards_touched": 0.0,
+             "parallel_speedup": 1.0, "shard_imbalance": 1.0,
+             "total_work_ns": 100000, "critical_path_ns": 100000,
+             "queue_ns": 0, "service_ns": 0, "merge_ns": 0,
+             "stall_ns": 5000, "spec_hits": 0, "spec_revalidated": 0,
+             "spec_rollbacks": 0, "spec_misses": 0,
+             "span_fraction": 0.4, "vote_rounds": 120, "cross_span_txns": 80,
+             "votes_sent": 700, "votes_received": 3400,
+             "vote_piggyback_rate": 0.55, "vote_resends": 12,
+             "mean_vote_wait_ms": 0.8,
+             "config_hash": "deadbeefdeadbeef"}
+        ]}"#;
+        let parsed = parse_document(doc).expect("v4 rows stay readable");
+        let row = &parsed.rows[0];
+        assert_eq!(row.votes_sent, 700);
+        assert_eq!(row.replacements, 0);
+        assert_eq!(row.rehomed_spans, 0);
+        assert_eq!(row.parked_ns, 0);
+        // A v5 key present with the wrong type is still a hard error.
+        let bad =
+            doc.replace("\"votes_sent\": 700,", "\"votes_sent\": 700, \"rehomed_spans\": \"two\",");
         assert!(parse_document(&bad).unwrap_err().contains("must be a number"));
     }
 }

@@ -12,7 +12,7 @@ use dbsm_cert::{
 };
 use dbsm_db::{DbEngine, Outcome, TransactionSpec, TxnId};
 use dbsm_fault::FaultSpec;
-use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall};
+use dbsm_gcs::{GcsConfig, NodeId, SimBridge, Upcall, View};
 use dbsm_net::{
     Addr, BurstyLoss, GroupId, HostId, Network, NetworkBuilder, Port, RandomLoss, SegmentConfig,
     WindowedBurst,
@@ -55,7 +55,16 @@ struct FifoEntry {
     /// entry's local writes intersect its read-set — the earlier outcome
     /// could change the probe.
     local_writes: RwSet,
+    /// How many times this entry's vote round was re-collected because a
+    /// span it touches re-homed mid-round. Capped at [`RECOLLECT_CAP`].
+    recollects: u8,
 }
+
+/// The per-entry retry cap on vote re-collection: an entry whose round is
+/// re-collected more than this many times (one per adoption of a span it
+/// touches, while undecided) indicates churn faster than transfers can
+/// complete — the run is considered stalled and debug builds assert.
+const RECOLLECT_CAP: u8 = 8;
 
 struct SiteState {
     certifier: Box<dyn CertBackend>,
@@ -180,9 +189,30 @@ struct Shared {
     transfers: HashMap<u16, TransferPacket>,
     /// When each restarting site came back up (for time-to-useful).
     restart_at: HashMap<u16, SimTime>,
-    /// Clients whose site was down when they tried to fire — drained when
-    /// the site finishes rejoining.
-    parked_clients: Vec<Vec<usize>>,
+    /// Clients whose site was down when they tried to fire, with their
+    /// parking instant — drained when the site finishes rejoining or when a
+    /// re-placement completes (the overlay may now route them elsewhere).
+    parked_clients: Vec<Vec<(usize, SimTime)>>,
+    /// The dynamic placement overlay: spans re-homed onto an elected
+    /// survivor after their whole replica set died. Effective ownership is
+    /// the static [`PlacementMap`] *plus* this map; adoption is permanent
+    /// for the run (a restarted original replica simply re-adds an owner —
+    /// [`merge_votes`] over extra covering votes stays exact).
+    rehomed: HashMap<u64, u16>,
+    /// Spans mid-transfer: elected at the view change, serving resumes at
+    /// [`Cluster::finish_replacement`]. A later view change that kills the
+    /// elected adopter re-elects (the entry is overwritten), and the stale
+    /// completion skips the span.
+    replacing: HashMap<u64, u16>,
+    /// The highest view id already swept for stranded spans — the
+    /// [`Upcall::ViewChange`] fires once per surviving site, and the first
+    /// to handle it performs the (deterministic) election for everyone.
+    last_reconfig_view: u64,
+    /// Wire votes superseded by a re-collection: votes from `(voter)` for
+    /// `(origin, txn)` with a sequence number below the stored threshold
+    /// were cast before the voter adopted a span the entry touches, and are
+    /// dropped on (late) arrival — the post-adoption re-cast replaces them.
+    stale_votes: HashMap<(u16, u16, u64), u64>,
 }
 
 struct SiteHandles {
@@ -344,6 +374,10 @@ impl Cluster {
             transfers: HashMap::new(),
             restart_at: HashMap::new(),
             parked_clients: vec![Vec::new(); cfg.sites],
+            rehomed: HashMap::new(),
+            replacing: HashMap::new(),
+            last_reconfig_view: 0,
+            stale_votes: HashMap::new(),
         }));
 
         let cluster = Cluster {
@@ -395,7 +429,11 @@ impl Cluster {
                         // vote — the speculation is the vote's probe,
                         // precomputed so the vote round overlaps the
                         // ordering round.
-                        if !this.casts_vote(p, i, &req) {
+                        let votes = {
+                            let sh = this.shared.borrow();
+                            this.casts_vote(p, &sh.rehomed, i, &req)
+                        };
+                        if !votes {
                             return;
                         }
                     }
@@ -497,6 +535,17 @@ impl Cluster {
                     {
                         let mut sh = this.shared.borrow_mut();
                         let sh = &mut *sh;
+                        // A vote cast before its voter adopted a span the
+                        // entry touches never probed that span: drop it on
+                        // arrival — the post-adoption re-cast (a higher
+                        // sequence number on the voter's stream) replaces it.
+                        if sh
+                            .stale_votes
+                            .get(&(voter.0, vote.origin, vote.txn))
+                            .is_some_and(|&min| vote.seq < min)
+                        {
+                            return;
+                        }
                         let st = &mut sh.sites[i];
                         if let Some(entry) =
                             st.fifo.iter_mut().find(|e| (e.req.site.0, e.req.txn) == key)
@@ -520,7 +569,17 @@ impl Cluster {
                     }
                     this.advance_partial(i, ctx);
                 }
-                Upcall::ViewChange(_) => {}
+                Upcall::ViewChange(view) => {
+                    // Re-placement trigger: if the installed view removed a
+                    // span's last live owner, elect a survivor to adopt it.
+                    // Every surviving site receives the same view and would
+                    // compute the same election; the first handler performs
+                    // it for everyone (deduped by view id).
+                    if this.partial_map().is_some() {
+                        let this2 = this.clone();
+                        ctx.schedule(Duration::ZERO, move || this2.rehome_stranded(view));
+                    }
+                }
                 Upcall::Excluded => {
                     let this2 = this.clone();
                     ctx.schedule(Duration::ZERO, move || this2.crash_site(i));
@@ -724,6 +783,7 @@ impl Cluster {
                         votes: e.votes.clone(),
                         cast: false,
                         local_writes: span.local_subset(&e.req.write_set),
+                        recollects: e.recollects,
                     })
                     .collect();
                 let decided: HashSet<(u16, u64)> = partial.decided.keys().copied().collect();
@@ -847,9 +907,15 @@ impl Cluster {
                 Some(r) => r.ttu = ttu,
                 None => sh.metrics.rejoins.push(RejoinRecord { site: site as u16, kept, cut, ttu }),
             }
-            std::mem::take(&mut sh.parked_clients[site])
+            let parked = std::mem::take(&mut sh.parked_clients[site]);
+            let now = self.sim.now();
+            for &(_, at) in &parked {
+                sh.metrics.replacement_work.parked_ns +=
+                    now.saturating_duration_since(at).as_nanos() as u64;
+            }
+            parked
         };
-        for client in parked {
+        for (client, _) in parked {
             self.schedule_client(client);
         }
         // A rejoined voter resumes voting *now*, not at the next delivery:
@@ -858,6 +924,194 @@ impl Cluster {
             let this = self.clone();
             self.sites[site].cpu.submit_real(Box::new(move |ctx| this.advance_partial(site, ctx)));
         }
+    }
+
+    // ----- replica re-placement under churn -------------------------------
+
+    /// Sweeps the installed `view` for stranded spans — warehouses whose
+    /// every effective owner (static replicas plus any current or
+    /// in-flight adopter) fell out of the view — and elects a surviving
+    /// adopter per span by rendezvous hash
+    /// ([`PlacementMap::rendezvous_owner`]). The election is a pure
+    /// function of `(span, view)`, so every survivor computes the same
+    /// assignment with no coordination round; the first site to handle the
+    /// view change performs it for all (deduped by view id). Each adopter's
+    /// transfer is priced like a rejoin snapshot of the adopted warehouses
+    /// and completes at [`Cluster::finish_replacement`]; until then the
+    /// span is unservable and its clients park.
+    fn rehome_stranded(&self, view: View) {
+        let Some(p) = self.partial_map() else { return };
+        let warehouses = dbsm_tpcc::schema::warehouses_for_clients(self.cfg.clients) as u64;
+        let groups: Vec<(usize, Vec<u64>)> = {
+            let mut sh = self.shared.borrow_mut();
+            if sh.last_reconfig_view >= view.id {
+                return;
+            }
+            sh.last_reconfig_view = view.id;
+            let live: Vec<usize> = view.members.iter().map(|n| n.0 as usize).collect();
+            if live.is_empty() {
+                return;
+            }
+            let is_live = |s: u16| view.members.contains(NodeId(s));
+            let mut by_adopter: HashMap<usize, Vec<u64>> = HashMap::new();
+            for span in 0..warehouses {
+                if p.replicas(span).iter().any(|&r| is_live(r as u16))
+                    || sh.rehomed.get(&span).copied().is_some_and(is_live)
+                    || sh.replacing.get(&span).copied().is_some_and(is_live)
+                {
+                    continue;
+                }
+                let Some(owner) = PlacementMap::rendezvous_owner(span, &live) else { continue };
+                sh.replacing.insert(span, owner as u16);
+                by_adopter.entry(owner).or_default().push(span);
+            }
+            let mut groups: Vec<(usize, Vec<u64>)> = by_adopter.into_iter().collect();
+            groups.sort_unstable_by_key(|&(a, _)| a);
+            groups
+        };
+        for (adopter, spans) in groups {
+            let bytes = spans.len() as u64 * self.costs.snapshot_bytes_per_warehouse;
+            let delay = self.costs.marshal(bytes as usize) + self.costs.transfer_delay(bytes);
+            let started = self.sim.now();
+            let this = self.clone();
+            self.sim.schedule_in(delay, move || this.finish_replacement(adopter, spans, started));
+        }
+    }
+
+    /// Completes a re-placement: the adopter's span certifier is rebuilt
+    /// over its old spans plus the adopted ones from the oracle's full
+    /// history (the PR 8 reproject machinery, donor-less — the shared
+    /// oracle stands in for decision dissemination), open vote rounds
+    /// touching the adopted spans are re-collected against the new owner,
+    /// and every client parked at a dead site is released to re-route
+    /// through the overlay. Runs as real work on the adopter's CPU.
+    fn finish_replacement(&self, adopter: usize, spans: Vec<u64>, started: SimTime) {
+        let this = self.clone();
+        self.sites[adopter].cpu.submit_real(Box::new(move |ctx| {
+            {
+                let sh = this.shared.borrow();
+                // The adopter died mid-transfer (its exclusion re-elected),
+                // or a later view change moved every span elsewhere.
+                if sh.sites[adopter].crashed
+                    || !spans.iter().any(|s| sh.replacing.get(s) == Some(&(adopter as u16)))
+                {
+                    return;
+                }
+            }
+            // Quiesce first: pop every globally decided entry off the
+            // adopter's FIFO, so the reprojected certifier (which reflects
+            // the oracle's decided frontier) lands exactly at the adopter's
+            // position — re-applying a decided entry would corrupt it.
+            this.advance_partial(adopter, ctx);
+            let now = ctx.now();
+            let parked = {
+                let mut sh = this.shared.borrow_mut();
+                let sh = &mut *sh;
+                let spans: Vec<u64> = spans
+                    .iter()
+                    .copied()
+                    .filter(|s| sh.replacing.get(s) == Some(&(adopter as u16)))
+                    .collect();
+                for &s in &spans {
+                    sh.replacing.remove(&s);
+                    sh.rehomed.insert(s, adopter as u16);
+                }
+                let key_of = dbsm_tpcc::schema::home_warehouse_shard_key;
+                let mut owned: Vec<u64> = sh.sites[adopter]
+                    .span
+                    .as_ref()
+                    .expect("partial site has a span certifier")
+                    .owned_spans()
+                    .to_vec();
+                owned.extend(spans.iter().copied());
+                let place = SpanPlacement::new(key_of, owned);
+                let new_span = sh.partial.as_ref().expect("partial state").oracle.reproject(place);
+                let adopted: HashSet<u64> = spans.iter().copied().collect();
+                // Vote re-collection: the adopter's pre-adoption votes never
+                // probed the adopted spans, so for every undecided entry
+                // touching one, strip them (here and, below, everywhere
+                // else) and reset the cast flag — the next advance re-votes
+                // with the reprojected certifier, and the new wire vote is
+                // accepted because the old one is gone. The quiesce left
+                // only undecided entries, so local_writes can be recomputed
+                // wholesale under the new span.
+                let mut rekey: Vec<(u16, u64)> = Vec::new();
+                {
+                    let st = &mut sh.sites[adopter];
+                    st.span = Some(new_span);
+                    let SiteState { span, fifo, .. } = st;
+                    let span = span.as_ref().expect("just installed");
+                    let touches = |req: &CertRequest| {
+                        let hit = |id| key_of(id).is_some_and(|s: u64| adopted.contains(&s));
+                        req.read_set.ids().iter().any(|&id| id.is_table_level() || hit(id))
+                            || req.write_set.ids().iter().any(|&id| hit(id))
+                    };
+                    for e in fifo.iter_mut() {
+                        e.local_writes = span.local_subset(&e.req.write_set);
+                        if touches(&e.req) {
+                            e.cast = false;
+                            e.votes.retain(|&(v, _)| v != adopter as u16);
+                            e.recollects += 1;
+                            debug_assert!(
+                                e.recollects <= RECOLLECT_CAP,
+                                "vote round re-collected past its retry cap"
+                            );
+                            rekey.push((e.req.site.0, e.req.txn));
+                        }
+                    }
+                }
+                // Late-arriving pre-adoption votes must not refill the slot:
+                // anything below the adopter's next stream sequence is stale
+                // for the re-collected keys.
+                let threshold =
+                    this.sites[adopter].bridge.as_ref().expect("replicated site").vote_seq();
+                for &(origin, txn) in &rekey {
+                    sh.stale_votes.insert((adopter as u16, origin, txn), threshold);
+                }
+                for (j, st) in sh.sites.iter_mut().enumerate() {
+                    if j == adopter {
+                        continue;
+                    }
+                    for e in st.fifo.iter_mut() {
+                        if rekey.contains(&(e.req.site.0, e.req.txn)) {
+                            e.votes.retain(|&(v, _)| v != adopter as u16);
+                        }
+                    }
+                    for (k, votes) in st.vote_stash.iter_mut() {
+                        if rekey.contains(k) {
+                            votes.retain(|&(v, _)| v != adopter as u16);
+                        }
+                    }
+                }
+                let repl = &mut sh.metrics.replacement_work;
+                repl.replacements += 1;
+                repl.rehomed_spans += spans.len() as u64;
+                repl.transfer_bytes += spans.len() as u64 * this.costs.snapshot_bytes_per_warehouse;
+                repl.time_to_serving_ns_total +=
+                    now.saturating_duration_since(started).as_nanos() as u64 * spans.len() as u64;
+                repl.vote_rounds_recollected += rekey.len() as u64;
+                // Release everyone parked at a dead site: the overlay now
+                // serves the adopted spans, so their clients re-route here
+                // (others re-park, their wait still on the ledger).
+                let mut parked: Vec<(usize, SimTime)> = Vec::new();
+                for j in 0..sh.parked_clients.len() {
+                    if sh.sites[j].crashed {
+                        parked.append(&mut sh.parked_clients[j]);
+                    }
+                }
+                for &(_, at) in &parked {
+                    sh.metrics.replacement_work.parked_ns +=
+                        now.saturating_duration_since(at).as_nanos() as u64;
+                }
+                parked
+            };
+            for (client, _) in parked {
+                this.schedule_client(client);
+            }
+            // Re-cast the re-collected votes (and any deferred ones the new
+            // coverage unblocks) right away.
+            this.advance_partial(adopter, ctx);
+        }));
     }
 
     /// Runs the experiment: starts the clients, advances the simulation
@@ -917,14 +1171,28 @@ impl Cluster {
 
     /// Warehouse-aware routing: under partial replication a client attaches
     /// to a site that replicates its home warehouse (spread over that
-    /// warehouse's replica set), so its transactions execute against
-    /// locally stored data. Full replication keeps the classic round-robin.
+    /// warehouse's replica set plus its adopter, if the span re-homed),
+    /// preferring live owners — a crashed replica's clients spread over the
+    /// survivors instead of parking. Only when *every* owner is down (span
+    /// stranded, transfer in flight) does the client park at a dead owner,
+    /// to be released when the re-placement completes. Full replication
+    /// keeps the classic round-robin. Recomputed at every fire, so the
+    /// overlay re-routes parked clients automatically.
     fn site_of(&self, client: usize) -> usize {
         if let Some(p) = self.partial_map() {
             // TPC-C home warehouses are 1-based; placement spans 0-based.
             let span = self.gen.borrow().home_warehouse(client) - 1;
-            let replicas = p.replicas(span);
-            return replicas[client % replicas.len()];
+            let mut owners = p.replicas(span);
+            let sh = self.shared.borrow();
+            if let Some(&adopter) = sh.rehomed.get(&span) {
+                if !owners.contains(&(adopter as usize)) {
+                    owners.push(adopter as usize);
+                }
+            }
+            let live: Vec<usize> =
+                owners.iter().copied().filter(|&s| !sh.sites[s].crashed).collect();
+            let pool = if live.is_empty() { &owners } else { &live };
+            return pool[client % pool.len()];
         }
         client % self.cfg.sites
     }
@@ -943,10 +1211,10 @@ impl Cluster {
                 return;
             }
             if sh.sites[site].crashed {
-                // Park until the site rejoins; a permanently crashed site
-                // keeps its clients parked for the rest of the run, as
-                // before.
-                sh.parked_clients[site].push(client);
+                // Park until the site rejoins or a re-placement re-routes
+                // the span; a permanently crashed site with no adopter
+                // keeps its clients parked for the rest of the run.
+                sh.parked_clients[site].push((client, self.sim.now()));
                 return;
             }
         }
@@ -1086,12 +1354,19 @@ impl Cluster {
     }
 
     /// True when `site` casts a wire vote on `req`: it owns at least one
-    /// read- or write-set span. Table-level (wildcard) reads probe every
-    /// span, so every site's slice of the table contributes to the verdict
-    /// and everyone votes; a transaction touching no span at all (global
-    /// tuples only) is also voted by everyone — any single vote covers it,
-    /// and the origin may be down.
-    fn casts_vote(&self, p: &PlacementMap, site: usize, req: &CertRequest) -> bool {
+    /// read- or write-set span — statically, or as the current adopter of a
+    /// re-homed span (`rehomed` overlay). Table-level (wildcard) reads
+    /// probe every span, so every site's slice of the table contributes to
+    /// the verdict and everyone votes; a transaction touching no span at
+    /// all (global tuples only) is also voted by everyone — any single vote
+    /// covers it, and the origin may be down.
+    fn casts_vote(
+        &self,
+        p: &PlacementMap,
+        rehomed: &HashMap<u64, u16>,
+        site: usize,
+        req: &CertRequest,
+    ) -> bool {
         if req.read_set.ids().iter().any(|id| id.is_table_level()) {
             return true;
         }
@@ -1099,7 +1374,7 @@ impl Cluster {
         for &id in req.read_set.ids().iter().chain(req.write_set.ids()) {
             if let Some(span) = dbsm_tpcc::schema::home_warehouse_shard_key(id) {
                 any_span = true;
-                if p.owns(site, span) {
+                if p.owns(site, span) || rehomed.get(&span) == Some(&(site as u16)) {
                     return true;
                 }
             }
@@ -1114,7 +1389,18 @@ impl Cluster {
     /// (wildcard) read probes every span and needs the voters to jointly
     /// own all of them. Write-set tuples need no witness — conflicts are
     /// detected by the *reading* side against committed writes.
-    fn votes_cover(&self, p: &PlacementMap, warehouses: u64, entry: &FifoEntry) -> bool {
+    ///
+    /// A re-homed span is covered by its *static* owners' votes (cast
+    /// before they died, with state valid at cast time) or its current
+    /// adopter's — a superseded adopter's votes stop counting the moment a
+    /// successor takes over, and the successor's re-cast covers instead.
+    fn votes_cover(
+        &self,
+        p: &PlacementMap,
+        rehomed: &HashMap<u64, u16>,
+        warehouses: u64,
+        entry: &FifoEntry,
+    ) -> bool {
         let reads = entry.req.read_set.ids();
         if reads.is_empty() {
             return true;
@@ -1122,7 +1408,12 @@ impl Cluster {
         if entry.votes.is_empty() {
             return false;
         }
-        let owned = |span: u64| entry.votes.iter().any(|&(v, _)| p.owns(v as usize, span));
+        let owned = |span: u64| {
+            entry
+                .votes
+                .iter()
+                .any(|&(v, _)| p.owns(v as usize, span) || rehomed.get(&span) == Some(&v))
+        };
         reads.iter().all(|&id| {
             if id.is_table_level() {
                 (0..warehouses).all(owned)
@@ -1156,7 +1447,14 @@ impl Cluster {
         sh.metrics.cert_work.record_span(covered as u64, total as u64);
         let local_writes = span.local_subset(&req.write_set);
         let votes = st.vote_stash.remove(&key).unwrap_or_default();
-        st.fifo.push_back(FifoEntry { req, delivered_at: now, votes, cast: false, local_writes });
+        st.fifo.push_back(FifoEntry {
+            req,
+            delivered_at: now,
+            votes,
+            cast: false,
+            local_writes,
+            recollects: 0,
+        });
     }
 
     /// Advances `site`'s partial-replication FIFO as far as it will go:
@@ -1182,7 +1480,7 @@ impl Cluster {
                     sh.partial.as_ref().expect("partial state").decided.get(&key).copied();
                 let outcome = match published {
                     Some(d) => d.outcome,
-                    None if self.votes_cover(p, warehouses, head) => {
+                    None if self.votes_cover(p, &sh.rehomed, warehouses, head) => {
                         match merge_votes(head.votes.iter().map(|&(_, c)| c)) {
                             Some(conflict_seq) => CertOutcome::Abort { conflict_seq },
                             None => CertOutcome::Commit(sh.sites[site].last_committed() + 1),
@@ -1211,7 +1509,7 @@ impl Cluster {
                             partial.oracle.gc(last.saturating_sub(self.cfg.history_window));
                         }
                     }
-                    let voters = self.voters_for(&entry.req);
+                    let voters = self.voters_for(&sh.rehomed, &entry.req);
                     sh.metrics.cert_work.vote_rounds += voters;
                     sh.metrics.cert_work.cross_span_txns += u64::from(voters > 0);
                     partial.decided.insert(key, Decision { outcome });
@@ -1246,6 +1544,7 @@ impl Cluster {
         {
             let mut sh = self.shared.borrow_mut();
             let sh = &mut *sh;
+            let rehomed = &sh.rehomed;
             let SiteState { span, fifo, crashed, .. } = &mut sh.sites[site];
             if *crashed {
                 return;
@@ -1256,7 +1555,7 @@ impl Cluster {
                 if fifo[k].cast {
                     continue;
                 }
-                if !self.casts_vote(p, site, &fifo[k].req) {
+                if !self.casts_vote(p, rehomed, site, &fifo[k].req) {
                     fifo[k].cast = true;
                     continue;
                 }
@@ -1299,10 +1598,11 @@ impl Cluster {
     }
 
     /// How many remote span owners must vote on `req`: the distinct primary
-    /// replicas of read/write-set warehouses the origin site does not own.
-    /// Zero means the transaction is local to the origin's span and commits
-    /// without a vote round.
-    fn voters_for(&self, req: &CertRequest) -> u64 {
+    /// replicas of read/write-set warehouses the origin site does not own
+    /// (the adopter stands in as primary for a re-homed span). Zero means
+    /// the transaction is local to the origin's span and commits without a
+    /// vote round.
+    fn voters_for(&self, rehomed: &HashMap<u64, u16>, req: &CertRequest) -> u64 {
         let Some(p) = self.partial_map() else { return 0 };
         let origin = req.site.0 as usize;
         let mut voters: Vec<usize> = Vec::new();
@@ -1310,10 +1610,13 @@ impl Cluster {
             let Some(span) = dbsm_tpcc::schema::home_warehouse_shard_key(id) else {
                 continue;
             };
-            if p.owns(origin, span) {
+            if p.owns(origin, span) || rehomed.get(&span) == Some(&(origin as u16)) {
                 continue;
             }
-            let primary = p.replicas(span)[0];
+            let primary = match rehomed.get(&span) {
+                Some(&a) => a as usize,
+                None => p.replicas(span)[0],
+            };
             if !voters.contains(&primary) {
                 voters.push(primary);
             }

@@ -216,14 +216,18 @@ impl ExperimentConfig {
     }
 
     /// Checks the configuration: the fault plan against the site count,
-    /// the placement map (when set) against the site count, and — the
-    /// combination that silently produced unroutable transactions before —
-    /// the fault plan against the placement via
-    /// [`FaultPlan::validate_coverage`]: no partition or crash schedule may
-    /// leave some warehouse with zero live replicas. Both commit paths
-    /// combine with partial replication: the pipelined path precomputes
-    /// each site's wire vote at tentative delivery so the vote round
-    /// overlaps the ordering round.
+    /// the placement map (when set) against the site count, and the fault
+    /// plan against the placement via [`FaultPlan::validate_coverage`] —
+    /// only fault schedules leaving some instant with *zero live sites
+    /// cluster-wide* are rejected, since a span stranded by the loss of its
+    /// whole replica set now re-homes to an elected survivor instead of
+    /// becoming unroutable. A placement pinned with
+    /// [`PlacementMap::with_strict_coverage`] opts back into the static
+    /// pre-churn rule ([`FaultPlan::validate_coverage_strict`]): any
+    /// stranded replica set rejects the run. Both commit paths combine with
+    /// partial replication: the pipelined path precomputes each site's wire
+    /// vote at tentative delivery so the vote round overlaps the ordering
+    /// round.
     ///
     /// # Errors
     ///
@@ -239,7 +243,11 @@ impl ExperimentConfig {
         let replica_sets: Vec<Vec<u16>> = (0..warehouses as u64)
             .map(|w| placement.replicas(w).iter().map(|&s| s as u16).collect())
             .collect();
-        self.faults.validate_coverage(self.sites, &replica_sets)?;
+        if placement.strict_coverage {
+            self.faults.validate_coverage_strict(self.sites, &replica_sets)?;
+        } else {
+            self.faults.validate_coverage(self.sites, &replica_sets)?;
+        }
         Ok(())
     }
 }
@@ -620,18 +628,32 @@ mod tests {
         use dbsm_sim::SimTime;
         // 60 clients -> 6 warehouses round-robin over 6 sites at rf=2:
         // warehouse span w lives on sites {w, w+1 mod 6}. A majority
-        // partition {0,1,2,3} strands spans 4 and 5 entirely on {4,5}.
+        // partition {0,1,2,3} strands spans 4 and 5 entirely on {4,5} —
+        // legal by default (the primary component re-homes them), rejected
+        // only when the placement pins the strict pre-churn rule.
         let plan = FaultPlan::partition(
             vec![vec![0, 1, 2, 3], vec![4, 5]],
             SimTime::from_secs(1),
             SimTime::from_secs(2),
         );
-        let c = ExperimentConfig::replicated(6, 60)
+        let relaxed = ExperimentConfig::replicated(6, 60)
             .with_replication_factor(2)
             .with_faults(plan.clone());
-        let err = c.validate().unwrap_err();
+        assert!(relaxed.validate().is_ok(), "stranded spans re-home by default");
+        let strict = ExperimentConfig::replicated(6, 60)
+            .with_placement(PlacementMap::round_robin(6, 2).with_strict_coverage())
+            .with_faults(plan.clone());
+        let err = strict.validate().unwrap_err();
         assert!(err.to_string().contains("zero live replicas"), "{err}");
-        // Full replication shrugs off the same plan.
+        // Crashing every site is unservable under either rule.
+        let outage = (0..6).fold(FaultPlan::none(), |p, s| {
+            p.with(dbsm_fault::FaultSpec::Crash { site: s, at: SimTime::from_secs(1) })
+        });
+        let dead =
+            ExperimentConfig::replicated(6, 60).with_replication_factor(2).with_faults(outage);
+        let err = dead.validate().unwrap_err();
+        assert!(err.to_string().contains("zero live replicas"), "{err}");
+        // Full replication shrugs off the stranding partition.
         assert!(ExperimentConfig::replicated(6, 60).with_faults(plan).validate().is_ok());
         // And a mismatched map is caught before the fault cross-check.
         let c = ExperimentConfig::replicated(6, 60).with_placement(PlacementMap::round_robin(3, 2));

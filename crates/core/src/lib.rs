@@ -37,7 +37,7 @@ pub use dbsm_fault::{FaultPlan, FaultSpec, PlanError};
 pub use dbsm_gcs::AnnBatchPolicy;
 pub use experiment::{CertCostModel, CommitPath, ConfigError, ExperimentConfig};
 pub use metrics::{
-    AnnWorkTotals, CertWorkTotals, ClassStats, FaultWorkTotals, RunMetrics, SiteUsage,
-    VoteWireTotals,
+    AnnWorkTotals, CertWorkTotals, ClassStats, FaultWorkTotals, ReplacementWorkTotals, RunMetrics,
+    SiteUsage, VoteWireTotals,
 };
 pub use placement::{PlacementError, PlacementMap, PlacementStrategy};

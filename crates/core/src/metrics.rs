@@ -457,6 +457,49 @@ impl RecoveryWorkTotals {
     }
 }
 
+/// Re-placement work across one run — the observable that prices re-homing
+/// spans stranded by churn: how many view changes forced an election, how
+/// many spans moved to a surviving adopter, how many bytes of span state
+/// crossed the wire, how long each re-homed span took from view install to
+/// serving again, how many in-flight vote rounds had to be re-collected
+/// against the new owner, and how long stranded clients sat parked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplacementWorkTotals {
+    /// View changes that stranded at least one span and triggered a
+    /// rendezvous election plus state transfer.
+    pub replacements: u64,
+    /// Spans re-homed onto a surviving adopter.
+    pub rehomed_spans: u64,
+    /// Bytes of span state shipped to adopters, priced per warehouse.
+    pub transfer_bytes: u64,
+    /// Total nanoseconds from view install to the adopter serving the
+    /// span, summed over re-homed spans.
+    pub time_to_serving_ns_total: u64,
+    /// In-flight cross-span vote rounds whose adopter vote had to be
+    /// re-collected under the new ownership.
+    pub vote_rounds_recollected: u64,
+    /// Total nanoseconds clients of stranded spans spent parked before the
+    /// transfer completed and they resumed.
+    pub parked_ns: u64,
+}
+
+impl ReplacementWorkTotals {
+    /// Mean view-install-to-serving time per re-homed span, in
+    /// milliseconds.
+    pub fn mean_time_to_serving_ms(&self) -> f64 {
+        if self.rehomed_spans == 0 {
+            0.0
+        } else {
+            self.time_to_serving_ns_total as f64 / 1e6 / self.rehomed_spans as f64
+        }
+    }
+
+    /// Total client parked time in milliseconds.
+    pub fn parked_ms(&self) -> f64 {
+        self.parked_ns as f64 / 1e6
+    }
+}
+
 /// One completed rejoin: which site came back, where its retained log
 /// stood, where the transfer cut was, and how long until it served clients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -516,6 +559,9 @@ pub struct RunMetrics {
     pub recovery_work: RecoveryWorkTotals,
     /// One record per completed rejoin, in completion order.
     pub rejoins: Vec<RejoinRecord>,
+    /// Re-placement work: spans re-homed after churn stranded them, bytes
+    /// transferred, vote rounds re-collected, client parked time.
+    pub replacement_work: ReplacementWorkTotals,
 }
 
 impl RunMetrics {
@@ -792,6 +838,22 @@ mod tests {
         t.ttu_ns_total = 3_000_000_000;
         assert_eq!(t.total_bytes(), (4 << 20) + 1536);
         assert!((t.mean_ttu_ms() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replacement_work_totals_average_serving_time_per_span() {
+        let mut t = ReplacementWorkTotals::default();
+        assert_eq!(t.mean_time_to_serving_ms(), 0.0);
+        assert_eq!(t.parked_ms(), 0.0);
+        t.replacements = 1;
+        t.rehomed_spans = 4;
+        t.transfer_bytes = 8 << 20;
+        t.time_to_serving_ns_total = 6_000_000_000;
+        t.vote_rounds_recollected = 3;
+        t.parked_ns = 2_500_000;
+        assert!((t.mean_time_to_serving_ms() - 1500.0).abs() < 1e-9);
+        assert!((t.parked_ms() - 2.5).abs() < 1e-12);
+        assert_eq!(RunMetrics::new(2).replacement_work, ReplacementWorkTotals::default());
     }
 
     #[test]

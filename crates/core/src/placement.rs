@@ -83,6 +83,12 @@ pub struct PlacementMap {
     pub replication_factor: usize,
     /// How warehouses are spread over the ring.
     pub strategy: PlacementStrategy,
+    /// Opt out of re-placement: validate fault plans under the strict
+    /// pre-churn coverage rule (any stranded replica set rejects the run)
+    /// instead of the relaxed default, where stranded spans re-home to an
+    /// elected survivor. Oracle tests that pin the static-placement
+    /// semantics set this via [`PlacementMap::with_strict_coverage`].
+    pub strict_coverage: bool,
 }
 
 /// SplitMix64 finalizer — the same mixer the bench artifact hashing uses,
@@ -98,7 +104,7 @@ impl PlacementMap {
     /// Creates a map placing each warehouse on `replication_factor` of
     /// `sites` replicas under `strategy`.
     pub fn new(sites: usize, replication_factor: usize, strategy: PlacementStrategy) -> Self {
-        PlacementMap { sites, replication_factor, strategy }
+        PlacementMap { sites, replication_factor, strategy, strict_coverage: false }
     }
 
     /// Round-robin convenience constructor.
@@ -109,6 +115,17 @@ impl PlacementMap {
     /// Hash-strategy convenience constructor.
     pub fn hash(sites: usize, replication_factor: usize) -> Self {
         PlacementMap::new(sites, replication_factor, PlacementStrategy::Hash)
+    }
+
+    /// Pins the strict pre-churn coverage rule: fault plans that strand
+    /// this map's replica sets are rejected at [`validate`] time instead of
+    /// triggering re-placement.
+    ///
+    /// [`validate`]: crate::experiment::ExperimentConfig::validate
+    #[must_use]
+    pub fn with_strict_coverage(mut self) -> Self {
+        self.strict_coverage = true;
+        self
     }
 
     /// True when every site stores every warehouse — the classic
@@ -148,6 +165,23 @@ impl PlacementMap {
     /// [`SpanCertifier`](dbsm_cert::SpanCertifier) indexes.
     pub fn spans_of(&self, site: usize, spans: u64) -> Vec<u64> {
         (0..spans).filter(|&s| self.owns(site, s)).collect()
+    }
+
+    /// The survivor elected to adopt a stranded `span`: the rendezvous
+    /// (highest-random-weight) winner over the `live` sites. Every site
+    /// evaluates this over the same installed view and reaches the same
+    /// answer with no coordination round — the weight depends only on
+    /// `(span, site)`, so a later view change that removes unrelated sites
+    /// leaves existing winners in place (minimal reshuffling, the classic
+    /// HRW property). Ties are impossible for distinct sites under a
+    /// 64-bit mix, but the max scan resolves them toward the lowest site
+    /// id deterministically. Returns `None` when nobody is alive.
+    pub fn rendezvous_owner(span: u64, live: &[usize]) -> Option<usize> {
+        live.iter()
+            .copied()
+            .map(|site| (mix64(span ^ mix64(site as u64 + 1)), site))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, site)| site)
     }
 
     /// Checks the map against an experiment with `sites` replicas.
@@ -239,6 +273,45 @@ mod tests {
         assert!(PlacementError::MismatchedSites { map: 3, experiment: 6 }
             .to_string()
             .contains("3 sites"));
+    }
+
+    #[test]
+    fn strict_coverage_flag_defaults_off_and_sticks() {
+        assert!(!PlacementMap::round_robin(3, 2).strict_coverage);
+        assert!(!PlacementMap::hash(3, 2).strict_coverage);
+        let strict = PlacementMap::round_robin(3, 2).with_strict_coverage();
+        assert!(strict.strict_coverage);
+        // Everything else is untouched.
+        assert_eq!(strict.sites, 3);
+        assert_eq!(strict.replication_factor, 2);
+        assert_ne!(strict, PlacementMap::round_robin(3, 2), "flag participates in Eq");
+    }
+
+    #[test]
+    fn rendezvous_owner_is_deterministic_and_minimally_disruptive() {
+        assert_eq!(PlacementMap::rendezvous_owner(7, &[]), None);
+        assert_eq!(PlacementMap::rendezvous_owner(7, &[4]), Some(4));
+        let live: Vec<usize> = (0..6).collect();
+        for span in 0..200u64 {
+            let owner = PlacementMap::rendezvous_owner(span, &live).unwrap();
+            // Same answer regardless of the order the survivor list is
+            // walked in — each site computes it independently.
+            let mut rev = live.clone();
+            rev.reverse();
+            assert_eq!(PlacementMap::rendezvous_owner(span, &rev), Some(owner));
+            // Removing a site that did not win leaves the winner in place.
+            let without_loser: Vec<usize> =
+                live.iter().copied().filter(|&s| s == owner || s != (owner + 1) % 6).collect();
+            assert_eq!(PlacementMap::rendezvous_owner(span, &without_loser), Some(owner));
+        }
+        // The election spreads spans over survivors rather than piling on
+        // one site.
+        let mut per_site = vec![0usize; 6];
+        for span in 0..600u64 {
+            per_site[PlacementMap::rendezvous_owner(span, &live).unwrap()] += 1;
+        }
+        let (min, max) = (per_site.iter().min().unwrap(), per_site.iter().max().unwrap());
+        assert!(max - min < 80, "rendezvous spread stays rough-balanced: {per_site:?}");
     }
 
     #[test]

@@ -76,10 +76,15 @@ pub fn ecdf_lines(points: &[(f64, f64)]) -> String {
 /// recovery ledger: completed
 /// rejoins over snapshots served, snapshot+delta transfer kilobytes,
 /// delta-log entries replayed, and the mean time-to-useful per rejoin —
-/// all zero for runs without restarts.
+/// all zero for runs without restarts. The `repl=` section is the
+/// re-placement ledger: view changes that stranded spans over spans
+/// re-homed, state-transfer kilobytes, vote rounds re-collected against
+/// the new owner, mean view-install-to-serving milliseconds per span, and
+/// total client parked milliseconds — all zero when churn never leaves a
+/// span without a live replica.
 pub fn summary_line(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{} wire=s{}/r{}/p{}/x{} wait={:.1}ms rec={}/{}sn {}+{}KB replay={} ttu={:.0}ms",
+        "{label}: tpm={:.0} latency={:.1}ms aborts={:.2}% cpu={:.0}%/{:.2}% disk={:.0}% net={:.0}KB/s cert={:.1}cmp/{:.1}probe/{:.1}crit sh={:.2} pipe=q{:.1}/s{:.1}/m{:.1}/st{:.1}us spec={}/{}/{}/{} ann={}x{:.1}+{}pb vc={} dup={}/{} span={:.2} vote={}/{} wire=s{}/r{}/p{}/x{} wait={:.1}ms rec={}/{}sn {}+{}KB replay={} ttu={:.0}ms repl={}/{}sp {}KB recast={} serve={:.0}ms park={:.0}ms",
         m.tpm(),
         m.mean_latency_ms(),
         m.abort_rate(),
@@ -119,6 +124,12 @@ pub fn summary_line(label: &str, m: &RunMetrics) -> String {
         m.recovery_work.delta_bytes / 1024,
         m.recovery_work.replayed_entries,
         m.recovery_work.mean_ttu_ms(),
+        m.replacement_work.replacements,
+        m.replacement_work.rehomed_spans,
+        m.replacement_work.transfer_bytes / 1024,
+        m.replacement_work.vote_rounds_recollected,
+        m.replacement_work.mean_time_to_serving_ms(),
+        m.replacement_work.parked_ms(),
     )
 }
 
@@ -214,6 +225,20 @@ mod tests {
         m.recovery_work.ttu_ns_total = 1_250_000_000;
         let line = summary_line("x", &m);
         assert!(line.contains("rec=1/1sn 2048+3KB replay=4 ttu=1250ms"), "{line}");
+    }
+
+    #[test]
+    fn summary_line_reports_replacement_work() {
+        let mut m = RunMetrics::new(1);
+        assert!(summary_line("x", &m).contains("repl=0/0sp 0KB recast=0 serve=0ms park=0ms"));
+        m.replacement_work.replacements = 1;
+        m.replacement_work.rehomed_spans = 2;
+        m.replacement_work.transfer_bytes = 4 << 20;
+        m.replacement_work.vote_rounds_recollected = 3;
+        m.replacement_work.time_to_serving_ns_total = 5_000_000_000;
+        m.replacement_work.parked_ns = 8_000_000;
+        let line = summary_line("x", &m);
+        assert!(line.contains("repl=1/2sp 4096KB recast=3 serve=2500ms park=8ms"), "{line}");
     }
 
     #[test]

@@ -349,6 +349,41 @@ impl FaultPlan {
             .with(FaultSpec::Restart { site, at: restart_at })
     }
 
+    /// A flapping crash: the same site dies and rejoins `count` times. Flap
+    /// `i` crashes at `at + i·2·period` and restarts one `period` later, so
+    /// the site alternates `period`-long dead and recovering phases. With
+    /// `count >= 2` this is the plan the multi-rejoin chain checker
+    /// (`check_logs_rejoined_multi`) was built for — one site accumulating
+    /// several rejoin cuts in a single run — which no stock plan exercised
+    /// before.
+    ///
+    /// ```
+    /// use dbsm_fault::FaultPlan;
+    /// use dbsm_sim::SimTime;
+    /// use std::time::Duration;
+    ///
+    /// let plan = FaultPlan::flapping_crash(1, SimTime::from_secs(5), Duration::from_secs(10), 2);
+    /// plan.validate(3).expect("each restart follows its crash");
+    /// assert!(plan.has_restart());
+    /// // Down during each flap, back up in between.
+    /// assert_eq!(plan.crashed_by(SimTime::from_secs(10)), vec![1]);
+    /// assert!(plan.crashed_by(SimTime::from_secs(20)).is_empty());
+    /// assert_eq!(plan.crashed_by(SimTime::from_secs(30)), vec![1]);
+    /// assert!(plan.crashed_by(SimTime::from_secs(40)).is_empty());
+    /// ```
+    pub fn flapping_crash(site: u16, at: SimTime, period: Duration, count: u32) -> Self {
+        let mut plan = FaultPlan::none();
+        let period_ns = period.as_nanos() as u64;
+        for i in 0..count as u64 {
+            let crash = SimTime::from_nanos(at.as_nanos() + i * 2 * period_ns);
+            let restart = SimTime::from_nanos(crash.as_nanos() + period_ns);
+            plan = plan
+                .with(FaultSpec::Crash { site, at: crash })
+                .with(FaultSpec::Restart { site, at: restart });
+        }
+        plan
+    }
+
     /// A flapping partition: the same split re-forms `count` times. Flap
     /// `i` splits at `at + i·2·period` and heals one `period` later, so the
     /// network alternates `period`-long partitioned and healed phases —
@@ -656,8 +691,52 @@ impl FaultPlan {
 
     /// Checks the plan against a partial-replication placement:
     /// `replica_sets[span]` lists the sites replicating warehouse `span`.
-    /// Rejects plans whose faults would leave some span with zero live
-    /// replicas — every transaction homed there would become unroutable:
+    /// Rejects only plans whose faults would leave some span with zero
+    /// *surviving sites cluster-wide* — truly unservable, because there is
+    /// nobody left to re-home the span to. A plan that merely strands a
+    /// span's own replica set is legal: the surviving sites detect the
+    /// stranding at the view change and re-place the span onto an elected
+    /// survivor (rendezvous hash + state transfer), so every transaction
+    /// homed there becomes routable again after the transfer.
+    ///
+    /// * Crashes that take down *every* site at some instant are rejected
+    ///   ([`PlanError::CrashUncoveredSpan`] naming the first replicated
+    ///   span) — no survivor exists to adopt anything.
+    /// * Partitions never reject here: a primary component can always adopt
+    ///   stranded spans, and plans with no majority group halt the whole
+    ///   system — a legitimate total-outage scenario.
+    ///
+    /// The pre-re-placement rule (any stranded replica set rejects) lives on
+    /// as [`FaultPlan::validate_coverage_strict`] for oracle tests and
+    /// placements that opt out of re-homing. Call after
+    /// [`FaultPlan::validate`]; full replication never needs this check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::CrashUncoveredSpan`] when some crash instant
+    /// leaves zero live sites while spans are replicated.
+    pub fn validate_coverage(
+        &self,
+        sites: usize,
+        replica_sets: &[Vec<u16>],
+    ) -> Result<(), PlanError> {
+        let crash_instants = self.specs.iter().filter_map(|s| match s {
+            FaultSpec::Crash { at, .. } => Some(*at),
+            _ => None,
+        });
+        for t in crash_instants {
+            if sites > 0 && (0..sites as u16).all(|s| self.down_at(s, t)) {
+                if let Some(span) = replica_sets.iter().position(|r| !r.is_empty()) {
+                    return Err(PlanError::CrashUncoveredSpan { span: span as u64 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The strict coverage rule partial replication enforced before
+    /// re-placement existed: rejects any plan whose faults strand a span's
+    /// *replica set*, even though survivors elsewhere could adopt it —
     ///
     /// * a partition whose surviving *primary component* (the group holding
     ///   a strict majority of `sites`; minority segments halt under the
@@ -665,14 +744,14 @@ impl FaultPlan {
     /// * crashes that take down every replica of the span.
     ///
     /// Plans with no majority group halt the whole system — a legitimate
-    /// total-outage scenario — and are not rejected here. Call after
-    /// [`FaultPlan::validate`]; full replication never needs this check.
+    /// total-outage scenario — and are not rejected here. Oracle tests pin
+    /// this behavior via `PlacementMap::with_strict_coverage`.
     ///
     /// # Errors
     ///
     /// Returns the first [`PlanError::PartitionUncoveredSpan`] or
     /// [`PlanError::CrashUncoveredSpan`] found.
-    pub fn validate_coverage(
+    pub fn validate_coverage_strict(
         &self,
         sites: usize,
         replica_sets: &[Vec<u16>],
@@ -1037,14 +1116,17 @@ mod tests {
         let plan = FaultPlan::crash_restart(0, SimTime::from_secs(1), SimTime::from_secs(5))
             .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(10) });
         let replicas = vec![vec![0, 1], vec![0, 2]];
-        assert_eq!(plan.validate_coverage(3, &replicas), Ok(()));
-        // Restarted too late: both are down together at t=10.
+        assert_eq!(plan.validate_coverage_strict(3, &replicas), Ok(()));
+        // Restarted too late: both are down together at t=10, so the strict
+        // rule rejects — but site 1 survives to adopt the span, so the
+        // relaxed (re-placement) rule accepts.
         let late = FaultPlan::crash_restart(0, SimTime::from_secs(1), SimTime::from_secs(20))
             .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(10) });
         assert_eq!(
-            late.validate_coverage(3, &replicas),
+            late.validate_coverage_strict(3, &replicas),
             Err(PlanError::CrashUncoveredSpan { span: 1 })
         );
+        assert_eq!(late.validate_coverage(3, &replicas), Ok(()));
         // The rolling kill-and-replace plan keeps every span covered.
         let rolling = FaultPlan::kill_and_replace(
             3,
@@ -1052,7 +1134,47 @@ mod tests {
             Duration::from_secs(30),
             Duration::from_secs(5),
         );
-        assert_eq!(rolling.validate_coverage(3, &replicas), Ok(()));
+        assert_eq!(rolling.validate_coverage_strict(3, &replicas), Ok(()));
+    }
+
+    #[test]
+    fn relaxed_coverage_rejects_only_total_outages() {
+        let replicas = vec![vec![0, 1], vec![0, 2]];
+        // Every site down at t=3: nobody left to re-home anything.
+        let outage = FaultPlan::crash(0, SimTime::from_secs(1))
+            .with(FaultSpec::Crash { site: 1, at: SimTime::from_secs(2) })
+            .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(3) });
+        assert_eq!(
+            outage.validate_coverage(3, &replicas),
+            Err(PlanError::CrashUncoveredSpan { span: 0 })
+        );
+        // A restart breaking the simultaneity makes it legal again.
+        let healed = outage.clone().with(FaultSpec::Restart { site: 0, at: SimTime::from_secs(2) });
+        assert_eq!(healed.validate_coverage(3, &replicas), Ok(()));
+        // Stranding partitions are always legal relaxed: the primary
+        // component adopts the span.
+        let strand = FaultPlan::partition(
+            vec![vec![0, 1, 2], vec![3, 4]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        );
+        let minority_only = vec![vec![0, 1], vec![3, 4]];
+        assert_eq!(strand.validate_coverage(5, &minority_only), Ok(()));
+        // An empty placement never strands even under total outage.
+        assert_eq!(outage.validate_coverage(3, &[]), Ok(()));
+    }
+
+    #[test]
+    fn flapping_crash_expands_to_alternating_phases() {
+        let plan = FaultPlan::flapping_crash(1, SimTime::from_secs(10), Duration::from_secs(5), 3);
+        assert_eq!(plan.specs.len(), 6);
+        assert!(plan.has_restart());
+        assert_eq!(plan.validate(3), Ok(()));
+        // Down during [10,15), [20,25), [30,35); up in between and after.
+        for (t, down) in [(9, false), (12, true), (17, false), (22, true), (27, false), (40, false)]
+        {
+            assert_eq!(plan.down_at(1, SimTime::from_secs(t)), down, "t={t}");
+        }
     }
 
     #[test]
@@ -1081,12 +1203,13 @@ mod tests {
             SimTime::from_secs(8),
         );
         let replicas = vec![vec![0, 3], vec![1, 4], vec![2, 3]];
-        assert_eq!(plan.validate_coverage(5, &replicas), Ok(()));
+        assert_eq!(plan.validate_coverage_strict(5, &replicas), Ok(()));
     }
 
     #[test]
     fn coverage_rejects_partitions_stranding_a_span() {
-        // Span 1 lives only on the minority side: its clients would hang.
+        // Span 1 lives only on the minority side: under the strict rule its
+        // clients would hang, so the plan is rejected.
         let plan = FaultPlan::partition(
             vec![vec![0, 1, 2], vec![3, 4]],
             SimTime::from_secs(5),
@@ -1094,7 +1217,7 @@ mod tests {
         );
         let replicas = vec![vec![0, 1], vec![3, 4]];
         assert_eq!(
-            plan.validate_coverage(5, &replicas),
+            plan.validate_coverage_strict(5, &replicas),
             Err(PlanError::PartitionUncoveredSpan { span: 1 })
         );
         // No majority group: total outage, legitimate, not rejected here.
@@ -1103,7 +1226,7 @@ mod tests {
             SimTime::from_secs(5),
             SimTime::from_secs(8),
         );
-        assert_eq!(halt.validate_coverage(5, &replicas), Ok(()));
+        assert_eq!(halt.validate_coverage_strict(5, &replicas), Ok(()));
     }
 
     #[test]
@@ -1112,13 +1235,15 @@ mod tests {
             .with(FaultSpec::Crash { site: 2, at: SimTime::from_secs(2) });
         let replicas = vec![vec![0, 1], vec![0, 2]];
         assert_eq!(
-            plan.validate_coverage(3, &replicas),
+            plan.validate_coverage_strict(3, &replicas),
             Err(PlanError::CrashUncoveredSpan { span: 1 })
         );
-        // One surviving replica is enough.
+        // The relaxed rule re-homes span 1 onto the surviving site 1.
+        assert_eq!(plan.validate_coverage(3, &replicas), Ok(()));
+        // One surviving replica is enough even for strict.
         let single = FaultPlan::crash(0, SimTime::from_secs(1));
-        assert_eq!(single.validate_coverage(3, &replicas), Ok(()));
+        assert_eq!(single.validate_coverage_strict(3, &replicas), Ok(()));
         // Full replication (or an empty placement) is never stranded.
-        assert_eq!(plan.validate_coverage(3, &[]), Ok(()));
+        assert_eq!(plan.validate_coverage_strict(3, &[]), Ok(()));
     }
 }

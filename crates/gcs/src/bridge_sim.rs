@@ -232,6 +232,15 @@ impl SimBridge {
         self.shared.gcs.borrow().metrics()
     }
 
+    /// The next sequence number this node's vote stream will assign (see
+    /// [`Gcs::vote_seq`]). Votes already cast sit strictly below it — the
+    /// re-collection machinery uses this as the staleness threshold when a
+    /// view change forces a vote round to be re-collected against a new
+    /// span owner.
+    pub fn vote_seq(&self) -> u64 {
+        self.shared.gcs.borrow().vote_seq()
+    }
+
     /// Current view.
     pub fn view(&self) -> crate::types::View {
         self.shared.gcs.borrow().view()

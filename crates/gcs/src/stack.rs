@@ -37,7 +37,7 @@ use crate::stability::Stability;
 use crate::types::{NodeId, NodeSet, View};
 use crate::wire::{
     decode_seq_ann, encode_seq_ann, Envelope, Message, PayloadKind, SeqAssign, WireVote,
-    SEQ_ASSIGN_WIRE, WIRE_VOTE_WIRE,
+    ENVELOPE_OVERHEAD, SEQ_ASSIGN_WIRE, WIRE_VOTE_WIRE,
 };
 use bytes::{Bytes, BytesMut};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -792,16 +792,34 @@ impl Gcs {
         }
     }
 
+    /// The next sequence number this node's vote stream will assign. Every
+    /// vote already cast carries a strictly smaller `seq`, so callers can
+    /// use this value as a staleness threshold: votes below it predate the
+    /// moment the snapshot was taken.
+    pub fn vote_seq(&self) -> u64 {
+        self.votes.next_seq
+    }
+
+    /// Most votes that fit one standalone `Vote` frame: envelope plus the
+    /// base/count header, then [`WIRE_VOTE_WIRE`] per vote, all within
+    /// `max_packet`. The network drops datagrams over the MTU, so a frame
+    /// that overflows it is lost on every transmission — including the
+    /// heartbeat retransmissions that are supposed to repair the loss.
+    fn max_votes_per_frame(&self) -> usize {
+        const VOTE_HEADER: usize = ENVELOPE_OVERHEAD + 8 + 2;
+        (self.cfg.max_packet.saturating_sub(VOTE_HEADER) / WIRE_VOTE_WIRE)
+            .clamp(1, u16::MAX as usize)
+    }
+
     /// Transmits all pending votes as standalone `Vote` frames.
     fn flush_votes(&mut self, rt: &mut dyn ProtocolRuntime) {
         if self.votes.pending.is_empty() || self.halted || self.joining {
             return;
         }
-        // One wire message per chunk keeps the u16 count field sound.
-        const MAX_VOTE_CHUNK: usize = 2048;
+        let max_chunk = self.max_votes_per_frame();
         let base = self.vote_base();
         while !self.votes.pending.is_empty() {
-            let take = self.votes.pending.len().min(MAX_VOTE_CHUNK);
+            let take = self.votes.pending.len().min(max_chunk);
             let chunk: Vec<WireVote> = self.votes.pending.drain(..take).collect();
             self.metrics.votes_sent += chunk.len() as u64;
             let env = Envelope {
@@ -914,15 +932,21 @@ impl Gcs {
         }
         const MAX_RESEND: usize = 256;
         let base = self.vote_base();
-        let chunk: Vec<WireVote> =
+        let suffix: Vec<WireVote> =
             self.votes.outbox.range(..limit).map(|(_, v)| *v).take(MAX_RESEND).collect();
-        self.metrics.vote_resends += chunk.len() as u64;
-        let env = Envelope {
-            sender: self.me,
-            view: self.view.id,
-            msg: Message::Vote { base, votes: chunk },
-        };
-        rt.multicast(env.encode());
+        self.metrics.vote_resends += suffix.len() as u64;
+        // MTU-sized frames: an oversized retransmission would itself be
+        // dropped, pinning the receivers' gap open forever. `base` is the
+        // same for every frame — a receiver only jumps forward to it, and
+        // the chunks are contiguous from there.
+        for chunk in suffix.chunks(self.max_votes_per_frame()) {
+            let env = Envelope {
+                sender: self.me,
+                view: self.view.id,
+                msg: Message::Vote { base, votes: chunk.to_vec() },
+            };
+            rt.multicast(env.encode());
+        }
     }
 
     // ----- receive path ------------------------------------------------
@@ -2829,6 +2853,48 @@ mod tests {
         let before = g.metrics().vote_resends;
         g.on_timer(&mut rt, TimerKind::Heartbeat);
         assert_eq!(g.metrics().vote_resends, before, "nothing left to resend");
+    }
+
+    #[test]
+    fn vote_frames_respect_the_packet_size_cap() {
+        // A burst of votes cast while application traffic was queued
+        // flushes at the next heartbeat; both that flush and the later
+        // retransmissions must split into frames within `max_packet`. The
+        // network drops oversized datagrams, so an oversized flush loses
+        // the whole burst — and an oversized *retransmission* is dropped
+        // on every heartbeat, pinning the receivers' stream gap open
+        // forever and wedging every vote round behind it.
+        let mut rt = MockRt::default();
+        let mut g = Gcs::new(NodeId(0), fixed_cfg(3, Duration::from_millis(5)));
+        g.on_start(&mut rt);
+        for seq in 1..=300u64 {
+            let v = WireVote { seq, origin: 0, txn: seq, conflict: None };
+            g.votes.outbox.insert(seq, v);
+            g.votes.pending.push(v);
+        }
+        g.votes.next_seq = 301;
+        rt.sent.clear();
+        g.on_timer(&mut rt, TimerKind::Heartbeat);
+        assert!(g.votes.pending.is_empty(), "heartbeat flushed the burst");
+        let flushed: usize = sent_msgs(&rt)
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::Vote { votes, .. } => Some(votes.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(flushed, 300, "every vote of the burst went out");
+        for raw in &rt.sent {
+            assert!(raw.len() <= g.cfg.max_packet, "{} > max_packet", raw.len());
+        }
+        // Still unacked: the next heartbeat retransmits a bounded suffix,
+        // again in frames the network will actually deliver.
+        rt.sent.clear();
+        g.on_timer(&mut rt, TimerKind::Heartbeat);
+        assert_eq!(g.metrics().vote_resends, 256, "resend budget per beat");
+        for raw in &rt.sent {
+            assert!(raw.len() <= g.cfg.max_packet, "{} > max_packet", raw.len());
+        }
     }
 
     #[test]

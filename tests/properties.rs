@@ -643,6 +643,81 @@ proptest! {
 }
 
 proptest! {
+    // Each case runs two full cluster simulations; a handful of cases per
+    // CI run still sweeps plans x rf x seeds over time.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn replacement_preserves_outcomes(
+        crash_sites in prop::collection::btree_set(0u16..3, 1..3),
+        restarts in prop::collection::vec(any::<bool>(), 2),
+        partition_roll in any::<bool>(),
+        rf in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        // The re-placement tentpole's robustness property: random
+        // crash/heal/restart plans at every replication factor leave the
+        // DBSM outcomes intact. Re-placed runs are bit-identical across
+        // double runs (the rendezvous election and vote re-collection are
+        // deterministic), every commit log passes the rejoined chain
+        // checker, and — via the cluster's internal first-decider
+        // cross-check, armed in debug builds — every quorum decision
+        // matches the full-replication oracle.
+        use dbsm_testbed::core::{run_experiment, ExperimentConfig};
+        use dbsm_testbed::fault::{check_logs_rejoined_multi, FaultPlan, FaultSpec};
+        use dbsm_testbed::sim::SimTime;
+        let crashes: Vec<u16> = crash_sites.iter().copied().collect();
+        let mut plan = FaultPlan::none();
+        for (i, &site) in crashes.iter().enumerate() {
+            plan = plan.with(FaultSpec::Crash { site, at: SimTime::from_secs(8 + 2 * i as u64) });
+            if restarts[i] {
+                plan = plan
+                    .with(FaultSpec::Restart { site, at: SimTime::from_secs(14 + 2 * i as u64) });
+            }
+        }
+        if partition_roll && crashes.len() == 1 {
+            // One segment excludes site 5 past the failure timeout: a
+            // primary-component exclusion strands its spans exactly like a
+            // crash, and the heal must not resurrect them elsewhere.
+            plan = plan.with(FaultSpec::Partition {
+                groups: vec![vec![0, 1, 2, 3, 4], vec![5]],
+                at: SimTime::from_secs(12),
+                heal_at: SimTime::from_secs(14),
+            });
+        }
+        let mk = || {
+            let mut cfg = ExperimentConfig::replicated(6, 60)
+                .with_target(900)
+                .with_replication_factor(rf)
+                .with_seed(seed)
+                .with_faults(plan.clone());
+            cfg.think_mean = Duration::from_secs(1);
+            cfg.max_sim = Duration::from_secs(300);
+            cfg
+        };
+        let a = run_experiment(mk());
+        let b = run_experiment(mk());
+        prop_assert_eq!(&a.commit_logs, &b.commit_logs, "re-placed runs must be bit-identical");
+        prop_assert_eq!(a.replacement_work, b.replacement_work);
+        prop_assert_eq!(a.committed(), b.committed());
+        let crashed: Vec<bool> = (0..6u16).map(|s| a.crashed_sites.contains(&s)).collect();
+        let chain = check_logs_rejoined_multi(&a.commit_logs, &crashed, &a.rejoin_cuts());
+        prop_assert!(chain.is_ok(), "chain check: {:?}", chain);
+        prop_assert!(a.committed() > 300, "run made progress: {}", a.committed());
+        // rf 1 leaves every crashed site's span with zero replicas: the
+        // view change must re-home it (60 clients -> 6 warehouses, one per
+        // site under round-robin).
+        if rf == 1 {
+            prop_assert!(
+                a.replacement_work.rehomed_spans >= 1,
+                "rf 1 crash must strand and re-home a span: {:?}",
+                a.replacement_work
+            );
+        }
+    }
+}
+
+proptest! {
     #[test]
     fn certification_outcome_only_depends_on_concurrent_history(
         writes in arb_rwset(8), reads in arb_rwset(8)

@@ -260,10 +260,13 @@ fn partial_replication_is_safe_and_shrinks_per_site_certification() {
 
 #[test]
 fn partial_replication_is_deterministic_and_fault_checked() {
-    // Same seed, same placement -> bit-identical run; and a fault plan that
-    // would strand a warehouse with zero live replicas is rejected before
-    // the cluster is even built (satellite: FaultPlan x PlacementMap
+    // Same seed, same placement -> bit-identical run. A fault plan that
+    // strands a warehouse with zero live replicas is accepted under the
+    // relaxed default (re-placement re-homes the span onto a survivor) but
+    // still rejected under strict coverage, and a plan downing every site
+    // is rejected either way (satellite: FaultPlan x PlacementMap
     // cross-validation).
+    use dbsm_testbed::core::PlacementMap;
     let mk = || {
         ExperimentConfig::replicated(6, 120)
             .with_target(300)
@@ -274,12 +277,69 @@ fn partial_replication_is_deterministic_and_fault_checked() {
     let b = run_experiment(mk());
     assert_eq!(a.commit_logs, b.commit_logs);
     assert_eq!(a.cert_work.vote_rounds, b.cert_work.vote_rounds);
-    let stranding = FaultPlan::partition(
-        vec![vec![0, 1, 2, 3], vec![4, 5]],
-        SimTime::from_secs(1),
-        SimTime::from_secs(2),
+    let stranding = || {
+        FaultPlan::partition(
+            vec![vec![0, 1, 2, 3], vec![4, 5]],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        )
+    };
+    assert!(mk().with_faults(stranding()).validate().is_ok(), "relaxed default re-homes");
+    let strict = PlacementMap::round_robin(6, 2).with_strict_coverage();
+    assert!(mk().with_placement(strict).with_faults(stranding()).validate().is_err());
+    let total_outage = (0..6).fold(FaultPlan::none(), |p, s| {
+        p.with(dbsm_testbed::fault::FaultSpec::Crash { site: s, at: SimTime::from_secs(1) })
+    });
+    assert!(mk().with_faults(total_outage).validate().is_err(), "nobody left to adopt");
+}
+
+#[test]
+fn replacement_rehomes_stranded_spans_and_degrades_gracefully() {
+    // The re-placement tentpole end-to-end. At rf 2 over 6 sites a single
+    // crash strands nothing — every span keeps a live replica and clients
+    // re-route to it — so throughput degrades gracefully instead of
+    // collapsing. Crashing an adjacent pair removes both replicas of the
+    // spans homed on the pair: the survivors elect an adopter by
+    // rendezvous hash, ship span state, re-collect in-flight vote rounds,
+    // and the run completes with the safety condition intact.
+    use dbsm_testbed::core::report::summary_line;
+    let mk = |faults: FaultPlan| {
+        ExperimentConfig::replicated(6, 120)
+            .with_target(600)
+            .with_replication_factor(2)
+            .with_seed(11)
+            .with_faults(faults)
+    };
+    let base = run_experiment(mk(FaultPlan::none()));
+    assert_eq!(base.replacement_work, Default::default(), "no churn, no re-placement");
+
+    let one = run_experiment(mk(FaultPlan::crash(5, SimTime::from_secs(10))));
+    assert_eq!(one.replacement_work.rehomed_spans, 0, "rf 2 survives one crash in place");
+    let ratio = one.tpm() / base.tpm();
+    assert!(
+        ratio >= 0.6,
+        "one crash must degrade gracefully: tpm {} vs baseline {} (ratio {ratio:.2})",
+        one.tpm(),
+        base.tpm()
     );
-    assert!(mk().with_faults(stranding).validate().is_err());
+    check_logs(&one.commit_logs, &crashed_flags(&one, 6)).expect("safety under one crash");
+
+    let pair = || {
+        FaultPlan::crash(0, SimTime::from_secs(10))
+            .with(dbsm_testbed::fault::FaultSpec::Crash { site: 1, at: SimTime::from_secs(12) })
+    };
+    let two = run_experiment(mk(pair()));
+    assert!(two.replacement_work.replacements >= 1, "{:?}", two.replacement_work);
+    assert!(two.replacement_work.rehomed_spans >= 1, "{:?}", two.replacement_work);
+    assert!(two.replacement_work.transfer_bytes > 0);
+    assert!(two.replacement_work.time_to_serving_ns_total > 0);
+    check_logs(&two.commit_logs, &crashed_flags(&two, 6)).expect("safety across re-homing");
+    assert!(two.committed() > 300, "committed {}", two.committed());
+    // Re-placed runs stay bit-identical for a seed.
+    let again = run_experiment(mk(pair()));
+    assert_eq!(two.commit_logs, again.commit_logs);
+    assert_eq!(two.replacement_work, again.replacement_work);
+    println!("replacement smoke: {}", summary_line("rf2-pair-crash", &two));
 }
 
 #[test]
